@@ -1,0 +1,54 @@
+// Figure 5: sensitivity to Noise — divergence between the measured
+// client's access pattern and the aggregate pattern driving the broadcast.
+//   (a) Pure-Pull vs Pure-Push at Noise {0,15,35}%.
+//   (b) IPP (PullBW=50%) vs Pure-Push at Noise {0,15,35}%.
+
+#include <cstdio>
+
+#include "harness.h"
+
+int main() {
+  using namespace bdisk;
+  using core::DeliveryMode;
+
+  bench::PrintBanner("Figure 5",
+                     "Noise sensitivity (IPP PullBW = 50%, "
+                     "SteadyStatePerc = 95%).");
+
+  const std::vector<double> noises = {0.0, 0.15, 0.35};
+
+  for (const bool panel_b : {false, true}) {
+    std::vector<core::SweepPoint> points;
+    for (const double ttr : bench::PaperTtrSweep()) {
+      for (const double noise : noises) {
+        char label[40];
+        std::snprintf(label, sizeof(label), "Push n%.0f%%", noise * 100);
+        points.push_back(bench::MakePoint(label, ttr,
+                                          DeliveryMode::kPurePush, ttr, 0.5,
+                                          0.0, 0.95, noise));
+        if (!panel_b) {
+          std::snprintf(label, sizeof(label), "Pull n%.0f%%", noise * 100);
+          points.push_back(bench::MakePoint(label, ttr,
+                                            DeliveryMode::kPurePull, ttr,
+                                            1.0, 0.0, 0.95, noise));
+        } else {
+          std::snprintf(label, sizeof(label), "IPP n%.0f%%", noise * 100);
+          points.push_back(bench::MakePoint(label, ttr, DeliveryMode::kIpp,
+                                            ttr, 0.5, 0.0, 0.95, noise));
+        }
+      }
+    }
+    const auto outcomes = core::RunSweep(points, bench::BenchSteadyProtocol());
+    std::printf("Figure 5(%c): %s vs Pure-Push\n", panel_b ? 'b' : 'a',
+                panel_b ? "IPP" : "Pure-Pull");
+    bench::PrintResponseTable("ThinkTimeRatio", outcomes);
+    std::printf("\n");
+  }
+  std::printf(
+      "Paper shape: at light load Pull is insensitive to Noise (the client\n"
+      "just pulls what it needs); at heavy load Noise hurts badly — dropped\n"
+      "requests leave the client dependent on other clients' requests. IPP\n"
+      "saturates earlier but is less Noise-sensitive at the far right\n"
+      "(push safety net). Push degrades steadily with Noise at all loads.\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Figure 8: server-load sensitivity of IPP with a truncated push schedule
+// (PullBW = 30%, ThresPerc = 35%). Curves are the number of pages chopped
+// from the schedule {full, -200, -300, -500, -700}, plus the pure
+// algorithms.
+
+#include <cstdio>
+
+#include "harness.h"
+
+int main() {
+  using namespace bdisk;
+  using core::DeliveryMode;
+
+  bench::PrintBanner(
+      "Figure 8",
+      "Load sensitivity of restricted push: PullBW=30%, ThresPerc=35%.");
+
+  const std::vector<std::uint32_t> chops = {0, 200, 300, 500, 700};
+
+  std::vector<core::SweepPoint> points;
+  for (const double ttr : bench::PaperTtrSweep()) {
+    points.push_back(
+        bench::MakePoint("Push", ttr, DeliveryMode::kPurePush, ttr));
+    points.push_back(
+        bench::MakePoint("Pull", ttr, DeliveryMode::kPurePull, ttr, 1.0));
+    for (const std::uint32_t chop : chops) {
+      char label[32];
+      if (chop == 0) {
+        std::snprintf(label, sizeof(label), "IPP full");
+      } else {
+        std::snprintf(label, sizeof(label), "IPP -%u", chop);
+      }
+      points.push_back(bench::MakePoint(label, ttr, DeliveryMode::kIpp, ttr,
+                                        0.3, 0.35, 0.95, 0.0, chop));
+    }
+  }
+  const auto outcomes = core::RunSweep(points, bench::BenchSteadyProtocol());
+  bench::PrintResponseTable("ThinkTimeRatio", outcomes);
+  std::printf(
+      "Paper shape: when underutilized (left), chopping more pages helps —\n"
+      "pull bandwidth covers the misses. Past saturation (TTR > ~25) the\n"
+      "ordering inverts: heavily chopped schedules lose their safety net\n"
+      "and IPP -700 is worse than Pure-Pull across the whole range.\n");
+  return 0;
+}

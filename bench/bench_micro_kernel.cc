@@ -1,0 +1,105 @@
+// google-benchmark microbenchmarks for the simulation substrate: these
+// bound how much wall-clock the figure benches need and catch performance
+// regressions in the hot paths (event queue, sampling, slot loop).
+
+#include <benchmark/benchmark.h>
+
+#include "broadcast/broadcast_program.h"
+#include "broadcast/page_ranking.h"
+#include "broadcast/program_builder.h"
+#include "core/system.h"
+#include "sim/alias_sampler.h"
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+#include "sim/zipf.h"
+
+namespace {
+
+using namespace bdisk;
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  const std::size_t depth = static_cast<std::size_t>(state.range(0));
+  sim::EventQueue queue;
+  sim::Rng rng(1);
+  for (std::size_t i = 0; i < depth; ++i) {
+    queue.Schedule(rng.NextDouble() * 1e6, [] {});
+  }
+  double t = 1e6;
+  for (auto _ : state) {
+    sim::SimTime when;
+    sim::EventQueue::Callback cb;
+    queue.Pop(&when, &cb);
+    queue.Schedule(t, [] {});
+    t += 0.5;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EventQueueScheduleAndPop)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_RngNext(benchmark::State& state) {
+  sim::Rng rng(7);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.Next());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RngNext);
+
+void BM_ZipfAliasSampling(benchmark::State& state) {
+  const auto pmf = sim::ZipfPmf(static_cast<std::size_t>(state.range(0)),
+                                0.95);
+  sim::AliasSampler sampler(pmf);
+  sim::Rng rng(7);
+  for (auto _ : state) benchmark::DoNotOptimize(sampler.Sample(rng));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ZipfAliasSampling)->Arg(1000)->Arg(100000);
+
+void BM_ProgramBuild(benchmark::State& state) {
+  const auto probs = sim::ZipfPmf(1000, 0.95);
+  const auto config = broadcast::DiskConfig::Paper();
+  for (auto _ : state) {
+    auto layout = broadcast::BuildPushLayout(probs, config, 100, 0);
+    auto schedule =
+        broadcast::BuildSchedule(layout.disk_pages, config.rel_freqs);
+    benchmark::DoNotOptimize(schedule.data());
+  }
+}
+BENCHMARK(BM_ProgramBuild);
+
+void BM_DistanceToNext(benchmark::State& state) {
+  const auto probs = sim::ZipfPmf(1000, 0.95);
+  const auto config = broadcast::DiskConfig::Paper();
+  auto layout = broadcast::BuildPushLayout(probs, config, 100, 0);
+  const broadcast::BroadcastProgram program(
+      broadcast::BuildSchedule(layout.disk_pages, config.rel_freqs), 1000);
+  sim::Rng rng(3);
+  for (auto _ : state) {
+    const auto pos = static_cast<std::uint32_t>(
+        rng.NextBounded(program.Length()));
+    const auto page = static_cast<broadcast::PageId>(rng.NextBounded(1000));
+    benchmark::DoNotOptimize(program.DistanceToNext(pos, page));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DistanceToNext);
+
+// End-to-end: simulated broadcast units per second of wall-clock for a
+// full-scale IPP system under heavy backchannel load.
+void BM_EndToEndSlots(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::SystemConfig config;
+    config.think_time_ratio = static_cast<double>(state.range(0));
+    core::System system(config);
+    system.mc().Start();
+    if (system.vc() != nullptr) system.vc()->Start();
+    state.ResumeTiming();
+    system.simulator().RunUntil(20000.0);
+    benchmark::DoNotOptimize(system.server().TotalSlots());
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+  state.SetLabel("items = broadcast units");
+}
+BENCHMARK(BM_EndToEndSlots)->Arg(10)->Arg(250)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,70 @@
+// Capacity planner: the workflow the paper's conclusion asks for ("tools
+// to make the parameter setting decisions for real dissemination-based
+// information systems easier").
+//
+// Given an uncertain load range, this example:
+//   1. asks the analytic advisor for a robust (PullBW, ThresPerc) choice,
+//   2. validates the pick by simulation with independent replications
+//      (reporting a 95% confidence interval, not a single noisy number),
+//   3. compares it against simply turning on the dynamic controllers.
+
+#include <cstdio>
+#include <vector>
+
+#include "analysis/advisor.h"
+#include "core/experiment.h"
+#include "core/system.h"
+#include "core/table_printer.h"
+
+int main() {
+  using namespace bdisk;
+
+  const std::vector<double> load_range = {10, 50, 250};
+
+  // --- 1. Analytic recommendation. ---
+  core::SystemConfig base;  // Paper Table 3 defaults.
+  const analysis::Recommendation rec =
+      analysis::RecommendRobust(base, load_range);
+  std::printf("Advisor (robust over TTR {10,50,250}): PullBW=%.0f%%, "
+              "ThresPerc=%.0f%% — predicted worst case %.1f units\n\n",
+              rec.pull_bw * 100, rec.thres_perc * 100,
+              rec.predicted_response);
+
+  // --- 2/3. Validate by simulation, with replications. ---
+  core::SteadyStateProtocol protocol;
+  protocol.max_measured_accesses = 12000;
+
+  core::TablePrinter table({"load (TTR)", "advised (95% CI)",
+                            "adaptive (95% CI)"});
+  for (const double ttr : load_range) {
+    core::SystemConfig advised = base;
+    advised.mode = core::DeliveryMode::kIpp;
+    advised.pull_bw = rec.pull_bw;
+    advised.thres_perc = rec.thres_perc;
+    advised.think_time_ratio = ttr;
+    const core::ReplicationResult advised_result =
+        core::RunReplicated(advised, 3, protocol);
+
+    core::SystemConfig adaptive = base;
+    adaptive.mode = core::DeliveryMode::kIpp;
+    adaptive.think_time_ratio = ttr;
+    adaptive.adaptive_pull_bw = true;
+    adaptive.adaptive_threshold = true;
+    const core::ReplicationResult adaptive_result =
+        core::RunReplicated(adaptive, 3, protocol);
+
+    table.AddRow(
+        {core::TablePrinter::Fmt(ttr, 0),
+         core::TablePrinter::Fmt(advised_result.means.Mean(), 1) + " ± " +
+             core::TablePrinter::Fmt(advised_result.ci95_half_width, 1),
+         core::TablePrinter::Fmt(adaptive_result.means.Mean(), 1) + " ± " +
+             core::TablePrinter::Fmt(adaptive_result.ci95_half_width, 1)});
+  }
+  std::printf("Simulated validation (3 replications per point):\n%s\n",
+              table.ToString().c_str());
+  std::printf(
+      "Reading: the advisor hedges with one static setting; the adaptive\n"
+      "system re-tunes online. Both avoid the catastrophic corners a naive\n"
+      "static choice risks (see bench_fig03_steady_state).\n");
+  return 0;
+}

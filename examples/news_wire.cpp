@@ -1,0 +1,85 @@
+// News wire scenario: an election-night news service. The audience size
+// swings by an order of magnitude within hours. Which delivery algorithm
+// keeps latency acceptable across the whole swing?
+//
+// This replays the paper's central tradeoff (Experiment 1, Figure 3) as a
+// capacity-planning question: Pure-Pull is superb off-peak and terrible at
+// peak; Pure-Push is flat everywhere; IPP with a threshold rides between.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/system.h"
+#include "core/table_printer.h"
+
+int main() {
+  using namespace bdisk;
+
+  const std::vector<double> audience = {10, 25, 50, 100, 250};
+
+  struct Algorithm {
+    const char* name;
+    core::DeliveryMode mode;
+    double pull_bw;
+    double thres_perc;
+  };
+  const std::vector<Algorithm> algorithms = {
+      {"Pure-Push", core::DeliveryMode::kPurePush, 0.0, 0.0},
+      {"Pure-Pull", core::DeliveryMode::kPurePull, 1.0, 0.0},
+      {"IPP(50%,T25%)", core::DeliveryMode::kIpp, 0.5, 0.25},
+  };
+
+  std::vector<core::SweepPoint> points;
+  for (const Algorithm& algo : algorithms) {
+    for (const double ttr : audience) {
+      core::SweepPoint point;
+      point.curve = algo.name;
+      point.x = ttr;
+      point.config.mode = algo.mode;
+      point.config.pull_bw = algo.pull_bw;
+      point.config.thres_perc = algo.thres_perc;
+      point.config.think_time_ratio = ttr;
+      points.push_back(point);
+    }
+  }
+
+  std::printf("Election night: mean story latency (broadcast units) vs\n"
+              "audience size (ThinkTimeRatio).\n\n");
+  const auto outcomes = core::RunSweep(points);
+
+  core::TablePrinter table(
+      {"audience (TTR)", "Pure-Push", "Pure-Pull", "IPP(50%,T25%)"});
+  for (const double ttr : audience) {
+    std::vector<std::string> row = {core::TablePrinter::Fmt(ttr, 0)};
+    for (const Algorithm& algo : algorithms) {
+      for (const auto& outcome : outcomes) {
+        if (outcome.point.x == ttr &&
+            outcome.point.curve == algo.name) {
+          row.push_back(
+              core::TablePrinter::Fmt(outcome.result.mean_response, 1));
+        }
+      }
+    }
+    table.AddRow(row);
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  // Worst-case latency across the swing is the planning number.
+  std::printf("Capacity-planning view — worst case across the swing:\n");
+  for (const Algorithm& algo : algorithms) {
+    double worst = 0.0;
+    for (const auto& outcome : outcomes) {
+      if (outcome.point.curve == algo.name) {
+        worst = std::max(worst, outcome.result.mean_response);
+      }
+    }
+    std::printf("  %-15s %8.1f\n", algo.name, worst);
+  }
+  std::printf(
+      "\nExpected shape (paper Figure 3a): Pull wins off-peak by orders of\n"
+      "magnitude, collapses at peak; Push is flat; IPP is never the best\n"
+      "but avoids both failure modes — the paper's argument for mixing.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Stock ticker scenario: a brokerage broadcasts quote pages to thousands of
+// terminals. A few hundred symbols are hot; the long tail is touched
+// rarely. Should the tail be broadcast at all, or left pull-only?
+//
+// This is the paper's Experiment 3 (§4.3) dressed as an application: we
+// truncate the push schedule (chop the slowest disk, then the middle one)
+// and watch response time, provided enough pull bandwidth exists to serve
+// the tail.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/system.h"
+#include "core/table_printer.h"
+
+int main() {
+  using namespace bdisk;
+
+  const std::vector<std::uint32_t> chops = {0, 200, 400, 500, 600, 700};
+  const std::vector<double> pull_bws = {0.1, 0.3, 0.5};
+
+  std::vector<core::SweepPoint> points;
+  for (const std::uint32_t chop : chops) {
+    for (const double bw : pull_bws) {
+      core::SweepPoint point;
+      point.curve = "PullBW " + core::TablePrinter::Pct(bw, 0);
+      point.x = chop;
+      point.config.mode = core::DeliveryMode::kIpp;
+      point.config.pull_bw = bw;
+      point.config.thres_perc = 0.35;  // Conserve the backchannel.
+      point.config.chop_count = chop;
+      point.config.think_time_ratio = 25.0;  // Light trading day.
+      points.push_back(point);
+    }
+  }
+
+  std::printf("Stock ticker: average quote latency (broadcast units) as the\n"
+              "cold tail is dropped from the broadcast (ThresPerc=35%%,\n"
+              "ThinkTimeRatio=25).\n\n");
+
+  const auto outcomes = core::RunSweep(points);
+
+  core::TablePrinter table(
+      {"non-broadcast pages", "PullBW 10%", "PullBW 30%", "PullBW 50%"});
+  for (const std::uint32_t chop : chops) {
+    std::vector<std::string> row = {std::to_string(chop)};
+    for (const double bw : pull_bws) {
+      for (const auto& outcome : outcomes) {
+        if (outcome.point.x == chop && outcome.point.config.pull_bw == bw) {
+          row.push_back(
+              core::TablePrinter::Fmt(outcome.result.mean_response, 1));
+        }
+      }
+    }
+    table.AddRow(row);
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  std::printf(
+      "Expected shape (paper Figure 7b): with ample pull bandwidth (50%%),\n"
+      "dropping the cold tail *improves* latency — its slots go to hot\n"
+      "pages and pulls. With starved pull bandwidth (10%%), truncation is\n"
+      "catastrophic: tail quotes have no safety net and requests drop.\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+#include "adaptive/client_controller.h"
+
+#include <algorithm>
+
+#include "sim/check.h"
+
+namespace bdisk::adaptive {
+
+ClientController::ClientController(sim::Simulator* simulator,
+                                   client::MeasuredClient* client,
+                                   const ClientControllerOptions& options)
+    : sim::Process(simulator), client_(client), options_(options) {
+  BDISK_CHECK_MSG(client != nullptr, "controller needs a client");
+  BDISK_CHECK_MSG(options.control_period > 0.0,
+                  "control period must be positive");
+  BDISK_CHECK_MSG(options.thres_min >= 0.0 &&
+                      options.thres_min <= options.thres_max &&
+                      options.thres_max <= 1.0,
+                  "invalid threshold clamp range");
+  BDISK_CHECK_MSG(options.ratio_low <= options.ratio_high,
+                  "ratio_low must not exceed ratio_high");
+}
+
+void ClientController::OnWakeup() {
+  ++decisions_;
+  const double ratio = client_->PullWaitRatio();
+  double thres = client_->thres_perc();
+  if (ratio > options_.ratio_high) {
+    thres = std::min(options_.thres_max, thres + options_.thres_step);
+  } else if (ratio > 0.0 && ratio < options_.ratio_low) {
+    thres = std::max(options_.thres_min, thres - options_.thres_step);
+  }
+  if (thres != client_->thres_perc()) {
+    client_->SetThresPerc(thres);
+    ++adjustments_;
+  }
+  ScheduleWakeup(options_.control_period);
+}
+
+}  // namespace bdisk::adaptive

@@ -1,0 +1,65 @@
+#ifndef BDISK_ADAPTIVE_CLIENT_CONTROLLER_H_
+#define BDISK_ADAPTIVE_CLIENT_CONTROLLER_H_
+
+#include <cstdint>
+
+#include "client/measured_client.h"
+#include "sim/process.h"
+
+namespace bdisk::adaptive {
+
+/// Tuning parameters for the client-side threshold controller.
+struct ClientControllerOptions {
+  /// Broadcast units between control decisions.
+  double control_period = 800.0;
+
+  /// Threshold adjustment per decision and its clamp range.
+  double thres_step = 0.05;
+  double thres_min = 0.0;
+  double thres_max = 0.5;
+
+  /// PullWaitRatio above which pulls are considered wasted (requests are
+  /// being dropped; raise the threshold) and below which they are clearly
+  /// effective (lower it).
+  double ratio_high = 0.8;
+  double ratio_low = 0.4;
+};
+
+/// Dynamic threshold control — the client-side half of the paper's §6
+/// proposal: "use a larger threshold at the client" as contention grows.
+///
+/// The server gives clients no feedback, so the only saturation signal a
+/// client can compute is how much its own pulls beat the push schedule:
+/// MeasuredClient::PullWaitRatio() is ~0 when pull responses arrive far
+/// ahead of the scheduled push and ~1 when the client ends up waiting for
+/// the push anyway (its requests were dropped). The controller raises
+/// ThresPerc when the ratio says pulls are wasted — conserving the
+/// backchannel exactly as Experiment 2 prescribes — and lowers it when
+/// pulls are paying off.
+class ClientController : public sim::Process {
+ public:
+  ClientController(sim::Simulator* simulator, client::MeasuredClient* client,
+                   const ClientControllerOptions& options);
+
+  /// Starts periodic control decisions.
+  void Start() { ScheduleWakeup(options_.control_period); }
+
+  /// Number of control decisions taken so far.
+  std::uint64_t Decisions() const { return decisions_; }
+
+  /// Number of decisions that changed the threshold.
+  std::uint64_t Adjustments() const { return adjustments_; }
+
+ protected:
+  void OnWakeup() override;
+
+ private:
+  client::MeasuredClient* client_;
+  ClientControllerOptions options_;
+  std::uint64_t decisions_ = 0;
+  std::uint64_t adjustments_ = 0;
+};
+
+}  // namespace bdisk::adaptive
+
+#endif  // BDISK_ADAPTIVE_CLIENT_CONTROLLER_H_

@@ -1,0 +1,53 @@
+#include "adaptive/server_controller.h"
+
+#include <algorithm>
+
+#include "sim/check.h"
+
+namespace bdisk::adaptive {
+
+ServerController::ServerController(sim::Simulator* simulator,
+                                   server::BroadcastServer* server,
+                                   const ServerControllerOptions& options)
+    : sim::Process(simulator), server_(server), options_(options) {
+  BDISK_CHECK_MSG(server != nullptr, "controller needs a server");
+  BDISK_CHECK_MSG(options.control_period > 0.0,
+                  "control period must be positive");
+  BDISK_CHECK_MSG(options.bw_min > 0.0 && options.bw_min <= options.bw_max &&
+                      options.bw_max <= 1.0,
+                  "invalid PullBW clamp range");
+  BDISK_CHECK_MSG(options.bw_step > 0.0, "bw_step must be positive");
+  BDISK_CHECK_MSG(options.drop_low <= options.drop_high,
+                  "drop_low must not exceed drop_high");
+}
+
+void ServerController::OnWakeup() {
+  const server::PullQueue& queue = server_->queue();
+  const std::uint64_t submitted = queue.SubmittedCount() - last_submitted_;
+  const std::uint64_t dropped = queue.DroppedCount() - last_dropped_;
+  last_submitted_ = queue.SubmittedCount();
+  last_dropped_ = queue.DroppedCount();
+  ++decisions_;
+
+  const double window_drop_rate =
+      submitted == 0 ? 0.0
+                     : static_cast<double>(dropped) /
+                           static_cast<double>(submitted);
+  const double occupancy = static_cast<double>(queue.Size()) /
+                           static_cast<double>(queue.Capacity());
+
+  double bw = server_->pull_bw();
+  if (window_drop_rate > options_.drop_high) {
+    bw = std::max(options_.bw_min, bw - options_.bw_step);
+  } else if (window_drop_rate < options_.drop_low &&
+             occupancy < options_.occupancy_low) {
+    bw = std::min(options_.bw_max, bw + options_.bw_step);
+  }
+  if (bw != server_->pull_bw()) {
+    server_->SetPullBw(bw);
+    ++adjustments_;
+  }
+  ScheduleWakeup(options_.control_period);
+}
+
+}  // namespace bdisk::adaptive

@@ -1,0 +1,58 @@
+#include "analysis/advisor.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "sim/check.h"
+
+namespace bdisk::analysis {
+
+namespace {
+
+core::SystemConfig WithKnobs(const core::SystemConfig& base, double pull_bw,
+                             double thres_perc, std::uint32_t chop) {
+  core::SystemConfig config = base;
+  config.mode = core::DeliveryMode::kIpp;
+  config.pull_bw = pull_bw;
+  config.thres_perc = thres_perc;
+  config.chop_count = chop;
+  return config;
+}
+
+}  // namespace
+
+Recommendation Recommend(const core::SystemConfig& base,
+                         const AdvisorGrid& grid) {
+  return RecommendRobust(base, {base.think_time_ratio}, grid);
+}
+
+Recommendation RecommendRobust(const core::SystemConfig& base,
+                               const std::vector<double>& loads,
+                               const AdvisorGrid& grid) {
+  BDISK_CHECK_MSG(!loads.empty(), "advisor needs at least one load");
+  BDISK_CHECK_MSG(!grid.pull_bw.empty() && !grid.thres_perc.empty() &&
+                      !grid.chop.empty(),
+                  "advisor grid must be non-empty");
+
+  Recommendation best;
+  double best_worst = std::numeric_limits<double>::infinity();
+  for (const double bw : grid.pull_bw) {
+    for (const double thres : grid.thres_perc) {
+      for (const std::uint32_t chop : grid.chop) {
+        double worst = 0.0;
+        for (const double ttr : loads) {
+          core::SystemConfig config = WithKnobs(base, bw, thres, chop);
+          config.think_time_ratio = ttr;
+          worst = std::max(worst, PredictResponse(config).mean_response);
+        }
+        if (worst < best_worst) {
+          best_worst = worst;
+          best = Recommendation{bw, thres, chop, worst};
+        }
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace bdisk::analysis

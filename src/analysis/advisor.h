@@ -1,0 +1,49 @@
+#ifndef BDISK_ANALYSIS_ADVISOR_H_
+#define BDISK_ANALYSIS_ADVISOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/response_model.h"
+#include "core/config.h"
+
+namespace bdisk::analysis {
+
+/// The knob grid the advisor searches. Defaults cover the ranges the paper
+/// explores.
+struct AdvisorGrid {
+  std::vector<double> pull_bw = {0.1, 0.2, 0.3, 0.4, 0.5,
+                                 0.6, 0.7, 0.8, 0.9};
+  std::vector<double> thres_perc = {0.0, 0.10, 0.25, 0.35, 0.50};
+  std::vector<std::uint32_t> chop = {0};
+};
+
+/// A recommended IPP operating point.
+struct Recommendation {
+  double pull_bw = 0.5;
+  double thres_perc = 0.0;
+  std::uint32_t chop = 0;
+  /// Predicted mean response at the evaluated load(s); for the robust
+  /// variant this is the worst case across loads.
+  double predicted_response = 0.0;
+};
+
+/// Picks the IPP (PullBW, ThresPerc, chop) minimizing the *predicted*
+/// response at the load in `base` (base.think_time_ratio). This is the
+/// "tool to make the parameter setting decisions ... easier" the paper's
+/// conclusion asks for: it replaces a simulation sweep with closed-form
+/// evaluation of the whole grid.
+Recommendation Recommend(const core::SystemConfig& base,
+                         const AdvisorGrid& grid = {});
+
+/// Picks the operating point minimizing the worst-case predicted response
+/// across `loads` (ThinkTimeRatio values) — the paper's stated design
+/// goal: "consistently good performance over the entire range of system
+/// loads".
+Recommendation RecommendRobust(const core::SystemConfig& base,
+                               const std::vector<double>& loads,
+                               const AdvisorGrid& grid = {});
+
+}  // namespace bdisk::analysis
+
+#endif  // BDISK_ANALYSIS_ADVISOR_H_

@@ -1,0 +1,53 @@
+#include "analysis/queue_model.h"
+
+#include <cmath>
+
+#include "sim/check.h"
+
+namespace bdisk::analysis {
+
+namespace {
+
+// (1 - rho) / (1 - rho^(k+1)), handling rho == 1 by the limit 1/(k+1).
+double P0(double rho, std::uint32_t k) {
+  if (std::fabs(rho - 1.0) < 1e-12) {
+    return 1.0 / static_cast<double>(k + 1);
+  }
+  return (1.0 - rho) / (1.0 - std::pow(rho, static_cast<double>(k + 1)));
+}
+
+}  // namespace
+
+double MM1K::StateProbability(std::uint32_t n) const {
+  BDISK_CHECK_MSG(mu > 0.0, "service rate must be positive");
+  BDISK_CHECK_MSG(lambda >= 0.0, "arrival rate must be non-negative");
+  BDISK_CHECK_MSG(k >= 1, "capacity must be at least 1");
+  BDISK_CHECK_MSG(n <= k, "state exceeds capacity");
+  if (lambda == 0.0) return n == 0 ? 1.0 : 0.0;
+  const double rho = Rho();
+  return P0(rho, k) * std::pow(rho, static_cast<double>(n));
+}
+
+double MM1K::BlockingProbability() const { return StateProbability(k); }
+
+double MM1K::MeanInSystem() const {
+  BDISK_CHECK_MSG(mu > 0.0, "service rate must be positive");
+  if (lambda == 0.0) return 0.0;
+  const double rho = Rho();
+  if (std::fabs(rho - 1.0) < 1e-12) {
+    return static_cast<double>(k) / 2.0;
+  }
+  // L = rho/(1-rho) - (k+1) rho^(k+1) / (1 - rho^(k+1)).
+  const double kp1 = static_cast<double>(k + 1);
+  const double rho_kp1 = std::pow(rho, kp1);
+  return rho / (1.0 - rho) - kp1 * rho_kp1 / (1.0 - rho_kp1);
+}
+
+double MM1K::MeanResponse() const {
+  if (lambda == 0.0) return 1.0 / mu;
+  const double effective = Throughput();
+  if (effective <= 0.0) return 0.0;
+  return MeanInSystem() / effective;
+}
+
+}  // namespace bdisk::analysis

@@ -1,0 +1,48 @@
+#ifndef BDISK_ANALYSIS_QUEUE_MODEL_H_
+#define BDISK_ANALYSIS_QUEUE_MODEL_H_
+
+#include <cstdint>
+
+namespace bdisk::analysis {
+
+/// Closed-form M/M/1/K queue with FIFO service — the analytical frame the
+/// paper's §6 proposes adapting from [Imie94c, Wong88] for parameter
+/// setting. The paper is explicit that its *simulated* server is not
+/// exactly M/M/1 (requests coalesce, service is slotted and gated by
+/// PullBW); the model is a design-time estimator, validated against the
+/// simulator in tests and in bench_advisor.
+///
+/// lambda: request arrival rate (requests per broadcast unit).
+/// mu:     service rate (pull pages per broadcast unit ~= PullBW).
+/// k:      system capacity (queued + in service) ~= ServerQSize.
+struct MM1K {
+  double lambda = 0.0;
+  double mu = 1.0;
+  std::uint32_t k = 1;
+
+  /// Offered load rho = lambda / mu. May exceed 1 (finite queue).
+  double Rho() const { return lambda / mu; }
+
+  /// Steady-state probability that n requests are in the system,
+  /// n in [0, k].
+  double StateProbability(std::uint32_t n) const;
+
+  /// Probability an arriving request finds the system full and is dropped
+  /// (PASTA: equals StateProbability(k)).
+  double BlockingProbability() const;
+
+  /// Expected number of requests in the system.
+  double MeanInSystem() const;
+
+  /// Expected time an *accepted* request spends in the system (queue wait
+  /// + service), by Little's law with effective arrival rate
+  /// lambda * (1 - blocking).
+  double MeanResponse() const;
+
+  /// Throughput of served requests per broadcast unit.
+  double Throughput() const { return lambda * (1.0 - BlockingProbability()); }
+};
+
+}  // namespace bdisk::analysis
+
+#endif  // BDISK_ANALYSIS_QUEUE_MODEL_H_

@@ -1,0 +1,155 @@
+#include "analysis/response_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "analysis/queue_model.h"
+#include "cache/value_functions.h"
+#include "core/system.h"
+#include "sim/check.h"
+
+namespace bdisk::analysis {
+
+namespace {
+
+// Alignment + transmission correction for the pull path: an accepted
+// request's page completes transmission at a slot boundary after its queue
+// system time.
+constexpr double kPullSlotCorrection = 1.0;
+
+// Cap on the blocking probability inside the retry expectation, so a fully
+// saturated prediction stays finite.
+constexpr double kMaxRetryBlocking = 0.99;
+
+double RetryPenalty(double blocking, double retry_interval, double queue_w) {
+  const double b = std::min(blocking, kMaxRetryBlocking);
+  // Geometric number of dropped attempts before one is accepted, each
+  // costing one retry interval, then the accepted request's system time.
+  return (b / (1.0 - b)) * retry_interval + queue_w + kPullSlotCorrection;
+}
+
+}  // namespace
+
+ResponsePrediction PredictResponse(const core::SystemConfig& config) {
+  const std::string error = config.Validate();
+  BDISK_CHECK_MSG(error.empty(), error.c_str());
+
+  const auto program = core::ProgramForConfig(config);
+  const auto canonical = core::CanonicalPatternForConfig(config);
+  const auto mc_pattern = core::McPatternForConfig(config);
+  const bool push_exists = !program.Empty();
+  const double cycle = static_cast<double>(program.Length());
+  const double thres_perc =
+      config.mode == core::DeliveryMode::kIpp ? config.thres_perc : 0.0;
+  const double threshold =
+      push_exists ? std::llround(thres_perc * cycle) : 0.0;
+
+  // Threshold pass fraction for a page: the share of schedule positions
+  // whose distance-to-next-arrival exceeds the threshold, assuming evenly
+  // spaced occurrences (gap = cycle / frequency).
+  const auto pass_fraction = [&](broadcast::PageId page) {
+    if (!push_exists) return 1.0;
+    const std::uint32_t freq = program.Frequency(page);
+    if (freq == 0) return 1.0;  // Unscheduled pages always pass.
+    const double gap = cycle / static_cast<double>(freq);
+    if (threshold >= gap) return 0.0;
+    return (gap - threshold) / gap;
+  };
+
+  ResponsePrediction out;
+
+  // ---- Backchannel arrival rate (virtual client dominated). ----
+  double lambda = 0.0;
+  if (config.mode != core::DeliveryMode::kPurePush && config.vc_enabled) {
+    const auto vc_values =
+        push_exists ? cache::PixValues(canonical.probs(), program)
+                    : cache::PValues(canonical.probs());
+    std::vector<bool> vc_warm(config.server_db_size, false);
+    for (const auto p : core::TopValuedPages(vc_values, config.cache_size)) {
+      vc_warm[p] = true;
+    }
+    double submit_prob = 0.0;
+    for (broadcast::PageId page = 0; page < config.server_db_size; ++page) {
+      const double reach_server =
+          vc_warm[page] ? (1.0 - config.steady_state_perc) : 1.0;
+      submit_prob += canonical.Prob(page) * reach_server *
+                     pass_fraction(page);
+    }
+    const double vc_rate = config.think_time_ratio / config.mc_think_time;
+    lambda = vc_rate * submit_prob;
+  }
+  out.request_rate = lambda;
+
+  // ---- Server queue. ----
+  double blocking = 0.0;
+  double queue_w = 0.0;
+  double pull_share = 0.0;
+  if (config.mode != core::DeliveryMode::kPurePush) {
+    MM1K queue{lambda, config.EffectivePullBw(), config.server_queue_size};
+    blocking = queue.BlockingProbability();
+    queue_w = queue.MeanResponse();
+    pull_share = std::min(queue.Throughput(), 0.95);
+  }
+  out.blocking_prob = blocking;
+  out.queue_response = queue_w;
+
+  // Interleaved pulls delay the periodic schedule.
+  const double slowdown = push_exists ? 1.0 / (1.0 - pull_share) : 1.0;
+  out.push_slowdown = slowdown;
+
+  // ---- Measured client. ----
+  const auto mc_values = push_exists
+                             ? cache::PixValues(mc_pattern.probs(), program)
+                             : cache::PValues(mc_pattern.probs());
+  std::vector<bool> mc_warm(config.server_db_size, false);
+  for (const auto p : core::TopValuedPages(mc_values, config.cache_size)) {
+    mc_warm[p] = true;
+  }
+
+  const double retry_interval =
+      config.mc_retry_interval > 0.0
+          ? config.mc_retry_interval
+          : (push_exists ? cycle : static_cast<double>(config.server_db_size));
+
+  double mean = 0.0;
+  double miss_mass = 0.0;
+  for (broadcast::PageId page = 0; page < config.server_db_size; ++page) {
+    if (mc_warm[page]) continue;  // Hit: costs 0.
+    const double p = mc_pattern.Prob(page);
+    miss_mass += p;
+
+    double resp = 0.0;
+    const std::uint32_t freq = push_exists ? program.Frequency(page) : 0;
+    if (freq == 0) {
+      // Pure-Pull, or a truncated page: backchannel is the only path.
+      resp = RetryPenalty(blocking, retry_interval, queue_w);
+    } else {
+      const double gap = cycle / static_cast<double>(freq);
+      const double push_uncond = (gap / 2.0) * slowdown + 1.0;
+      if (config.mode == core::DeliveryMode::kPurePush ||
+          threshold >= gap) {
+        resp = push_uncond;
+      } else {
+        const double pass = (gap - threshold) / gap;
+        // Distance <= threshold: wait for the nearby push.
+        const double near_wait = (threshold / 2.0) * slowdown + 1.0;
+        // Distance > threshold: a pull goes out; if accepted the page
+        // arrives after the queue time (bounded by the push), else the
+        // push safety net serves it.
+        const double far_push = ((threshold + gap) / 2.0) * slowdown + 1.0;
+        const double pulled =
+            (1.0 - blocking) *
+                std::min(queue_w + kPullSlotCorrection, far_push) +
+            blocking * far_push;
+        resp = (1.0 - pass) * near_wait + pass * pulled;
+      }
+    }
+    mean += p * resp;
+  }
+  out.mean_response = mean;
+  out.miss_rate = miss_mass;
+  return out;
+}
+
+}  // namespace bdisk::analysis

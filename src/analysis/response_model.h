@@ -1,0 +1,50 @@
+#ifndef BDISK_ANALYSIS_RESPONSE_MODEL_H_
+#define BDISK_ANALYSIS_RESPONSE_MODEL_H_
+
+#include "core/config.h"
+
+namespace bdisk::analysis {
+
+/// Output of the closed-form response-time estimate.
+struct ResponsePrediction {
+  /// Predicted mean MC response over all accesses (hits count 0), in
+  /// broadcast units.
+  double mean_response = 0.0;
+  /// Predicted MC cache miss rate.
+  double miss_rate = 0.0;
+  /// Predicted backchannel request arrival rate at the server
+  /// (requests per broadcast unit, dominated by the virtual client).
+  double request_rate = 0.0;
+  /// M/M/1/K blocking (drop) probability at that rate.
+  double blocking_prob = 0.0;
+  /// Mean system time of an accepted pull request.
+  double queue_response = 0.0;
+  /// Factor by which interleaved pull responses slow the push schedule
+  /// (>= 1; the "disk rotates slower" effect of §4.1.2).
+  double push_slowdown = 1.0;
+};
+
+/// Predicts steady-state measured-client response time for a configuration
+/// without simulating — the parameter-setting tool the paper's §6 calls
+/// for, in the spirit of the [Imie94c]/[Wong88] analytical framework.
+///
+/// Model (documented approximations):
+///  * MC steady cache = the CacheSize highest-valued pages under the
+///    active metric (PIX / P) of the MC's own pattern; hits cost 0.
+///  * Backchannel arrivals: Poisson with rate = VC rate x per-access
+///    submit probability (steady-state cache filter + threshold pass
+///    fraction per page, assuming evenly spaced occurrences). Duplicate
+///    coalescing is ignored (conservative: real queues drop less).
+///  * Server: M/M/1/K with mu = PullBW, K = ServerQSize.
+///  * A pulled page arrives after min(queue time, its push wait); a
+///    dropped request falls back to the push wait (scheduled pages) or to
+///    retry cycles of the client's retry interval (unscheduled pages).
+///  * Push waits are scaled by the slowdown factor 1/(1 - pull share).
+///
+/// Aborts on invalid configs. Meaningful for all three delivery modes
+/// (Pure-Push degenerates to the cached analytic expectation).
+ResponsePrediction PredictResponse(const core::SystemConfig& config);
+
+}  // namespace bdisk::analysis
+
+#endif  // BDISK_ANALYSIS_RESPONSE_MODEL_H_

@@ -1,0 +1,59 @@
+#include "broadcast/broadcast_program.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/check.h"
+
+namespace bdisk::broadcast {
+
+BroadcastProgram::BroadcastProgram(std::vector<PageId> schedule,
+                                   std::uint32_t db_size)
+    : schedule_(std::move(schedule)), db_size_(db_size) {
+  occurrences_.resize(db_size_);
+  for (std::uint32_t pos = 0; pos < schedule_.size(); ++pos) {
+    const PageId p = schedule_[pos];
+    if (p == kNoPage) continue;
+    BDISK_CHECK_MSG(p < db_size_, "schedule references an out-of-range page");
+    occurrences_[p].push_back(pos);
+  }
+}
+
+std::uint32_t BroadcastProgram::Frequency(PageId page) const {
+  BDISK_DCHECK(page < db_size_);
+  return static_cast<std::uint32_t>(occurrences_[page].size());
+}
+
+std::uint32_t BroadcastProgram::DistanceToNext(std::uint32_t pos,
+                                               PageId page) const {
+  BDISK_DCHECK(page < db_size_);
+  const std::vector<std::uint32_t>& occ = occurrences_[page];
+  if (occ.empty()) return kNeverBroadcast;
+  BDISK_DCHECK(pos < schedule_.size());
+  // First occurrence at or after pos, else wrap to the first of the next
+  // cycle.
+  const auto it = std::lower_bound(occ.begin(), occ.end(), pos);
+  if (it != occ.end()) return *it - pos;
+  return Length() - pos + occ.front();
+}
+
+double BroadcastProgram::ExpectedWait(PageId page) const {
+  const std::uint32_t freq = Frequency(page);
+  if (freq == 0) return static_cast<double>(kNeverBroadcast);
+  return static_cast<double>(Length()) / (2.0 * static_cast<double>(freq));
+}
+
+std::string BroadcastProgram::ToString() const {
+  std::string out;
+  for (std::uint32_t pos = 0; pos < schedule_.size(); ++pos) {
+    if (pos > 0) out += ' ';
+    if (schedule_[pos] == kNoPage) {
+      out += '-';
+    } else {
+      out += std::to_string(schedule_[pos]);
+    }
+  }
+  return out;
+}
+
+}  // namespace bdisk::broadcast

@@ -1,0 +1,35 @@
+#include "broadcast/disk_config.h"
+
+#include <numeric>
+
+namespace bdisk::broadcast {
+
+std::uint32_t DiskConfig::TotalPages() const {
+  return std::accumulate(sizes.begin(), sizes.end(), 0U);
+}
+
+std::string DiskConfig::Validate() const {
+  if (sizes.empty()) return "at least one disk is required";
+  if (sizes.size() != rel_freqs.size()) {
+    return "sizes and rel_freqs must have the same length";
+  }
+  for (std::size_t i = 0; i < rel_freqs.size(); ++i) {
+    if (rel_freqs[i] == 0) return "relative frequencies must be >= 1";
+    if (i > 0 && rel_freqs[i] > rel_freqs[i - 1]) {
+      return "relative frequencies must be non-increasing "
+             "(disk 0 is the fastest)";
+    }
+  }
+  if (TotalPages() == 0) return "at least one page must be broadcast";
+  return "";
+}
+
+DiskConfig DiskConfig::Paper() {
+  return DiskConfig{{100, 400, 500}, {3, 2, 1}};
+}
+
+DiskConfig DiskConfig::Figure1() {
+  return DiskConfig{{1, 2, 4}, {4, 2, 1}};
+}
+
+}  // namespace bdisk::broadcast

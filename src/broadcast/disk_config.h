@@ -1,0 +1,46 @@
+#ifndef BDISK_BROADCAST_DISK_CONFIG_H_
+#define BDISK_BROADCAST_DISK_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bdisk::broadcast {
+
+/// Shape of a multi-disk broadcast program: how many "disks" (frequency
+/// tiers), how many pages each holds, and how often each spins relative to
+/// the slowest one.
+///
+/// Disk 0 is the fastest; relative frequencies must be non-increasing, per
+/// the paper ("lower numbered disks have higher broadcast frequency").
+/// The paper's main configuration is sizes {100,400,500}, frequencies
+/// {3,2,1}; its Figure 1 example is sizes {1,2,4}, frequencies {4,2,1}.
+struct DiskConfig {
+  /// Pages per disk (DiskSize_i). A size may be zero (a fully truncated
+  /// disk); such disks are skipped during program generation.
+  std::vector<std::uint32_t> sizes;
+
+  /// Broadcast frequency of each disk relative to the slowest (RelFreq_i).
+  /// All must be >= 1.
+  std::vector<std::uint32_t> rel_freqs;
+
+  /// Number of disks.
+  std::size_t NumDisks() const { return sizes.size(); }
+
+  /// Total pages across all disks (the size of the pushed database subset).
+  std::uint32_t TotalPages() const;
+
+  /// Validates shape constraints; returns an error description, or empty
+  /// string if valid.
+  std::string Validate() const;
+
+  /// The paper's Table 3 configuration: {100,400,500} pages at {3,2,1}.
+  static DiskConfig Paper();
+
+  /// The paper's Figure 1 example: {1,2,4} pages at {4,2,1}.
+  static DiskConfig Figure1();
+};
+
+}  // namespace bdisk::broadcast
+
+#endif  // BDISK_BROADCAST_DISK_CONFIG_H_

@@ -1,0 +1,19 @@
+#ifndef BDISK_BROADCAST_PAGE_H_
+#define BDISK_BROADCAST_PAGE_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace bdisk::broadcast {
+
+/// Identifier of a database page. The server database is pages
+/// [0, ServerDBSize).
+using PageId = std::uint32_t;
+
+/// Sentinel: an empty broadcast slot (schedule padding, or an idle slot when
+/// a Pure-Pull server has nothing queued).
+inline constexpr PageId kNoPage = std::numeric_limits<PageId>::max();
+
+}  // namespace bdisk::broadcast
+
+#endif  // BDISK_BROADCAST_PAGE_H_

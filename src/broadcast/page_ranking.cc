@@ -1,0 +1,65 @@
+#include "broadcast/page_ranking.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "sim/check.h"
+
+namespace bdisk::broadcast {
+
+PushLayout BuildPushLayout(const std::vector<double>& access_probs,
+                           const DiskConfig& config, std::uint32_t offset,
+                           std::uint32_t chop_count) {
+  BDISK_CHECK_MSG(config.Validate().empty(), "invalid disk configuration");
+  const auto db_size = static_cast<std::uint32_t>(access_probs.size());
+  BDISK_CHECK_MSG(config.TotalPages() == db_size,
+                  "disk sizes must cover the whole database");
+  BDISK_CHECK_MSG(chop_count < db_size, "cannot chop the entire database");
+
+  // Rank pages hottest-first; ties broken by lower page id (deterministic).
+  std::vector<PageId> ranked(db_size);
+  std::iota(ranked.begin(), ranked.end(), 0U);
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [&access_probs](PageId a, PageId b) {
+                     return access_probs[a] > access_probs[b];
+                   });
+
+  PushLayout layout;
+
+  // Truncation: the chop_count coldest pages become pull-only, and disks
+  // shrink starting from the slowest.
+  layout.pull_only.assign(ranked.end() - chop_count, ranked.end());
+  std::reverse(layout.pull_only.begin(), layout.pull_only.end());
+  ranked.resize(db_size - chop_count);
+
+  layout.effective_config = config;
+  std::uint32_t to_remove = chop_count;
+  for (std::size_t d = config.NumDisks(); d-- > 0 && to_remove > 0;) {
+    const std::uint32_t removed =
+        std::min(layout.effective_config.sizes[d], to_remove);
+    layout.effective_config.sizes[d] -= removed;
+    to_remove -= removed;
+  }
+
+  // Offset: rotate the surviving ranked list so the `offset` hottest pages
+  // fall at the end of the sequential disk fill, i.e. onto the slowest
+  // non-empty disk(s).
+  const auto remaining = static_cast<std::uint32_t>(ranked.size());
+  BDISK_CHECK_MSG(offset <= remaining,
+                  "offset exceeds the number of broadcast pages");
+  std::rotate(ranked.begin(), ranked.begin() + offset, ranked.end());
+
+  // Sequential fill, fastest disk first.
+  layout.disk_pages.resize(config.NumDisks());
+  std::size_t next = 0;
+  for (std::size_t d = 0; d < config.NumDisks(); ++d) {
+    const std::uint32_t size = layout.effective_config.sizes[d];
+    layout.disk_pages[d].assign(ranked.begin() + next,
+                                ranked.begin() + next + size);
+    next += size;
+  }
+  BDISK_DCHECK(next == ranked.size());
+  return layout;
+}
+
+}  // namespace bdisk::broadcast

@@ -1,0 +1,59 @@
+#ifndef BDISK_BROADCAST_PAGE_RANKING_H_
+#define BDISK_BROADCAST_PAGE_RANKING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "broadcast/disk_config.h"
+#include "broadcast/page.h"
+
+namespace bdisk::broadcast {
+
+/// The server-side assignment of database pages to broadcast disks.
+///
+/// Produced from the aggregate (virtual-client) access probabilities by
+/// BuildPushLayout(), applying the paper's two transformations:
+///
+///  * **Offset** (§3.2): the `offset` hottest pages are shifted to the
+///    slowest disk — steady-state clients hold them in cache, so pushing
+///    them frequently wastes bandwidth. All paper experiments use
+///    offset == CacheSize.
+///  * **Truncation** (§4.3): the `chop_count` coldest pages are removed from
+///    the push schedule entirely and become pull-only. Truncation shrinks
+///    disks starting from the slowest, exactly as the paper describes
+///    ("first chopping pages from the third (slowest) disk until it is
+///    completely eliminated and then dropping pages from the second").
+struct PushLayout {
+  /// Disk shape after truncation (same frequencies; shrunk sizes, possibly
+  /// zero for fully chopped disks).
+  DiskConfig effective_config;
+
+  /// Pages assigned to each disk, hottest-first within a disk.
+  std::vector<std::vector<PageId>> disk_pages;
+
+  /// Pages removed from the broadcast (obtainable only by pull),
+  /// coldest-first.
+  std::vector<PageId> pull_only;
+};
+
+/// Builds the page-to-disk assignment.
+///
+/// `access_probs[p]` is the server's estimate of the aggregate access
+/// probability of page `p`; its size defines ServerDBSize and must equal
+/// `config.TotalPages()`. Pages are ranked by descending probability (ties
+/// broken by lower page id, so the build is deterministic).
+///
+/// Order of operations — documented substitution (see DESIGN.md): the paper
+/// does not pin down how Offset interacts with truncation; we chop the
+/// coldest pages first and then re-apply Offset to the surviving pages, so
+/// the hottest pages always remain on the slowest *non-empty* disk and the
+/// "third disk first, then second" narrative holds literally.
+///
+/// Requires 0 <= chop_count < ServerDBSize and offset <= remaining pages.
+PushLayout BuildPushLayout(const std::vector<double>& access_probs,
+                           const DiskConfig& config, std::uint32_t offset,
+                           std::uint32_t chop_count);
+
+}  // namespace bdisk::broadcast
+
+#endif  // BDISK_BROADCAST_PAGE_RANKING_H_

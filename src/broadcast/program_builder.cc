@@ -1,0 +1,109 @@
+#include "broadcast/program_builder.h"
+
+#include <cstdint>
+#include <numeric>
+
+#include "sim/check.h"
+
+namespace bdisk::broadcast {
+
+namespace {
+
+std::uint64_t Lcm(std::uint64_t a, std::uint64_t b) {
+  return a / std::gcd(a, b) * b;
+}
+
+// Start offset of chunk `c` when splitting `size` pages into `chunks`
+// pieces with sizes differing by at most one (the first size%chunks chunks
+// take the extra page).
+std::uint32_t BalancedChunkStart(std::uint32_t size, std::uint32_t chunks,
+                                 std::uint32_t c) {
+  const std::uint32_t base = size / chunks;
+  const std::uint32_t extra = size % chunks;
+  return c * base + std::min(c, extra);
+}
+
+}  // namespace
+
+std::vector<PageId> BuildSchedule(
+    const std::vector<std::vector<PageId>>& disk_pages,
+    const std::vector<std::uint32_t>& rel_freqs, ChunkingMode mode) {
+  BDISK_CHECK_MSG(disk_pages.size() == rel_freqs.size(),
+                  "one relative frequency per disk");
+
+  // Collect non-empty disks; the lcm runs over those only, so a fully
+  // truncated slow disk does not inflate the cycle.
+  std::vector<std::size_t> live;
+  for (std::size_t d = 0; d < disk_pages.size(); ++d) {
+    if (!disk_pages[d].empty()) {
+      BDISK_CHECK_MSG(rel_freqs[d] >= 1, "relative frequency must be >= 1");
+      live.push_back(d);
+    }
+  }
+  if (live.empty()) return {};
+
+  // Frequencies matter only as ratios; normalize by the gcd of the whole
+  // configuration so e.g. a single disk at "frequency 7" yields one copy of
+  // its pages per cycle, not seven. (Taken over all disks, not just
+  // non-empty ones, so truncating a disk never changes the others' cycle
+  // structure.)
+  std::uint64_t common = 0;
+  for (const std::uint32_t f : rel_freqs) common = std::gcd(common, f);
+  std::vector<std::uint32_t> norm_freqs(rel_freqs.size(), 0);
+  for (const std::size_t d : live) {
+    norm_freqs[d] = rel_freqs[d] / static_cast<std::uint32_t>(common);
+  }
+
+  std::uint64_t max_chunks = 1;
+  for (const std::size_t d : live) {
+    max_chunks = Lcm(max_chunks, norm_freqs[d]);
+  }
+  BDISK_CHECK_MSG(max_chunks <= (1U << 20),
+                  "relative frequencies produce an unreasonable cycle");
+
+  struct DiskPlan {
+    const std::vector<PageId>* pages;
+    std::uint32_t num_chunks;
+    std::uint32_t pad_chunk_size;  // kPad mode only.
+  };
+  std::vector<DiskPlan> plans;
+  plans.reserve(live.size());
+  std::size_t cycle_len = 0;
+  for (const std::size_t d : live) {
+    const auto size = static_cast<std::uint32_t>(disk_pages[d].size());
+    const auto chunks =
+        static_cast<std::uint32_t>(max_chunks / norm_freqs[d]);
+    const std::uint32_t pad_size = (size + chunks - 1) / chunks;
+    plans.push_back(DiskPlan{&disk_pages[d], chunks, pad_size});
+    cycle_len += (mode == ChunkingMode::kPad)
+                     ? static_cast<std::size_t>(pad_size) * max_chunks
+                     : static_cast<std::size_t>(size) * norm_freqs[d];
+  }
+
+  std::vector<PageId> schedule;
+  schedule.reserve(cycle_len);
+  for (std::uint32_t i = 0; i < max_chunks; ++i) {
+    for (const DiskPlan& plan : plans) {
+      const std::uint32_t c = i % plan.num_chunks;
+      const auto size = static_cast<std::uint32_t>(plan.pages->size());
+      if (mode == ChunkingMode::kPad) {
+        for (std::uint32_t k = 0; k < plan.pad_chunk_size; ++k) {
+          const std::uint64_t idx =
+              static_cast<std::uint64_t>(c) * plan.pad_chunk_size + k;
+          schedule.push_back(idx < size ? (*plan.pages)[idx] : kNoPage);
+        }
+      } else {
+        const std::uint32_t begin = BalancedChunkStart(size, plan.num_chunks, c);
+        const std::uint32_t end =
+            BalancedChunkStart(size, plan.num_chunks, c + 1);
+        for (std::uint32_t k = begin; k < end; ++k) {
+          schedule.push_back((*plan.pages)[k]);
+        }
+      }
+    }
+  }
+  BDISK_DCHECK(schedule.size() == cycle_len);
+  return schedule;
+}
+
+}  // namespace bdisk::broadcast

@@ -1,0 +1,45 @@
+#ifndef BDISK_BROADCAST_PROGRAM_BUILDER_H_
+#define BDISK_BROADCAST_PROGRAM_BUILDER_H_
+
+#include <vector>
+
+#include "broadcast/disk_config.h"
+#include "broadcast/page.h"
+
+namespace bdisk::broadcast {
+
+/// How to split a disk whose size is not divisible by its chunk count.
+enum class ChunkingMode {
+  /// Chunk sizes differ by at most one page; no slots are wasted. Default.
+  kBalanced,
+  /// Every chunk is padded to the same (ceiling) size with empty slots, as
+  /// in the literal [Acha95a] algorithm. Padding slots broadcast nothing.
+  kPad,
+};
+
+/// Generates the flat broadcast schedule (one major cycle) from a page-to-
+/// disk assignment, using the Broadcast Disks algorithm of [Acha95a]:
+///
+///   1. max_chunks := lcm of the relative frequencies (of non-empty disks);
+///   2. split disk j into num_chunks(j) = max_chunks / RelFreq(j) chunks;
+///   3. for i in [0, max_chunks): for each disk j, fastest first, emit
+///      chunk (i mod num_chunks(j)) of disk j.
+///
+/// Each iteration of (3) is a *minor cycle*; the whole output is the *major
+/// cycle*, which then repeats forever. Disk j's pages appear exactly
+/// RelFreq(j) / gcd(all RelFreqs) times per major cycle, evenly spaced —
+/// frequencies are ratios, so {6,4,2} behaves as {3,2,1}.
+///
+/// For the paper's Figure 1 input (7 pages on disks {1,2,4} at {4,2,1}) this
+/// yields the 12-slot cycle  a b d a c e a b f a c g.
+///
+/// `disk_pages` may contain empty disks (fully truncated); they are skipped.
+/// kNoPage entries in the result (kPad mode only) are idle slots.
+std::vector<PageId> BuildSchedule(
+    const std::vector<std::vector<PageId>>& disk_pages,
+    const std::vector<std::uint32_t>& rel_freqs,
+    ChunkingMode mode = ChunkingMode::kBalanced);
+
+}  // namespace bdisk::broadcast
+
+#endif  // BDISK_BROADCAST_PROGRAM_BUILDER_H_

@@ -1,0 +1,20 @@
+#include "broadcast/schedule_cursor.h"
+
+#include "sim/check.h"
+
+namespace bdisk::broadcast {
+
+ScheduleCursor::ScheduleCursor(const BroadcastProgram* program)
+    : program_(program) {
+  BDISK_CHECK_MSG(program != nullptr, "cursor needs a program");
+  BDISK_CHECK_MSG(!program->Empty(),
+                  "cursor over an empty program (pure pull has no cursor)");
+}
+
+PageId ScheduleCursor::Advance() {
+  const PageId page = program_->PageAt(pos_);
+  pos_ = (pos_ + 1 == program_->Length()) ? 0 : pos_ + 1;
+  return page;
+}
+
+}  // namespace bdisk::broadcast

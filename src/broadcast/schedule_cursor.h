@@ -1,0 +1,48 @@
+#ifndef BDISK_BROADCAST_SCHEDULE_CURSOR_H_
+#define BDISK_BROADCAST_SCHEDULE_CURSOR_H_
+
+#include <cstdint>
+
+#include "broadcast/broadcast_program.h"
+#include "broadcast/page.h"
+
+namespace bdisk::broadcast {
+
+/// The server's read position in the periodic broadcast program.
+///
+/// The cursor only advances when a slot is actually given to the push
+/// program: when the Push/Pull MUX awards a slot to a pulled page, the
+/// periodic schedule is delayed, not skipped (this is why raising PullBW
+/// "slows the disk rotation" in the paper's terms).
+class ScheduleCursor {
+ public:
+  /// The program must outlive the cursor and be non-empty.
+  explicit ScheduleCursor(const BroadcastProgram* program);
+
+  /// Position of the next slot to be pushed, in [0, program length).
+  std::uint32_t Position() const { return pos_; }
+
+  /// Returns the page in the current slot and advances (cyclically).
+  PageId Advance();
+
+  /// Slots of *push schedule* until `page` next appears, counting from the
+  /// current position (0 = it is the very next pushed slot). This is the
+  /// quantity the client threshold filter compares against
+  /// ThresPerc * MajorCycleSize; it is a lower bound on real slots since
+  /// interleaved pull responses delay the schedule (paper footnote 7 makes
+  /// the converse point for the client's wait).
+  std::uint32_t DistanceToNext(PageId page) const {
+    return program_->DistanceToNext(pos_, page);
+  }
+
+  /// The underlying program.
+  const BroadcastProgram& program() const { return *program_; }
+
+ private:
+  const BroadcastProgram* program_;
+  std::uint32_t pos_ = 0;
+};
+
+}  // namespace bdisk::broadcast
+
+#endif  // BDISK_BROADCAST_SCHEDULE_CURSOR_H_

@@ -1,0 +1,43 @@
+#include "cache/lfu_policy.h"
+
+#include "sim/check.h"
+
+namespace bdisk::cache {
+
+LfuPolicy::Key LfuPolicy::KeyFor(PageId page) const {
+  const auto it = state_.find(page);
+  BDISK_DCHECK(it != state_.end());
+  return Key{it->second.count, it->second.seq, page};
+}
+
+void LfuPolicy::OnInsert(PageId page) {
+  State& s = state_[page];  // Counts persist across residencies.
+  ++s.count;
+  s.seq = next_seq_++;
+  const bool inserted = residents_.insert(Key{s.count, s.seq, page}).second;
+  BDISK_DCHECK(inserted);
+  (void)inserted;
+}
+
+void LfuPolicy::OnAccess(PageId page) {
+  const auto erased = residents_.erase(KeyFor(page));
+  BDISK_DCHECK(erased == 1);
+  (void)erased;
+  State& s = state_[page];
+  ++s.count;
+  s.seq = next_seq_++;
+  residents_.insert(Key{s.count, s.seq, page});
+}
+
+void LfuPolicy::OnEvict(PageId page) {
+  const auto erased = residents_.erase(KeyFor(page));
+  BDISK_DCHECK(erased == 1);
+  (void)erased;
+}
+
+PageId LfuPolicy::ChooseVictim() const {
+  BDISK_CHECK_MSG(!residents_.empty(), "no resident pages to evict");
+  return std::get<2>(*residents_.begin());
+}
+
+}  // namespace bdisk::cache

@@ -1,0 +1,49 @@
+#ifndef BDISK_CACHE_LFU_POLICY_H_
+#define BDISK_CACHE_LFU_POLICY_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <tuple>
+#include <unordered_map>
+
+#include "cache/replacement_policy.h"
+
+namespace bdisk::cache {
+
+/// Least-frequently-used replacement over observed (in-cache) reference
+/// counts, with LRU tie-breaking via an insertion sequence number. A second
+/// classical baseline: it approximates "probability of access" empirically
+/// and so behaves like a noisy online version of the P policy.
+///
+/// Reference counts persist across an evict/re-insert of the same page
+/// ("perfect LFU"), matching how the paper's P policy uses true global
+/// probabilities rather than per-residency counts.
+class LfuPolicy : public ReplacementPolicy {
+ public:
+  LfuPolicy() = default;
+
+  void OnInsert(PageId page) override;
+  void OnAccess(PageId page) override;
+  void OnEvict(PageId page) override;
+  PageId ChooseVictim() const override;
+  std::string Name() const override { return "LFU"; }
+
+ private:
+  struct State {
+    std::uint64_t count = 0;
+    std::uint64_t seq = 0;  // Last insert/access sequence, for tie-breaks.
+  };
+  // Key: (count asc, seq asc, page) — begin() is the victim.
+  using Key = std::tuple<std::uint64_t, std::uint64_t, PageId>;
+
+  Key KeyFor(PageId page) const;
+
+  std::unordered_map<PageId, State> state_;   // All pages ever seen.
+  std::set<Key> residents_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace bdisk::cache
+
+#endif  // BDISK_CACHE_LFU_POLICY_H_

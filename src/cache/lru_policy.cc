@@ -1,0 +1,31 @@
+#include "cache/lru_policy.h"
+
+#include "sim/check.h"
+
+namespace bdisk::cache {
+
+void LruPolicy::OnInsert(PageId page) {
+  BDISK_DCHECK(where_.find(page) == where_.end());
+  order_.push_front(page);
+  where_[page] = order_.begin();
+}
+
+void LruPolicy::OnAccess(PageId page) {
+  const auto it = where_.find(page);
+  BDISK_DCHECK(it != where_.end());
+  order_.splice(order_.begin(), order_, it->second);
+}
+
+void LruPolicy::OnEvict(PageId page) {
+  const auto it = where_.find(page);
+  BDISK_DCHECK(it != where_.end());
+  order_.erase(it->second);
+  where_.erase(it);
+}
+
+PageId LruPolicy::ChooseVictim() const {
+  BDISK_CHECK_MSG(!order_.empty(), "no resident pages to evict");
+  return order_.back();
+}
+
+}  // namespace bdisk::cache

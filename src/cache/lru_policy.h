@@ -1,0 +1,33 @@
+#ifndef BDISK_CACHE_LRU_POLICY_H_
+#define BDISK_CACHE_LRU_POLICY_H_
+
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "cache/replacement_policy.h"
+
+namespace bdisk::cache {
+
+/// Least-recently-used replacement: the classical baseline the paper's prior
+/// work ([Acha95a]) shows to perform poorly against a broadcast, because it
+/// ignores how soon a page will come around again on the disk.
+class LruPolicy : public ReplacementPolicy {
+ public:
+  LruPolicy() = default;
+
+  void OnInsert(PageId page) override;
+  void OnAccess(PageId page) override;
+  void OnEvict(PageId page) override;
+  PageId ChooseVictim() const override;
+  std::string Name() const override { return "LRU"; }
+
+ private:
+  // Front = most recently used; back = LRU victim.
+  std::list<PageId> order_;
+  std::unordered_map<PageId, std::list<PageId>::iterator> where_;
+};
+
+}  // namespace bdisk::cache
+
+#endif  // BDISK_CACHE_LRU_POLICY_H_

@@ -1,0 +1,42 @@
+#ifndef BDISK_CACHE_REPLACEMENT_POLICY_H_
+#define BDISK_CACHE_REPLACEMENT_POLICY_H_
+
+#include <string>
+
+#include "broadcast/page.h"
+
+namespace bdisk::cache {
+
+using broadcast::PageId;
+
+/// Strategy interface for choosing cache eviction victims.
+///
+/// The paper's central cache result (carried over from [Acha95a]) is that
+/// replacement must be *cost-based* in a broadcast environment: PIX evicts
+/// the resident page with the lowest p/x (access probability over broadcast
+/// frequency), while P — used for Pure-Pull, where there is no schedule —
+/// evicts the lowest p. LRU and LFU are included as classical baselines.
+class ReplacementPolicy {
+ public:
+  virtual ~ReplacementPolicy() = default;
+
+  /// Called when `page` becomes resident.
+  virtual void OnInsert(PageId page) = 0;
+
+  /// Called on a cache hit of `page`.
+  virtual void OnAccess(PageId page) = 0;
+
+  /// Called when `page` leaves the cache.
+  virtual void OnEvict(PageId page) = 0;
+
+  /// Returns the resident page to evict next. Only valid while at least one
+  /// page is resident.
+  virtual PageId ChooseVictim() const = 0;
+
+  /// Human-readable policy name ("PIX", "P", "LRU", "LFU").
+  virtual std::string Name() const = 0;
+};
+
+}  // namespace bdisk::cache
+
+#endif  // BDISK_CACHE_REPLACEMENT_POLICY_H_

@@ -1,0 +1,31 @@
+#include "cache/static_value_policy.h"
+
+#include <utility>
+
+#include "sim/check.h"
+
+namespace bdisk::cache {
+
+StaticValuePolicy::StaticValuePolicy(std::vector<double> values,
+                                     std::string name)
+    : values_(std::move(values)), name_(std::move(name)) {
+  BDISK_CHECK_MSG(!values_.empty(), "value vector must cover the database");
+}
+
+void StaticValuePolicy::OnInsert(PageId page) {
+  BDISK_DCHECK(page < values_.size());
+  residents_.emplace(values_[page], page);
+}
+
+void StaticValuePolicy::OnEvict(PageId page) {
+  const auto erased = residents_.erase({values_[page], page});
+  BDISK_DCHECK(erased == 1);
+  (void)erased;
+}
+
+PageId StaticValuePolicy::ChooseVictim() const {
+  BDISK_CHECK_MSG(!residents_.empty(), "no resident pages to evict");
+  return residents_.begin()->second;
+}
+
+}  // namespace bdisk::cache

@@ -1,0 +1,44 @@
+#ifndef BDISK_CACHE_STATIC_VALUE_POLICY_H_
+#define BDISK_CACHE_STATIC_VALUE_POLICY_H_
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cache/replacement_policy.h"
+
+namespace bdisk::cache {
+
+/// Cost-based replacement with a fixed per-page value: evicts the resident
+/// page with the smallest value, ties broken by lower page id (so behaviour
+/// is deterministic). Instantiated as PIX (value = p/x) and P (value = p);
+/// see MakePixPolicy()/MakePPolicy() in cache.h.
+///
+/// Access order is irrelevant to these policies, so OnAccess is a no-op:
+/// the victim depends only on which pages are resident.
+class StaticValuePolicy : public ReplacementPolicy {
+ public:
+  /// `values[p]` is the retention value of page p; `name` is the policy
+  /// label reported in results.
+  StaticValuePolicy(std::vector<double> values, std::string name);
+
+  void OnInsert(PageId page) override;
+  void OnAccess(PageId /*page*/) override {}
+  void OnEvict(PageId page) override;
+  PageId ChooseVictim() const override;
+  std::string Name() const override { return name_; }
+
+  /// The value assigned to `page`.
+  double Value(PageId page) const { return values_[page]; }
+
+ private:
+  std::vector<double> values_;
+  std::string name_;
+  // Residents ordered by (value asc, page desc): begin() is the victim.
+  std::set<std::pair<double, PageId>> residents_;
+};
+
+}  // namespace bdisk::cache
+
+#endif  // BDISK_CACHE_STATIC_VALUE_POLICY_H_

@@ -1,0 +1,23 @@
+#include "cache/value_functions.h"
+
+#include "sim/check.h"
+
+namespace bdisk::cache {
+
+std::vector<double> PixValues(const std::vector<double>& probs,
+                              const broadcast::BroadcastProgram& program) {
+  BDISK_CHECK_MSG(probs.size() == program.DbSize(),
+                  "probability vector must cover the database");
+  std::vector<double> values(probs.size());
+  for (std::size_t p = 0; p < probs.size(); ++p) {
+    const auto freq = program.Frequency(static_cast<broadcast::PageId>(p));
+    const double x =
+        freq > 0 ? static_cast<double>(freq) : kOffScheduleFrequency;
+    values[p] = probs[p] / x;
+  }
+  return values;
+}
+
+std::vector<double> PValues(const std::vector<double>& probs) { return probs; }
+
+}  // namespace bdisk::cache

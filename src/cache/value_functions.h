@@ -1,0 +1,30 @@
+#ifndef BDISK_CACHE_VALUE_FUNCTIONS_H_
+#define BDISK_CACHE_VALUE_FUNCTIONS_H_
+
+#include <vector>
+
+#include "broadcast/broadcast_program.h"
+
+namespace bdisk::cache {
+
+/// Effective per-major-cycle broadcast frequency assigned to pages that are
+/// *not* on the push schedule when computing PIX values. Such pages are
+/// strictly harder to re-obtain than any scheduled page (no push safety
+/// net), so they are valued as if broadcast half as often as a once-per-
+/// cycle page. The paper leaves this case unspecified; see DESIGN.md.
+inline constexpr double kOffScheduleFrequency = 0.5;
+
+/// PIX values: access probability divided by broadcast frequency
+/// (p_i / x_i, §2.1). Pages absent from the program use
+/// kOffScheduleFrequency. `probs` are the *client's own* access
+/// probabilities indexed by page id.
+std::vector<double> PixValues(const std::vector<double>& probs,
+                              const broadcast::BroadcastProgram& program);
+
+/// P values: plain access probability (used with Pure-Pull, §3.1). Returned
+/// by value for symmetry with PixValues.
+std::vector<double> PValues(const std::vector<double>& probs);
+
+}  // namespace bdisk::cache
+
+#endif  // BDISK_CACHE_VALUE_FUNCTIONS_H_

@@ -1,0 +1,191 @@
+#include "client/measured_client.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "sim/check.h"
+
+namespace bdisk::client {
+
+MeasuredClient::MeasuredClient(
+    sim::Simulator* simulator, server::BroadcastServer* server,
+    const workload::AccessPattern& pattern,
+    const MeasuredClientOptions& options, sim::Rng rng,
+    std::optional<std::vector<PageId>> warmup_target)
+    : sim::Process(simulator),
+      server_(server),
+      generator_(pattern),
+      options_(options),
+      filter_(options.thres_perc, server->program().Length()),
+      rng_(rng),
+      probs_(pattern.probs()) {
+  BDISK_CHECK_MSG(server != nullptr, "client needs a server");
+  BDISK_CHECK_MSG(options.think_time > 0.0, "think time must be positive");
+  BDISK_CHECK_MSG(pattern.DbSize() == server->program().DbSize(),
+                  "client pattern and server database sizes disagree");
+  BDISK_CHECK_MSG(!options.prefetch || !server->program().Empty(),
+                  "PT prefetching needs a push program to prefetch from");
+  cache_ = std::make_unique<cache::Cache>(
+      options.cache_size, server->program().DbSize(),
+      cache::MakePolicy(options.policy, pattern.probs(), &server->program()));
+  if (warmup_target.has_value()) {
+    warmup_tracker_.emplace(*warmup_target, server->program().DbSize());
+  }
+  server_->AddListener(this);
+}
+
+void MeasuredClient::Start() {
+  BDISK_CHECK_MSG(state_ == State::kIdle, "client already started");
+  MakeRequest();
+}
+
+void MeasuredClient::SetThresPerc(double thres_perc) {
+  options_.thres_perc = thres_perc;
+  filter_ = ThresholdFilter(thres_perc, server_->program().Length());
+}
+
+void MeasuredClient::OnWakeup() {
+  switch (state_) {
+    case State::kThinking:
+      MakeRequest();
+      return;
+    case State::kWaiting:
+      // Retry timer: our earlier pull for an unscheduled page may have been
+      // dropped (we get no feedback); resend and re-arm.
+      BDISK_DCHECK(waiting_unscheduled_ && options_.retry_interval > 0.0);
+      if (options_.use_backchannel) {
+        server_->SubmitRequest(waiting_page_);
+        ++retries_sent_;
+      }
+      ScheduleWakeup(options_.retry_interval);
+      return;
+    case State::kIdle:
+      BDISK_CHECK_MSG(false, "wakeup while idle");
+  }
+}
+
+void MeasuredClient::MakeRequest() {
+  const PageId page = generator_.Next(rng_);
+  ++total_accesses_;
+  if (cache_->Access(page)) {
+    CompleteAccess(0.0);
+    return;
+  }
+  state_ = State::kWaiting;
+  waiting_page_ = page;
+  request_time_ = Now();
+  const std::uint32_t distance = server_->DistanceToNextPush(page);
+  waiting_unscheduled_ =
+      (distance == broadcast::BroadcastProgram::kNeverBroadcast);
+  // A client with no backchannel can only ever obtain scheduled pages.
+  BDISK_CHECK_MSG(options_.use_backchannel || !waiting_unscheduled_,
+                  "push-only client blocked on a page that is never pushed");
+  predicted_push_wait_ = 0.0;
+  if (options_.use_backchannel && filter_.ShouldPull(distance)) {
+    server_->SubmitRequest(page);
+    ++pull_requests_sent_;
+    if (!waiting_unscheduled_) {
+      // +1: the transmission slot. Push slots are a lower bound on real
+      // time (interleaved pulls delay the schedule), making the ratio a
+      // slightly optimistic saturation signal — which is the safe side.
+      predicted_push_wait_ = static_cast<double>(distance) + 1.0;
+    }
+  }
+  if (waiting_unscheduled_ && options_.retry_interval > 0.0) {
+    ScheduleWakeup(options_.retry_interval);
+  }
+}
+
+void MeasuredClient::CompleteAccess(double response_time) {
+  if (recording_) response_times_.Add(response_time);
+  state_ = State::kThinking;
+  waiting_page_ = broadcast::kNoPage;
+  ScheduleWakeup(options_.think_time);
+  if (on_access_complete_) on_access_complete_(response_time);
+}
+
+void MeasuredClient::OnBroadcast(PageId page, server::SlotKind /*kind*/,
+                                 sim::SimTime now) {
+  if (state_ == State::kWaiting && page == waiting_page_) {
+    if (predicted_push_wait_ > 0.0) {
+      // A wait below one transmission time means the page was already in
+      // flight when we asked — luck, not evidence about server health;
+      // skip the sample.
+      const double wait = now - request_time_;
+      if (wait >= 1.0) {
+        constexpr double kAlpha = 0.05;
+        const double ratio = std::min(1.0, wait / predicted_push_wait_);
+        pull_wait_ratio_ =
+            pull_wait_ratio_ == 0.0
+                ? ratio
+                : kAlpha * ratio + (1.0 - kAlpha) * pull_wait_ratio_;
+      }
+      predicted_push_wait_ = 0.0;
+    }
+    InsertIntoCache(page, now);
+    CancelWakeup();  // Disarm any pending retry timer.
+    CompleteAccess(now - request_time_);
+    return;
+  }
+  if (options_.prefetch) ConsiderPrefetch(page, now);
+}
+
+void MeasuredClient::OnInvalidate(PageId page, sim::SimTime now) {
+  ++invalidations_seen_;
+  if (cache_->Remove(page) && warmup_tracker_) {
+    warmup_tracker_->OnEvict(page, now);
+  }
+}
+
+void MeasuredClient::InsertIntoCache(PageId page, sim::SimTime now) {
+  const std::optional<PageId> evicted = cache_->Insert(page);
+  if (warmup_tracker_) {
+    if (evicted.has_value()) warmup_tracker_->OnEvict(*evicted, now);
+    warmup_tracker_->OnInsert(page, now);
+  }
+}
+
+void MeasuredClient::ConsiderPrefetch(PageId page, sim::SimTime now) {
+  if (cache_->Contains(page)) return;
+  if (!cache_->IsFull()) {
+    InsertIntoCache(page, now);
+    ++prefetches_;
+    return;
+  }
+  const broadcast::BroadcastProgram& program = server_->program();
+  const double cycle = static_cast<double>(program.Length());
+  // The passing page just went by: its next arrival is one full gap away.
+  const std::uint32_t freq = program.Frequency(page);
+  BDISK_DCHECK(freq > 0);  // It was on the broadcast just now.
+  const double pt_in =
+      probs_[page] * (cycle / static_cast<double>(freq));
+
+  // Victim: the resident page with the lowest p*t, t = time until it can
+  // be re-read from the broadcast. Unscheduled residents can't be re-read
+  // (pull only), so they get t = 2 cycles and rarely lose their slot.
+  double pt_min = std::numeric_limits<double>::infinity();
+  PageId victim = broadcast::kNoPage;
+  const std::vector<bool>& mask = cache_->resident_mask();
+  for (PageId r = 0; r < mask.size(); ++r) {
+    if (!mask[r]) continue;
+    const std::uint32_t distance = server_->DistanceToNextPush(r);
+    const double t =
+        distance == broadcast::BroadcastProgram::kNeverBroadcast
+            ? 2.0 * cycle
+            : static_cast<double>(distance) + 1.0;
+    const double pt = probs_[r] * t;
+    if (pt < pt_min) {
+      pt_min = pt;
+      victim = r;
+    }
+  }
+  if (pt_in > pt_min) {
+    cache_->Remove(victim);
+    if (warmup_tracker_) warmup_tracker_->OnEvict(victim, now);
+    InsertIntoCache(page, now);
+    ++prefetches_;
+  }
+}
+
+}  // namespace bdisk::client

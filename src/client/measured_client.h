@@ -1,0 +1,183 @@
+#ifndef BDISK_CLIENT_MEASURED_CLIENT_H_
+#define BDISK_CLIENT_MEASURED_CLIENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cache/cache.h"
+#include "client/threshold_filter.h"
+#include "client/warmup_tracker.h"
+#include "server/broadcast_server.h"
+#include "server/update_generator.h"
+#include "sim/process.h"
+#include "sim/rng.h"
+#include "sim/stats.h"
+#include "workload/access_generator.h"
+#include "workload/access_pattern.h"
+#include "workload/think_time.h"
+
+namespace bdisk::client {
+
+/// Configuration of a measured client.
+struct MeasuredClientOptions {
+  /// Client cache size in pages (Table 1: 100).
+  std::uint32_t cache_size = 100;
+
+  /// Replacement policy: PIX whenever a push program exists, P for
+  /// Pure-Pull (§3.1).
+  cache::PolicyKind policy = cache::PolicyKind::kPix;
+
+  /// Fixed think time between requests, in broadcast units (Table 3: 20).
+  double think_time = 20.0;
+
+  /// Backchannel present? False models Pure-Push clients, which can only
+  /// wait for the periodic broadcast.
+  bool use_backchannel = true;
+
+  /// Threshold fraction (ThresPerc). Ignored when use_backchannel is false.
+  double thres_perc = 0.0;
+
+  /// Re-submission interval for pulls of pages that are NOT on the push
+  /// schedule. The paper gives clients no feedback about dropped requests;
+  /// without a safety net, a dropped request for an unscheduled page would
+  /// block the client forever unless some other client pulls the same page.
+  /// Real clients time out and resend; we do the same (see DESIGN.md).
+  /// 0 disables retries. Only unscheduled pages are ever retried — for
+  /// scheduled pages the push program bounds the wait.
+  double retry_interval = 0.0;
+
+  /// Opportunistic PT prefetching from the broadcast ([Acha96a], cited in
+  /// §5): for every page flowing past, if its value p*t (access
+  /// probability x time until it next comes around) exceeds the lowest
+  /// p*t among cached pages, swap it in. Requires a push program.
+  bool prefetch = false;
+};
+
+/// The Measured Client (MC, §3.1): a closed-loop "request–think" process
+/// whose response times are the primary experimental metric.
+///
+/// Per access: consult the cache (a hit costs 0 and is included in the
+/// average); on a miss, optionally send a pull request (threshold filter
+/// permitting) and block until the page appears on the frontchannel —
+/// whether as a scheduled push, the response to our pull, or a snooped
+/// response to someone else's. Then think for `think_time` and repeat.
+class MeasuredClient : public sim::Process,
+                       public server::BroadcastListener,
+                       public server::InvalidationListener {
+ public:
+  /// `pattern` is this client's own access pattern (possibly Noise-
+  /// perturbed). The client registers itself as a listener on `server`.
+  /// `warmup_target` (optional) enables warm-up tracking against the given
+  /// ideal cache contents.
+  MeasuredClient(sim::Simulator* simulator, server::BroadcastServer* server,
+                 const workload::AccessPattern& pattern,
+                 const MeasuredClientOptions& options, sim::Rng rng,
+                 std::optional<std::vector<PageId>> warmup_target =
+                     std::nullopt);
+
+  /// Begins the request–think loop with an immediate first request.
+  void Start();
+
+  /// Invoked after every completed access (hit or retrieved page), with the
+  /// response time of that access. The experiment driver uses this to
+  /// switch measurement phases and stop the run.
+  void SetOnAccessComplete(std::function<void(double response_time)> cb) {
+    on_access_complete_ = std::move(cb);
+  }
+
+  /// When true, completed accesses are recorded into response_times().
+  void SetRecording(bool recording) { recording_ = recording; }
+
+  /// Re-tunes the threshold fraction at runtime (adaptive clients, paper
+  /// §6: "use a larger threshold at the client" as contention grows).
+  void SetThresPerc(double thres_perc);
+
+  /// Current threshold fraction.
+  double thres_perc() const { return options_.thres_perc; }
+
+  /// Exponentially weighted mean of (actual wait) / (scheduled push wait)
+  /// over this client's recent pulls of *scheduled* pages. Near 0: pulls
+  /// are answered far ahead of the push schedule (server healthy). Near 1:
+  /// pulls gain nothing over just waiting (requests are being dropped) —
+  /// the only saturation signal a client can compute locally, since the
+  /// server sends no feedback. Returns 0 before any pull completes.
+  double PullWaitRatio() const { return pull_wait_ratio_; }
+
+  /// Clears the recorded response-time statistics (not lifetime counters).
+  void ResetStats() { response_times_.Reset(); }
+
+  // BroadcastListener:
+  void OnBroadcast(PageId page, server::SlotKind kind,
+                   sim::SimTime now) override;
+
+  // InvalidationListener: a stale cached copy is dropped; the next access
+  // to the page is a miss (volatile-data extension, [Acha96b]).
+  void OnInvalidate(PageId page, sim::SimTime now) override;
+
+  /// Recorded response times (only accesses completed while recording).
+  const sim::RunningStats& response_times() const { return response_times_; }
+
+  /// Lifetime access counters.
+  std::uint64_t TotalAccesses() const { return total_accesses_; }
+  std::uint64_t CacheHits() const { return cache_->Hits(); }
+  std::uint64_t PullRequestsSent() const { return pull_requests_sent_; }
+  std::uint64_t RetriesSent() const { return retries_sent_; }
+  std::uint64_t Prefetches() const { return prefetches_; }
+  std::uint64_t InvalidationsSeen() const { return invalidations_seen_; }
+
+  /// The client cache.
+  const cache::Cache& cache() const { return *cache_; }
+
+  /// Warm-up trajectory; null unless a warm-up target was supplied.
+  const WarmupTracker* warmup_tracker() const {
+    return warmup_tracker_ ? &*warmup_tracker_ : nullptr;
+  }
+
+  /// True while blocked on a page.
+  bool IsWaiting() const { return state_ == State::kWaiting; }
+
+ protected:
+  void OnWakeup() override;
+
+ private:
+  enum class State { kIdle, kThinking, kWaiting };
+
+  void MakeRequest();
+  void CompleteAccess(double response_time);
+  void InsertIntoCache(PageId page, sim::SimTime now);
+  void ConsiderPrefetch(PageId page, sim::SimTime now);
+
+  server::BroadcastServer* server_;
+  workload::AccessGenerator generator_;
+  MeasuredClientOptions options_;
+  ThresholdFilter filter_;
+  std::unique_ptr<cache::Cache> cache_;
+  std::optional<WarmupTracker> warmup_tracker_;
+  sim::Rng rng_;
+
+  State state_ = State::kIdle;
+  PageId waiting_page_ = broadcast::kNoPage;
+  sim::SimTime request_time_ = 0.0;
+  bool waiting_unscheduled_ = false;
+  // Scheduled-push wait (slots + transmission) predicted when the current
+  // pull was sent; 0 when no pull is outstanding for a scheduled page.
+  double predicted_push_wait_ = 0.0;
+  double pull_wait_ratio_ = 0.0;
+
+  bool recording_ = false;
+  sim::RunningStats response_times_;
+  std::uint64_t total_accesses_ = 0;
+  std::uint64_t pull_requests_sent_ = 0;
+  std::uint64_t retries_sent_ = 0;
+  std::uint64_t prefetches_ = 0;
+  std::uint64_t invalidations_seen_ = 0;
+  std::vector<double> probs_;  // Own access probabilities (prefetch value).
+  std::function<void(double)> on_access_complete_;
+};
+
+}  // namespace bdisk::client
+
+#endif  // BDISK_CLIENT_MEASURED_CLIENT_H_

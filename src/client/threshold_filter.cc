@@ -1,0 +1,17 @@
+#include "client/threshold_filter.h"
+
+#include <cmath>
+
+#include "sim/check.h"
+
+namespace bdisk::client {
+
+ThresholdFilter::ThresholdFilter(double thres_perc,
+                                 std::uint32_t major_cycle_len) {
+  BDISK_CHECK_MSG(thres_perc >= 0.0 && thres_perc <= 1.0,
+                  "ThresPerc must be a fraction in [0,1]");
+  threshold_slots_ = static_cast<std::uint32_t>(
+      std::llround(thres_perc * static_cast<double>(major_cycle_len)));
+}
+
+}  // namespace bdisk::client

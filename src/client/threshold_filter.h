@@ -1,0 +1,40 @@
+#ifndef BDISK_CLIENT_THRESHOLD_FILTER_H_
+#define BDISK_CLIENT_THRESHOLD_FILTER_H_
+
+#include <cstdint>
+
+#include "broadcast/broadcast_program.h"
+
+namespace bdisk::client {
+
+/// The client-side backchannel conservation knob (§2.3, Experiment 2).
+///
+/// On a cache miss, the client sends a pull request only when the missed
+/// page's next scheduled push is more than ThresPerc × MajorCycleSize slots
+/// away — saving the backchannel for the pages that would otherwise incur
+/// the largest latency. Pages absent from the push schedule always pass
+/// (their push latency is unbounded, §4.3).
+class ThresholdFilter {
+ public:
+  /// `thres_perc` in [0,1]; `major_cycle_len` is the push-program length
+  /// (may be 0 for Pure-Pull, where thresholding is meaningless and every
+  /// miss passes).
+  ThresholdFilter(double thres_perc, std::uint32_t major_cycle_len);
+
+  /// `distance` is the number of push-schedule slots until the page next
+  /// appears (BroadcastProgram::kNeverBroadcast if unscheduled). True when
+  /// the client should spend a backchannel request on it.
+  bool ShouldPull(std::uint32_t distance) const {
+    return distance > threshold_slots_;
+  }
+
+  /// The absolute threshold, in push-schedule slots.
+  std::uint32_t ThresholdSlots() const { return threshold_slots_; }
+
+ private:
+  std::uint32_t threshold_slots_;
+};
+
+}  // namespace bdisk::client
+
+#endif  // BDISK_CLIENT_THRESHOLD_FILTER_H_

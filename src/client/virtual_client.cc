@@ -1,0 +1,62 @@
+#include "client/virtual_client.h"
+
+#include "sim/check.h"
+
+namespace bdisk::client {
+
+VirtualClient::VirtualClient(sim::Simulator* simulator,
+                             server::BroadcastServer* server,
+                             const workload::AccessPattern& pattern,
+                             const std::vector<PageId>& warm_pages,
+                             const VirtualClientOptions& options, sim::Rng rng)
+    : sim::Process(simulator),
+      server_(server),
+      generator_(pattern),
+      think_(workload::ThinkTime::Exponential(options.mc_think_time /
+                                              options.think_time_ratio)),
+      options_(options),
+      filter_(options.thres_perc, server->program().Length()),
+      warm_cached_(pattern.DbSize(), false),
+      ideal_warm_(pattern.DbSize(), false),
+      rng_(rng) {
+  BDISK_CHECK_MSG(server != nullptr, "client needs a server");
+  BDISK_CHECK_MSG(options.think_time_ratio > 0.0,
+                  "ThinkTimeRatio must be positive");
+  BDISK_CHECK_MSG(options.steady_state_perc >= 0.0 &&
+                      options.steady_state_perc <= 1.0,
+                  "SteadyStatePerc must be a fraction in [0,1]");
+  BDISK_CHECK_MSG(warm_pages.size() == options.cache_size,
+                  "warmed cache must contain exactly CacheSize pages");
+  for (const PageId p : warm_pages) {
+    BDISK_CHECK_MSG(p < pattern.DbSize(), "warm page out of range");
+    warm_cached_[p] = true;
+    ideal_warm_[p] = true;
+  }
+}
+
+void VirtualClient::OnInvalidate(PageId page, sim::SimTime /*now*/) {
+  warm_cached_[page] = false;
+}
+
+void VirtualClient::Start() { ScheduleWakeup(think_.Next(rng_)); }
+
+void VirtualClient::OnWakeup() {
+  const PageId page = generator_.Next(rng_);
+  ++generated_;
+  // SteadyStatePerc coin: does this arrival come from a warmed-up client
+  // (filter through the ideal cache) or a warming-up one (always a miss)?
+  const bool steady = rng_.NextBernoulli(options_.steady_state_perc);
+  if (steady && warm_cached_[page]) {
+    ++cache_hits_;
+  } else if (!filter_.ShouldPull(server_->DistanceToNextPush(page))) {
+    ++filtered_;
+    if (steady) warm_cached_[page] = ideal_warm_[page];  // Re-fetched.
+  } else {
+    server_->SubmitRequest(page);
+    ++submitted_;
+    if (steady) warm_cached_[page] = ideal_warm_[page];  // Re-fetched.
+  }
+  ScheduleWakeup(think_.Next(rng_));
+}
+
+}  // namespace bdisk::client

@@ -1,0 +1,99 @@
+#ifndef BDISK_CLIENT_VIRTUAL_CLIENT_H_
+#define BDISK_CLIENT_VIRTUAL_CLIENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "client/threshold_filter.h"
+#include "server/broadcast_server.h"
+#include "server/update_generator.h"
+#include "sim/process.h"
+#include "sim/rng.h"
+#include "workload/access_generator.h"
+#include "workload/access_pattern.h"
+#include "workload/think_time.h"
+
+namespace bdisk::client {
+
+using broadcast::PageId;
+
+/// Configuration of the virtual client.
+struct VirtualClientOptions {
+  /// Mean request inter-arrival time = mc_think_time / think_time_ratio
+  /// (exponential). ThinkTimeRatio is the paper's server-load axis: the VC
+  /// stands in for a population of ~ThinkTimeRatio clients running at the
+  /// measured client's rate.
+  double mc_think_time = 20.0;
+  double think_time_ratio = 10.0;
+
+  /// Fraction of represented clients in steady state (SteadyStatePerc).
+  /// Steady-state requests are filtered through a fully warmed cache;
+  /// warm-up requests always miss (§3.1).
+  double steady_state_perc = 0.95;
+
+  /// Threshold fraction applied to every request the VC submits.
+  double thres_perc = 0.0;
+
+  /// Cache size used to derive the warmed-cache contents.
+  std::uint32_t cache_size = 100;
+};
+
+/// The Virtual Client (VC, §3.1): a single open-loop process standing in
+/// for the whole client population other than the measured client.
+///
+/// Each arrival: draw a page from the canonical pattern; with probability
+/// SteadyStatePerc treat the represented client as warmed-up — its cache
+/// holds exactly the CacheSize highest-valued pages (the paper's own
+/// steady-state assumption), so only misses against that fixed set reach
+/// the backchannel; otherwise the represented client is warming up and
+/// every access is a miss. All submitted requests pass the threshold
+/// filter. The VC never blocks: it models aggregate *load*, so arrivals are
+/// independent of service (this is what lets the server saturate and drop
+/// requests, as the paper reports).
+class VirtualClient : public sim::Process,
+                      public server::InvalidationListener {
+ public:
+  /// `pattern` is the canonical (server-side) access pattern; `warm_pages`
+  /// the ideal cache contents under the active value metric (PIX for
+  /// push-based configurations, P for Pure-Pull).
+  VirtualClient(sim::Simulator* simulator, server::BroadcastServer* server,
+                const workload::AccessPattern& pattern,
+                const std::vector<PageId>& warm_pages,
+                const VirtualClientOptions& options, sim::Rng rng);
+
+  /// Begins generating requests (first arrival after one think interval).
+  void Start();
+
+  /// Volatile-data extension: an update knocks the page out of the
+  /// represented warm caches; the next steady-state access to it misses,
+  /// reaches the server, and re-warms it (the population re-fetches).
+  void OnInvalidate(PageId page, sim::SimTime now) override;
+
+  /// Lifetime counters.
+  std::uint64_t RequestsGenerated() const { return generated_; }
+  std::uint64_t CacheHits() const { return cache_hits_; }
+  std::uint64_t FilteredByThreshold() const { return filtered_; }
+  std::uint64_t RequestsSubmitted() const { return submitted_; }
+
+ protected:
+  void OnWakeup() override;
+
+ private:
+  server::BroadcastServer* server_;
+  workload::AccessGenerator generator_;
+  workload::ThinkTime think_;
+  VirtualClientOptions options_;
+  ThresholdFilter filter_;
+  std::vector<bool> warm_cached_;  // Currently valid warm copies.
+  std::vector<bool> ideal_warm_;   // The warm set itself (never changes).
+  sim::Rng rng_;
+
+  std::uint64_t generated_ = 0;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t filtered_ = 0;
+  std::uint64_t submitted_ = 0;
+};
+
+}  // namespace bdisk::client
+
+#endif  // BDISK_CLIENT_VIRTUAL_CLIENT_H_

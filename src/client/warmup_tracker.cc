@@ -1,0 +1,40 @@
+#include "client/warmup_tracker.h"
+
+#include "sim/check.h"
+
+namespace bdisk::client {
+
+WarmupTracker::WarmupTracker(const std::vector<PageId>& target_pages,
+                             std::uint32_t db_size)
+    : is_target_(db_size, false),
+      resident_target_(db_size, false),
+      target_size_(static_cast<std::uint32_t>(target_pages.size())) {
+  BDISK_CHECK_MSG(!target_pages.empty(), "warm-up target set is empty");
+  for (const PageId p : target_pages) {
+    BDISK_CHECK_MSG(p < db_size, "target page out of range");
+    is_target_[p] = true;
+  }
+}
+
+void WarmupTracker::OnInsert(PageId page, sim::SimTime now) {
+  BDISK_DCHECK(page < is_target_.size());
+  if (!is_target_[page] || resident_target_[page]) return;
+  resident_target_[page] = true;
+  ++resident_count_;
+  trajectory_.Add(now, Fraction());
+}
+
+void WarmupTracker::OnEvict(PageId page, sim::SimTime now) {
+  BDISK_DCHECK(page < is_target_.size());
+  if (!is_target_[page] || !resident_target_[page]) return;
+  resident_target_[page] = false;
+  --resident_count_;
+  trajectory_.Add(now, Fraction());
+}
+
+double WarmupTracker::Fraction() const {
+  return static_cast<double>(resident_count_) /
+         static_cast<double>(target_size_);
+}
+
+}  // namespace bdisk::client

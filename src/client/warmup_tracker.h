@@ -1,0 +1,56 @@
+#ifndef BDISK_CLIENT_WARMUP_TRACKER_H_
+#define BDISK_CLIENT_WARMUP_TRACKER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "broadcast/page.h"
+#include "sim/time_series.h"
+#include "sim/types.h"
+
+namespace bdisk::client {
+
+using broadcast::PageId;
+
+/// Tracks how quickly a client's cache acquires its "ideal" contents.
+///
+/// Figure 4 measures warm-up as the time for the cache to contain X% of the
+/// CacheSize *highest-valued* pages (value = the active replacement
+/// policy's metric: PIX for push-based access, P for Pure-Pull). The
+/// tracker is fed the target set up front and notified of every cache
+/// insertion/eviction; it records a (time, fraction) trajectory.
+class WarmupTracker {
+ public:
+  /// `target_pages`: the CacheSize highest-valued pages; `db_size` bounds
+  /// valid ids.
+  WarmupTracker(const std::vector<PageId>& target_pages,
+                std::uint32_t db_size);
+
+  /// Notify that `page` became resident at time `now`.
+  void OnInsert(PageId page, sim::SimTime now);
+
+  /// Notify that `page` was evicted at time `now`.
+  void OnEvict(PageId page, sim::SimTime now);
+
+  /// Fraction of the target set currently resident, in [0,1].
+  double Fraction() const;
+
+  /// First time the resident fraction reached `fraction`, or kTimeNever.
+  sim::SimTime TimeToFraction(double fraction) const {
+    return trajectory_.FirstTimeAtOrAbove(fraction);
+  }
+
+  /// The full (time, fraction) trajectory, one sample per change.
+  const sim::TimeSeries& trajectory() const { return trajectory_; }
+
+ private:
+  std::vector<bool> is_target_;
+  std::vector<bool> resident_target_;
+  std::uint32_t target_size_;
+  std::uint32_t resident_count_ = 0;
+  sim::TimeSeries trajectory_;
+};
+
+}  // namespace bdisk::client
+
+#endif  // BDISK_CLIENT_WARMUP_TRACKER_H_

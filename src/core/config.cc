@@ -1,0 +1,87 @@
+#include "core/config.h"
+
+namespace bdisk::core {
+
+const char* DeliveryModeName(DeliveryMode mode) {
+  switch (mode) {
+    case DeliveryMode::kPurePush:
+      return "Push";
+    case DeliveryMode::kPurePull:
+      return "Pull";
+    case DeliveryMode::kIpp:
+      return "IPP";
+  }
+  return "?";
+}
+
+double SystemConfig::EffectivePullBw() const {
+  switch (mode) {
+    case DeliveryMode::kPurePush:
+      return 0.0;
+    case DeliveryMode::kPurePull:
+      return 1.0;
+    case DeliveryMode::kIpp:
+      return pull_bw;
+  }
+  return pull_bw;
+}
+
+std::string SystemConfig::Validate() const {
+  if (server_db_size == 0) return "server_db_size must be positive";
+  if (mode != DeliveryMode::kPurePull) {
+    const std::string disk_error = disks.Validate();
+    if (!disk_error.empty()) return "disks: " + disk_error;
+    if (disks.TotalPages() != server_db_size) {
+      return "disk sizes must sum to server_db_size";
+    }
+    if (chop_count >= server_db_size) {
+      return "chop_count must leave at least one page on the broadcast";
+    }
+    if (EffectiveOffset() > server_db_size - chop_count) {
+      return "offset exceeds the number of broadcast pages";
+    }
+  }
+  if (server_queue_size == 0) return "server_queue_size must be positive";
+  if (pull_bw < 0.0 || pull_bw > 1.0) return "pull_bw must be in [0,1]";
+  if (mode == DeliveryMode::kIpp && pull_bw == 0.0) {
+    return "IPP with pull_bw == 0 is Pure-Push; use kPurePush";
+  }
+  if (thres_perc < 0.0 || thres_perc > 1.0) {
+    return "thres_perc must be in [0,1]";
+  }
+  if (chop_count > 0 && mode == DeliveryMode::kPurePush) {
+    return "Pure-Push cannot truncate the schedule: unscheduled pages would "
+           "be unobtainable without a backchannel";
+  }
+  if (zipf_theta < 0.0) return "zipf_theta must be non-negative";
+  if (noise < 0.0 || noise > 1.0) return "noise must be in [0,1]";
+  if (cache_size == 0) return "cache_size must be positive";
+  if (cache_size >= server_db_size) {
+    return "cache_size must be smaller than the database";
+  }
+  if (mc_think_time <= 0.0) return "mc_think_time must be positive";
+  if (think_time_ratio <= 0.0) return "think_time_ratio must be positive";
+  if (steady_state_perc < 0.0 || steady_state_perc > 1.0) {
+    return "steady_state_perc must be in [0,1]";
+  }
+  if (mc_retry_interval < 0.0) return "mc_retry_interval must be >= 0";
+  if (mc_policy == cache::PolicyKind::kPix &&
+      mode == DeliveryMode::kPurePull) {
+    return "PIX needs a push program; Pure-Pull uses P (or LRU/LFU)";
+  }
+  if ((adaptive_pull_bw || adaptive_threshold) &&
+      mode != DeliveryMode::kIpp) {
+    return "adaptive controllers tune IPP's knobs; the pure modes have "
+           "nothing to adapt";
+  }
+  if (update_rate < 0.0) return "update_rate must be non-negative";
+  if (update_zipf_theta.has_value() && *update_zipf_theta < 0.0) {
+    return "update_zipf_theta must be non-negative";
+  }
+  if (mc_prefetch && mode == DeliveryMode::kPurePull) {
+    return "prefetching reads the push broadcast; Pure-Pull has none";
+  }
+  return "";
+}
+
+}  // namespace bdisk::core

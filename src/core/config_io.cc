@@ -1,0 +1,279 @@
+#include "core/config_io.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+namespace bdisk::core {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  const std::size_t begin = s.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return "";
+  const std::size_t end = s.find_last_not_of(" \t\r\n");
+  return s.substr(begin, end - begin + 1);
+}
+
+bool ParseDouble(const std::string& value, double* out) {
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0') return false;
+  *out = parsed;
+  return true;
+}
+
+bool ParseU32(const std::string& value, std::uint32_t* out) {
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') return false;
+  *out = static_cast<std::uint32_t>(parsed);
+  return true;
+}
+
+bool ParseU64(const std::string& value, std::uint64_t* out) {
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') return false;
+  *out = parsed;
+  return true;
+}
+
+bool ParseBool(const std::string& value, bool* out) {
+  if (value == "true" || value == "1" || value == "yes") {
+    *out = true;
+    return true;
+  }
+  if (value == "false" || value == "0" || value == "no") {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+bool ParseU32List(const std::string& value, std::vector<std::uint32_t>* out) {
+  out->clear();
+  std::stringstream stream(value);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    std::uint32_t parsed = 0;
+    if (!ParseU32(Trim(item), &parsed)) return false;
+    out->push_back(parsed);
+  }
+  return !out->empty();
+}
+
+}  // namespace
+
+std::string ApplyConfigOption(const std::string& raw_key,
+                              const std::string& raw_value,
+                              SystemConfig* config) {
+  const std::string key = Trim(raw_key);
+  const std::string value = Trim(raw_value);
+  const auto bad_value = [&] { return "invalid value for " + key; };
+
+  if (key == "mode") {
+    if (value == "push") {
+      config->mode = DeliveryMode::kPurePush;
+    } else if (value == "pull") {
+      config->mode = DeliveryMode::kPurePull;
+    } else if (value == "ipp") {
+      config->mode = DeliveryMode::kIpp;
+    } else {
+      return "mode must be push, pull, or ipp";
+    }
+    return "";
+  }
+  if (key == "chunking") {
+    if (value == "balanced") {
+      config->chunking = broadcast::ChunkingMode::kBalanced;
+    } else if (value == "pad") {
+      config->chunking = broadcast::ChunkingMode::kPad;
+    } else {
+      return "chunking must be balanced or pad";
+    }
+    return "";
+  }
+  if (key == "mc_policy") {
+    if (value == "pix") {
+      config->mc_policy = cache::PolicyKind::kPix;
+    } else if (value == "p") {
+      config->mc_policy = cache::PolicyKind::kP;
+    } else if (value == "lru") {
+      config->mc_policy = cache::PolicyKind::kLru;
+    } else if (value == "lfu") {
+      config->mc_policy = cache::PolicyKind::kLfu;
+    } else if (value == "default") {
+      config->mc_policy.reset();
+    } else {
+      return "mc_policy must be pix, p, lru, lfu, or default";
+    }
+    return "";
+  }
+  if (key == "disk_sizes") {
+    return ParseU32List(value, &config->disks.sizes) ? "" : bad_value();
+  }
+  if (key == "disk_freqs") {
+    return ParseU32List(value, &config->disks.rel_freqs) ? "" : bad_value();
+  }
+  if (key == "offset") {
+    std::uint32_t parsed = 0;
+    if (value == "cache_size") {
+      config->offset.reset();
+      return "";
+    }
+    if (!ParseU32(value, &parsed)) return bad_value();
+    config->offset = parsed;
+    return "";
+  }
+  if (key == "update_zipf_theta") {
+    double parsed = 0;
+    if (!ParseDouble(value, &parsed)) return bad_value();
+    config->update_zipf_theta = parsed;
+    return "";
+  }
+
+  struct DoubleKey {
+    const char* name;
+    double* field;
+  };
+  const DoubleKey doubles[] = {
+      {"pull_bw", &config->pull_bw},
+      {"thres_perc", &config->thres_perc},
+      {"zipf_theta", &config->zipf_theta},
+      {"noise", &config->noise},
+      {"mc_think_time", &config->mc_think_time},
+      {"think_time_ratio", &config->think_time_ratio},
+      {"steady_state_perc", &config->steady_state_perc},
+      {"mc_retry_interval", &config->mc_retry_interval},
+      {"update_rate", &config->update_rate},
+  };
+  for (const DoubleKey& entry : doubles) {
+    if (key == entry.name) {
+      return ParseDouble(value, entry.field) ? "" : bad_value();
+    }
+  }
+
+  struct U32Key {
+    const char* name;
+    std::uint32_t* field;
+  };
+  const U32Key u32s[] = {
+      {"server_db_size", &config->server_db_size},
+      {"server_queue_size", &config->server_queue_size},
+      {"chop_count", &config->chop_count},
+      {"cache_size", &config->cache_size},
+  };
+  for (const U32Key& entry : u32s) {
+    if (key == entry.name) {
+      return ParseU32(value, entry.field) ? "" : bad_value();
+    }
+  }
+
+  struct BoolKey {
+    const char* name;
+    bool* field;
+  };
+  const BoolKey bools[] = {
+      {"vc_enabled", &config->vc_enabled},
+      {"mc_prefetch", &config->mc_prefetch},
+      {"adaptive_pull_bw", &config->adaptive_pull_bw},
+      {"adaptive_threshold", &config->adaptive_threshold},
+  };
+  for (const BoolKey& entry : bools) {
+    if (key == entry.name) {
+      return ParseBool(value, entry.field) ? "" : bad_value();
+    }
+  }
+
+  if (key == "seed") {
+    return ParseU64(value, &config->seed) ? "" : bad_value();
+  }
+  return "unknown key: " + key;
+}
+
+std::string ParseConfigText(const std::string& text, SystemConfig* config) {
+  std::stringstream stream(text);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = Trim(line);
+    if (line.empty()) continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      return "line " + std::to_string(line_number) + ": expected key = value";
+    }
+    const std::string error = ApplyConfigOption(
+        line.substr(0, eq), line.substr(eq + 1), config);
+    if (!error.empty()) {
+      return "line " + std::to_string(line_number) + ": " + error;
+    }
+  }
+  return "";
+}
+
+std::string ConfigToText(const SystemConfig& config) {
+  std::stringstream out;
+  const char* mode = config.mode == DeliveryMode::kPurePush ? "push"
+                     : config.mode == DeliveryMode::kPurePull ? "pull"
+                                                              : "ipp";
+  out << "mode = " << mode << "\n";
+  out << "server_db_size = " << config.server_db_size << "\n";
+  out << "disk_sizes = ";
+  for (std::size_t i = 0; i < config.disks.sizes.size(); ++i) {
+    if (i > 0) out << ",";
+    out << config.disks.sizes[i];
+  }
+  out << "\n";
+  out << "disk_freqs = ";
+  for (std::size_t i = 0; i < config.disks.rel_freqs.size(); ++i) {
+    if (i > 0) out << ",";
+    out << config.disks.rel_freqs[i];
+  }
+  out << "\n";
+  out << "server_queue_size = " << config.server_queue_size << "\n";
+  out << "pull_bw = " << config.pull_bw << "\n";
+  out << "thres_perc = " << config.thres_perc << "\n";
+  out << "chop_count = " << config.chop_count << "\n";
+  if (config.offset.has_value()) {
+    out << "offset = " << *config.offset << "\n";
+  } else {
+    out << "offset = cache_size\n";
+  }
+  out << "chunking = "
+      << (config.chunking == broadcast::ChunkingMode::kPad ? "pad"
+                                                           : "balanced")
+      << "\n";
+  out << "zipf_theta = " << config.zipf_theta << "\n";
+  out << "noise = " << config.noise << "\n";
+  out << "cache_size = " << config.cache_size << "\n";
+  out << "mc_think_time = " << config.mc_think_time << "\n";
+  out << "think_time_ratio = " << config.think_time_ratio << "\n";
+  out << "steady_state_perc = " << config.steady_state_perc << "\n";
+  out << "vc_enabled = " << (config.vc_enabled ? "true" : "false") << "\n";
+  out << "mc_retry_interval = " << config.mc_retry_interval << "\n";
+  if (config.mc_policy.has_value()) {
+    const char* policy = cache::PolicyKindName(*config.mc_policy);
+    std::string lower(policy);
+    for (char& c : lower) c = static_cast<char>(std::tolower(c));
+    out << "mc_policy = " << lower << "\n";
+  }
+  out << "seed = " << config.seed << "\n";
+  out << "update_rate = " << config.update_rate << "\n";
+  if (config.update_zipf_theta.has_value()) {
+    out << "update_zipf_theta = " << *config.update_zipf_theta << "\n";
+  }
+  out << "mc_prefetch = " << (config.mc_prefetch ? "true" : "false") << "\n";
+  out << "adaptive_pull_bw = "
+      << (config.adaptive_pull_bw ? "true" : "false") << "\n";
+  out << "adaptive_threshold = "
+      << (config.adaptive_threshold ? "true" : "false") << "\n";
+  return out.str();
+}
+
+}  // namespace bdisk::core

@@ -1,0 +1,77 @@
+#include "core/experiment.h"
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "sim/check.h"
+
+namespace bdisk::core {
+
+std::vector<SweepOutcome> RunSweep(const std::vector<SweepPoint>& points,
+                                   const SteadyStateProtocol& steady,
+                                   const WarmupProtocol& warmup,
+                                   unsigned num_threads) {
+  std::vector<SweepOutcome> outcomes(points.size());
+  if (points.empty()) return outcomes;
+
+  if (num_threads == 0) {
+    num_threads = std::max(1U, std::thread::hardware_concurrency());
+  }
+  num_threads = std::min<unsigned>(num_threads,
+                                   static_cast<unsigned>(points.size()));
+
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= points.size()) return;
+      const SweepPoint& point = points[i];
+      // Each point gets its own System (and RNG streams); results do not
+      // depend on which thread runs which point.
+      System system(point.config);
+      outcomes[i].point = point;
+      outcomes[i].result = point.warmup_run ? system.RunWarmup(warmup)
+                                            : system.RunSteadyState(steady);
+    }
+  };
+
+  if (num_threads == 1) {
+    worker();
+    return outcomes;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  for (unsigned t = 0; t < num_threads; ++t) threads.emplace_back(worker);
+  for (std::thread& t : threads) t.join();
+  return outcomes;
+}
+
+ReplicationResult RunReplicated(const SystemConfig& config,
+                                std::uint32_t replications,
+                                const SteadyStateProtocol& steady,
+                                unsigned num_threads) {
+  BDISK_CHECK_MSG(replications >= 1, "need at least one replication");
+  std::vector<SweepPoint> points(replications);
+  for (std::uint32_t i = 0; i < replications; ++i) {
+    points[i].curve = "rep" + std::to_string(i);
+    points[i].x = static_cast<double>(i);
+    points[i].config = config;
+    points[i].config.seed = config.seed + i;
+  }
+  const std::vector<SweepOutcome> outcomes =
+      RunSweep(points, steady, {}, num_threads);
+
+  ReplicationResult result;
+  result.replications.reserve(replications);
+  for (const SweepOutcome& outcome : outcomes) {
+    result.means.Add(outcome.result.mean_response);
+    result.replications.push_back(outcome.result);
+  }
+  if (result.means.Count() >= 2) {
+    result.ci95_half_width = 1.96 * result.means.StdError();
+  }
+  return result;
+}
+
+}  // namespace bdisk::core

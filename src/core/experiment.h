@@ -1,0 +1,62 @@
+#ifndef BDISK_CORE_EXPERIMENT_H_
+#define BDISK_CORE_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/metrics.h"
+#include "core/system.h"
+
+namespace bdisk::core {
+
+/// One simulation point within a sweep.
+struct SweepPoint {
+  /// Curve this point belongs to (e.g. "IPP PullBW=50%").
+  std::string curve;
+  /// X coordinate in the figure (e.g. the ThinkTimeRatio).
+  double x = 0.0;
+  /// Full configuration for this point.
+  SystemConfig config;
+  /// Run the warm-up protocol instead of the steady-state protocol.
+  bool warmup_run = false;
+};
+
+/// A point paired with its measurements.
+struct SweepOutcome {
+  SweepPoint point;
+  RunResult result;
+};
+
+/// Runs every point (each an independent System) and returns outcomes in
+/// input order. Points run concurrently on up to `num_threads` OS threads
+/// (0 = hardware concurrency); simulations are deterministic per point
+/// regardless of scheduling.
+std::vector<SweepOutcome> RunSweep(const std::vector<SweepPoint>& points,
+                                   const SteadyStateProtocol& steady = {},
+                                   const WarmupProtocol& warmup = {},
+                                   unsigned num_threads = 0);
+
+/// Mean response across independent replications of one configuration.
+struct ReplicationResult {
+  /// Per-replication mean responses (one observation per seed).
+  sim::RunningStats means;
+  /// Half-width of the ~95% confidence interval on the grand mean
+  /// (1.96 x standard error across replications; 0 with < 2 reps).
+  double ci95_half_width = 0.0;
+  /// Every replication's full result, in seed order.
+  std::vector<RunResult> replications;
+};
+
+/// Runs `replications` steady-state copies of `config`, each with seed
+/// `config.seed + i`, and aggregates across them. This is how a careful
+/// simulation study reports a point: the batch-means stopping rule bounds
+/// within-run noise; replications bound across-run noise.
+ReplicationResult RunReplicated(const SystemConfig& config,
+                                std::uint32_t replications,
+                                const SteadyStateProtocol& steady = {},
+                                unsigned num_threads = 0);
+
+}  // namespace bdisk::core
+
+#endif  // BDISK_CORE_EXPERIMENT_H_

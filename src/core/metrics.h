@@ -1,0 +1,65 @@
+#ifndef BDISK_CORE_METRICS_H_
+#define BDISK_CORE_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/stats.h"
+#include "sim/types.h"
+
+namespace bdisk::core {
+
+/// One point on a warm-up trajectory: the first simulation time at which
+/// the cache held `fraction` of its ideal contents.
+struct WarmupPoint {
+  double fraction;
+  sim::SimTime time;  // kTimeNever when never reached within the run.
+};
+
+/// Everything measured in one simulation run.
+struct RunResult {
+  /// Mean response time over measured MC accesses, in broadcast units —
+  /// the paper's primary metric. Cache hits count as 0 and are included.
+  double mean_response = 0.0;
+  /// Full response-time statistics for the measured window.
+  sim::RunningStats response_stats;
+
+  /// MC counters over the entire run (warm-up + measurement).
+  std::uint64_t mc_accesses = 0;
+  double mc_hit_rate = 0.0;
+  std::uint64_t mc_pulls_sent = 0;
+  std::uint64_t mc_retries_sent = 0;
+  std::uint64_t mc_prefetches = 0;
+  std::uint64_t mc_invalidations = 0;
+
+  /// Volatile-data extension: server-side updates generated.
+  std::uint64_t updates_generated = 0;
+
+  /// Server request-queue accounting over the entire run.
+  std::uint64_t requests_submitted = 0;
+  std::uint64_t requests_accepted = 0;
+  std::uint64_t requests_coalesced = 0;
+  std::uint64_t requests_dropped = 0;
+  /// Fraction of submitted pull requests dropped at a full queue.
+  double drop_rate = 0.0;
+
+  /// Frontchannel slot usage fractions.
+  double push_slot_frac = 0.0;
+  double pull_slot_frac = 0.0;
+  double idle_slot_frac = 0.0;
+
+  /// Push-program shape.
+  std::uint32_t major_cycle_len = 0;
+
+  /// Warm-up trajectory (populated by warm-up runs).
+  std::vector<WarmupPoint> warmup;
+
+  /// Bookkeeping.
+  sim::SimTime sim_time_end = 0.0;
+  bool converged = false;  // Batch-means declared stability (steady-state
+                           // runs) / target fraction reached (warm-up runs).
+};
+
+}  // namespace bdisk::core
+
+#endif  // BDISK_CORE_METRICS_H_

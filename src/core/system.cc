@@ -1,0 +1,284 @@
+#include "core/system.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "broadcast/program_builder.h"
+#include "cache/value_functions.h"
+#include "sim/batch_means.h"
+#include "sim/check.h"
+#include "sim/zipf.h"
+
+namespace bdisk::core {
+
+namespace {
+
+// Fixed salts give each component an independent, reproducible RNG stream.
+constexpr std::uint64_t kNoiseSalt = 0xBD15C01F5EEDULL;
+
+workload::AccessPattern MakeMcPattern(const workload::AccessPattern& canonical,
+                                      const SystemConfig& config) {
+  if (config.noise == 0.0) return canonical;
+  sim::Rng noise_rng(config.seed ^ kNoiseSalt);
+  return canonical.WithNoise(config.noise, noise_rng);
+}
+
+}  // namespace
+
+workload::AccessPattern CanonicalPatternForConfig(const SystemConfig& config) {
+  return workload::AccessPattern::Zipf(config.server_db_size,
+                                       config.zipf_theta);
+}
+
+workload::AccessPattern McPatternForConfig(const SystemConfig& config) {
+  return MakeMcPattern(CanonicalPatternForConfig(config), config);
+}
+
+broadcast::BroadcastProgram ProgramForConfig(const SystemConfig& config) {
+  std::vector<broadcast::PageId> schedule;
+  if (config.mode != DeliveryMode::kPurePull) {
+    const broadcast::PushLayout layout = broadcast::BuildPushLayout(
+        CanonicalPatternForConfig(config).probs(), config.disks,
+        config.EffectiveOffset(), config.chop_count);
+    schedule = broadcast::BuildSchedule(layout.disk_pages,
+                                        config.disks.rel_freqs,
+                                        config.chunking);
+  }
+  return broadcast::BroadcastProgram(std::move(schedule),
+                                     config.server_db_size);
+}
+
+std::vector<broadcast::PageId> TopValuedPages(
+    const std::vector<double>& values, std::uint32_t k) {
+  BDISK_CHECK_MSG(k <= values.size(), "k exceeds the database size");
+  std::vector<broadcast::PageId> pages(values.size());
+  std::iota(pages.begin(), pages.end(), 0U);
+  std::stable_sort(pages.begin(), pages.end(),
+                   [&values](broadcast::PageId a, broadcast::PageId b) {
+                     return values[a] > values[b];
+                   });
+  pages.resize(k);
+  return pages;
+}
+
+System::System(const SystemConfig& config)
+    : config_(config),
+      canonical_pattern_(workload::AccessPattern::Zipf(config.server_db_size,
+                                                       config.zipf_theta)),
+      mc_pattern_(MakeMcPattern(canonical_pattern_, config)) {
+  const std::string error = config.Validate();
+  BDISK_CHECK_MSG(error.empty(), error.c_str());
+
+  sim::Rng root(config.seed);
+  sim::Rng server_rng = root.Split();
+  sim::Rng mc_rng = root.Split();
+  sim::Rng vc_rng = root.Split();
+
+  // --- Broadcast program ------------------------------------------------
+  // The server builds the program from the aggregate (VC) pattern; the MC's
+  // possibly-noisy view plays no part in it (§3.2).
+  std::vector<broadcast::PageId> schedule;
+  if (config.mode != DeliveryMode::kPurePull) {
+    layout_ = broadcast::BuildPushLayout(canonical_pattern_.probs(),
+                                         config.disks,
+                                         config.EffectiveOffset(),
+                                         config.chop_count);
+    schedule = broadcast::BuildSchedule(
+        layout_.disk_pages, config.disks.rel_freqs, config.chunking);
+  }
+  broadcast::BroadcastProgram program(std::move(schedule),
+                                      config.server_db_size);
+
+  // --- Server -----------------------------------------------------------
+  server_ = std::make_unique<server::BroadcastServer>(
+      &simulator_, std::move(program), config.EffectivePullBw(),
+      config.server_queue_size, server_rng);
+
+  // --- Value metrics ----------------------------------------------------
+  // PIX whenever a push program exists; P for Pure-Pull (§3.1).
+  const bool push_exists = !server_->program().Empty();
+  const std::vector<double> vc_values =
+      push_exists
+          ? cache::PixValues(canonical_pattern_.probs(), server_->program())
+          : cache::PValues(canonical_pattern_.probs());
+  const std::vector<double> mc_values =
+      push_exists ? cache::PixValues(mc_pattern_.probs(), server_->program())
+                  : cache::PValues(mc_pattern_.probs());
+
+  // --- Measured client ---------------------------------------------------
+  client::MeasuredClientOptions mc_options;
+  mc_options.cache_size = config.cache_size;
+  mc_options.policy = config.mc_policy.value_or(
+      push_exists ? cache::PolicyKind::kPix : cache::PolicyKind::kP);
+  mc_options.think_time = config.mc_think_time;
+  mc_options.use_backchannel = (config.mode != DeliveryMode::kPurePush);
+  mc_options.thres_perc =
+      (config.mode == DeliveryMode::kIpp) ? config.thres_perc : 0.0;
+  mc_options.prefetch = config.mc_prefetch;
+  if (mc_options.use_backchannel) {
+    // Unscheduled pages have no push safety net; retry a (possibly dropped)
+    // pull after roughly one would-be cycle. See DESIGN.md, Substitutions.
+    mc_options.retry_interval =
+        config.mc_retry_interval > 0.0
+            ? config.mc_retry_interval
+            : (push_exists
+                   ? static_cast<double>(server_->program().Length())
+                   : static_cast<double>(config.server_db_size));
+  }
+  mc_ = std::make_unique<client::MeasuredClient>(
+      &simulator_, server_.get(), mc_pattern_, mc_options, mc_rng,
+      TopValuedPages(mc_values, config.cache_size));
+
+  // --- Virtual client ----------------------------------------------------
+  if (config.mode != DeliveryMode::kPurePush && config.vc_enabled) {
+    client::VirtualClientOptions vc_options;
+    vc_options.mc_think_time = config.mc_think_time;
+    vc_options.think_time_ratio = config.think_time_ratio;
+    vc_options.steady_state_perc = config.steady_state_perc;
+    vc_options.thres_perc =
+        (config.mode == DeliveryMode::kIpp) ? config.thres_perc : 0.0;
+    vc_options.cache_size = config.cache_size;
+    vc_ = std::make_unique<client::VirtualClient>(
+        &simulator_, server_.get(), canonical_pattern_,
+        TopValuedPages(vc_values, config.cache_size), vc_options, vc_rng);
+  }
+
+  // --- Volatile data (extension; [Acha96b]) ------------------------------
+  if (config.update_rate > 0.0) {
+    sim::Rng update_rng = root.Split();
+    update_generator_ = std::make_unique<server::UpdateGenerator>(
+        &simulator_, config.update_rate,
+        sim::ZipfPmf(config.server_db_size,
+                     config.update_zipf_theta.value_or(config.zipf_theta)),
+        update_rng);
+    update_generator_->AddListener(mc_.get());
+    if (vc_) update_generator_->AddListener(vc_.get());
+  }
+
+  // --- Adaptive controllers (extension; paper §6) ------------------------
+  if (config.adaptive_pull_bw) {
+    server_controller_ = std::make_unique<adaptive::ServerController>(
+        &simulator_, server_.get(), config.server_controller);
+  }
+  if (config.adaptive_threshold) {
+    client_controller_ = std::make_unique<adaptive::ClientController>(
+        &simulator_, mc_.get(), config.client_controller);
+  }
+}
+
+RunResult System::CollectResult(bool converged) const {
+  RunResult result;
+  result.response_stats = mc_->response_times();
+  result.mean_response = result.response_stats.Mean();
+  result.mc_accesses = mc_->TotalAccesses();
+  result.mc_hit_rate =
+      mc_->TotalAccesses() == 0
+          ? 0.0
+          : static_cast<double>(mc_->CacheHits()) /
+                static_cast<double>(mc_->TotalAccesses());
+  result.mc_pulls_sent = mc_->PullRequestsSent();
+  result.mc_retries_sent = mc_->RetriesSent();
+  result.mc_prefetches = mc_->Prefetches();
+  result.mc_invalidations = mc_->InvalidationsSeen();
+  if (update_generator_) {
+    result.updates_generated = update_generator_->UpdateCount();
+  }
+
+  const server::PullQueue& queue = server_->queue();
+  result.requests_submitted = queue.SubmittedCount();
+  result.requests_accepted = queue.AcceptedCount();
+  result.requests_coalesced = queue.CoalescedCount();
+  result.requests_dropped = queue.DroppedCount();
+  result.drop_rate = queue.DropRate();
+
+  const double slots = static_cast<double>(server_->TotalSlots());
+  if (slots > 0) {
+    result.push_slot_frac = static_cast<double>(server_->PushSlots()) / slots;
+    result.pull_slot_frac = static_cast<double>(server_->PullSlots()) / slots;
+    result.idle_slot_frac = static_cast<double>(server_->IdleSlots()) / slots;
+  }
+  result.major_cycle_len = server_->program().Length();
+  result.sim_time_end = simulator_.Now();
+  result.converged = converged;
+  return result;
+}
+
+RunResult System::RunSteadyState(const SteadyStateProtocol& protocol) {
+  BDISK_CHECK_MSG(!ran_, "a System supports exactly one run");
+  ran_ = true;
+
+  enum class Phase { kFilling, kPostFill, kMeasuring };
+  Phase phase = Phase::kFilling;
+  std::uint64_t post_fill_count = 0;
+  std::uint64_t measured_count = 0;
+  bool converged = false;
+  sim::BatchMeans batch(protocol.batch_size, protocol.tolerance);
+
+  mc_->SetOnAccessComplete([&, this](double response_time) {
+    switch (phase) {
+      case Phase::kFilling:
+        if (mc_->cache().IsFull() ||
+            mc_->TotalAccesses() >= protocol.max_fill_accesses) {
+          phase = Phase::kPostFill;
+        }
+        break;
+      case Phase::kPostFill:
+        if (++post_fill_count >= protocol.post_fill_accesses) {
+          phase = Phase::kMeasuring;
+          mc_->SetRecording(true);
+        }
+        break;
+      case Phase::kMeasuring: {
+        const bool stable = batch.Add(response_time);
+        ++measured_count;
+        if ((stable && measured_count >= protocol.min_measured_accesses) ||
+            measured_count >= protocol.max_measured_accesses) {
+          converged = stable;
+          simulator_.Stop();
+        }
+        break;
+      }
+    }
+  });
+
+  mc_->Start();
+  if (vc_) vc_->Start();
+  if (update_generator_) update_generator_->Start();
+  if (server_controller_) server_controller_->Start();
+  if (client_controller_) client_controller_->Start();
+  simulator_.RunUntil(protocol.max_sim_time);
+  return CollectResult(converged);
+}
+
+RunResult System::RunWarmup(const WarmupProtocol& protocol) {
+  BDISK_CHECK_MSG(!ran_, "a System supports exactly one run");
+  ran_ = true;
+
+  const client::WarmupTracker* tracker = mc_->warmup_tracker();
+  BDISK_CHECK_MSG(tracker != nullptr, "warm-up tracking not enabled");
+
+  bool reached = false;
+  mc_->SetOnAccessComplete([&, this, tracker](double /*response_time*/) {
+    if (tracker->Fraction() >= protocol.target_fraction) {
+      reached = true;
+      simulator_.Stop();
+    }
+  });
+
+  mc_->Start();
+  if (vc_) vc_->Start();
+  if (update_generator_) update_generator_->Start();
+  if (server_controller_) server_controller_->Start();
+  if (client_controller_) client_controller_->Start();
+  simulator_.RunUntil(protocol.max_sim_time);
+
+  RunResult result = CollectResult(reached);
+  result.warmup.reserve(protocol.fractions.size());
+  for (const double f : protocol.fractions) {
+    result.warmup.push_back(WarmupPoint{f, tracker->TimeToFraction(f)});
+  }
+  return result;
+}
+
+}  // namespace bdisk::core

@@ -1,0 +1,143 @@
+#ifndef BDISK_CORE_SYSTEM_H_
+#define BDISK_CORE_SYSTEM_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "adaptive/client_controller.h"
+#include "adaptive/server_controller.h"
+#include "broadcast/broadcast_program.h"
+#include "broadcast/page_ranking.h"
+#include "client/measured_client.h"
+#include "client/virtual_client.h"
+#include "core/config.h"
+#include "core/metrics.h"
+#include "server/broadcast_server.h"
+#include "sim/simulator.h"
+#include "workload/access_pattern.h"
+
+namespace bdisk::core {
+
+/// Measurement protocol for steady-state experiments (paper §4): warm the
+/// MC cache, skip `post_fill_accesses` further accesses ("started
+/// measurements only 4000 accesses after the cache filled up"), then record
+/// response times until batch-means stability (or the access cap).
+struct SteadyStateProtocol {
+  std::uint64_t post_fill_accesses = 4000;
+  std::uint64_t min_measured_accesses = 4000;
+  std::uint64_t max_measured_accesses = 40000;
+  std::uint64_t batch_size = 1000;
+  double tolerance = 0.02;
+  sim::SimTime max_sim_time = 2.0e8;
+  /// The warm-up phase normally ends when the cache is full (the paper's
+  /// read-only criterion). With volatile data the cache can lose pages as
+  /// fast as it gains them and may never be literally full, so the phase
+  /// also ends after this many accesses.
+  std::uint64_t max_fill_accesses = 20000;
+};
+
+/// Measurement protocol for warm-up experiments (paper §4.1.3): start with
+/// a cold cache and record when each fraction of the ideal cache contents
+/// is first reached, up to `target_fraction`.
+struct WarmupProtocol {
+  std::vector<double> fractions = {0.1, 0.2, 0.3, 0.4, 0.5,
+                                   0.6, 0.7, 0.8, 0.9, 0.95};
+  double target_fraction = 0.95;
+  sim::SimTime max_sim_time = 2.0e8;
+};
+
+/// One fully wired simulated system: broadcast program, server, measured
+/// client, and virtual client, built from a SystemConfig.
+///
+/// A System instance supports exactly one run (RunSteadyState or
+/// RunWarmup); build a fresh System per configuration point. Components are
+/// exposed read-only for tests and diagnostics.
+class System {
+ public:
+  /// Builds (and validates) the whole system. Aborts on invalid config.
+  explicit System(const SystemConfig& config);
+
+  /// Runs the steady-state protocol and returns the measurements.
+  RunResult RunSteadyState(const SteadyStateProtocol& protocol = {});
+
+  /// Runs the warm-up protocol and returns the measurements (including the
+  /// warm-up trajectory).
+  RunResult RunWarmup(const WarmupProtocol& protocol = {});
+
+  /// The configuration this system was built from.
+  const SystemConfig& config() const { return config_; }
+
+  /// The generated broadcast program (empty schedule for Pure-Pull).
+  const broadcast::BroadcastProgram& program() const {
+    return server_->program();
+  }
+
+  /// The page-to-disk layout (disk sizes after truncation etc.); only
+  /// meaningful when a push program exists.
+  const broadcast::PushLayout& layout() const { return layout_; }
+
+  /// Aggregate (server-side) and measured-client access patterns.
+  const workload::AccessPattern& canonical_pattern() const {
+    return canonical_pattern_;
+  }
+  const workload::AccessPattern& mc_pattern() const { return mc_pattern_; }
+
+  /// Components (valid for the lifetime of the System).
+  sim::Simulator& simulator() { return simulator_; }
+  server::BroadcastServer& server() { return *server_; }
+  client::MeasuredClient& mc() { return *mc_; }
+  /// Null when the configuration has no virtual client (Pure-Push, or
+  /// vc_enabled == false).
+  client::VirtualClient* vc() { return vc_.get(); }
+
+  /// Adaptive controllers; null unless enabled in the config.
+  adaptive::ServerController* server_controller() {
+    return server_controller_.get();
+  }
+  adaptive::ClientController* client_controller() {
+    return client_controller_.get();
+  }
+
+  /// Volatile-data update process; null unless update_rate > 0.
+  server::UpdateGenerator* update_generator() {
+    return update_generator_.get();
+  }
+
+ private:
+  RunResult CollectResult(bool converged) const;
+
+  SystemConfig config_;
+  sim::Simulator simulator_;
+  workload::AccessPattern canonical_pattern_;
+  workload::AccessPattern mc_pattern_;
+  broadcast::PushLayout layout_;
+  std::unique_ptr<server::BroadcastServer> server_;
+  std::unique_ptr<client::MeasuredClient> mc_;
+  std::unique_ptr<client::VirtualClient> vc_;
+  std::unique_ptr<adaptive::ServerController> server_controller_;
+  std::unique_ptr<adaptive::ClientController> client_controller_;
+  std::unique_ptr<server::UpdateGenerator> update_generator_;
+  bool ran_ = false;
+};
+
+/// The `k` pages with the highest `values` (ties: lower page id first) —
+/// the "ideal" warmed-cache contents under a value metric.
+std::vector<broadcast::PageId> TopValuedPages(
+    const std::vector<double>& values, std::uint32_t k);
+
+/// The canonical (aggregate / virtual-client) access pattern for a config.
+workload::AccessPattern CanonicalPatternForConfig(const SystemConfig& config);
+
+/// The measured client's access pattern for a config (canonical pattern,
+/// Noise-perturbed with the config's seed). Identical to what System uses.
+workload::AccessPattern McPatternForConfig(const SystemConfig& config);
+
+/// The broadcast program System would generate for a config (empty
+/// schedule for Pure-Pull). Used by analysis tools that predict behaviour
+/// without running a simulation.
+broadcast::BroadcastProgram ProgramForConfig(const SystemConfig& config);
+
+}  // namespace bdisk::core
+
+#endif  // BDISK_CORE_SYSTEM_H_

@@ -1,0 +1,63 @@
+#include "core/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "sim/check.h"
+
+namespace bdisk::core {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  BDISK_CHECK_MSG(!headers_.empty(), "table needs at least one column");
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  BDISK_CHECK_MSG(cells.size() == headers_.size(),
+                  "row width must match the header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&widths](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) line += "  ";
+      line.append(widths[c] - row[c].size(), ' ');  // Right-align.
+      line += row[c];
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string out = render_row(headers_);
+  std::size_t total = 0;
+  for (const std::size_t w : widths) total += w + 2;
+  out.append(total - 2, '-');
+  out += '\n';
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string TablePrinter::Fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string TablePrinter::Pct(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace bdisk::core

@@ -1,0 +1,37 @@
+#ifndef BDISK_CORE_TABLE_PRINTER_H_
+#define BDISK_CORE_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace bdisk::core {
+
+/// Renders aligned plain-text tables — the benchmark harness prints one per
+/// reproduced figure, with curves as rows/columns matching the paper's
+/// series.
+class TablePrinter {
+ public:
+  /// Column headers define the column count.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds one row; must have exactly as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table with right-aligned, padded columns and a header
+  /// separator line.
+  std::string ToString() const;
+
+  /// Formats a double with fixed precision.
+  static std::string Fmt(double value, int precision = 1);
+
+  /// Formats a percentage (0.123 -> "12.3%").
+  static std::string Pct(double fraction, int precision = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bdisk::core
+
+#endif  // BDISK_CORE_TABLE_PRINTER_H_

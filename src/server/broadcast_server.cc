@@ -1,0 +1,112 @@
+#include "server/broadcast_server.h"
+
+#include <utility>
+
+#include "sim/check.h"
+
+namespace bdisk::server {
+
+BroadcastServer::BroadcastServer(sim::Simulator* simulator,
+                                 broadcast::BroadcastProgram program,
+                                 double pull_bw, std::uint32_t queue_capacity,
+                                 sim::Rng rng)
+    : simulator_(simulator),
+      program_(std::move(program)),
+      pull_bw_(pull_bw),
+      queue_(queue_capacity, program_.DbSize()),
+      rng_(rng) {
+  BDISK_CHECK_MSG(simulator != nullptr, "server needs a simulator");
+  BDISK_CHECK_MSG(pull_bw >= 0.0 && pull_bw <= 1.0,
+                  "PullBW must be a fraction in [0,1]");
+  BDISK_CHECK_MSG(!program_.Empty() || pull_bw > 0.0,
+                  "a server with no program and no pull bandwidth would "
+                  "never broadcast anything");
+  if (!program_.Empty()) cursor_.emplace(&program_);
+  ChooseNextSlot();
+  simulator_->ScheduleAfter(1.0, [this] { OnSlotBoundary(); });
+}
+
+void BroadcastServer::AddListener(BroadcastListener* listener) {
+  BDISK_CHECK_MSG(listener != nullptr, "null listener");
+  listeners_.push_back(listener);
+}
+
+void BroadcastServer::SetPullBw(double pull_bw) {
+  BDISK_CHECK_MSG(pull_bw >= 0.0 && pull_bw <= 1.0,
+                  "PullBW must be a fraction in [0,1]");
+  BDISK_CHECK_MSG(!program_.Empty() || pull_bw > 0.0,
+                  "a server with no program needs pull bandwidth");
+  pull_bw_ = pull_bw;
+}
+
+SubmitResult BroadcastServer::SubmitRequest(PageId page) {
+  BDISK_DCHECK(page < program_.DbSize());
+  const SubmitResult result = queue_.Submit(page);
+  if (trace_ != nullptr) {
+    const sim::TraceEventKind kind =
+        result == SubmitResult::kAccepted
+            ? sim::TraceEventKind::kRequestAccepted
+            : (result == SubmitResult::kCoalesced
+                   ? sim::TraceEventKind::kRequestCoalesced
+                   : sim::TraceEventKind::kRequestDropped);
+    trace_->Record(simulator_->Now(), kind, page);
+  }
+  return result;
+}
+
+std::uint32_t BroadcastServer::SchedulePosition() const {
+  return cursor_ ? cursor_->Position() : 0;
+}
+
+std::uint32_t BroadcastServer::DistanceToNextPush(PageId page) const {
+  if (!cursor_) return broadcast::BroadcastProgram::kNeverBroadcast;
+  return cursor_->DistanceToNext(page);
+}
+
+void BroadcastServer::OnSlotBoundary() {
+  // Transmission of the in-flight slot completes now; deliver to snoopers.
+  if (in_flight_page_ != broadcast::kNoPage) {
+    const sim::SimTime now = simulator_->Now();
+    for (BroadcastListener* listener : listeners_) {
+      listener->OnBroadcast(in_flight_page_, in_flight_kind_, now);
+    }
+  }
+  ChooseNextSlot();
+  simulator_->ScheduleAfter(1.0, [this] { OnSlotBoundary(); });
+}
+
+void BroadcastServer::ChooseNextSlot() {
+  ++total_slots_;
+  // Invariant: the counters below and the trace record the same decision.
+  // Push/Pull MUX: a PullBW-weighted coin, but only when there is a queued
+  // request — unused pull slots are given back to the push program (§2.2).
+  if (!queue_.Empty() && rng_.NextBernoulli(pull_bw_)) {
+    in_flight_page_ = queue_.PopFront();
+    in_flight_kind_ = SlotKind::kPull;
+    ++pull_slots_;
+  } else if (cursor_) {
+    in_flight_page_ = cursor_->Advance();
+    if (in_flight_page_ != broadcast::kNoPage) {
+      in_flight_kind_ = SlotKind::kPush;
+      ++push_slots_;
+    } else {
+      in_flight_kind_ = SlotKind::kIdle;  // Schedule padding (kPad mode).
+      ++idle_slots_;
+    }
+  } else {
+    in_flight_page_ = broadcast::kNoPage;
+    in_flight_kind_ = SlotKind::kIdle;
+    ++idle_slots_;
+  }
+  if (trace_ != nullptr) {
+    const sim::TraceEventKind kind =
+        in_flight_kind_ == SlotKind::kPull
+            ? sim::TraceEventKind::kSlotPull
+            : (in_flight_kind_ == SlotKind::kPush
+                   ? sim::TraceEventKind::kSlotPush
+                   : sim::TraceEventKind::kSlotIdle);
+    trace_->Record(simulator_->Now(), kind, in_flight_page_);
+  }
+}
+
+}  // namespace bdisk::server

@@ -1,0 +1,133 @@
+#ifndef BDISK_SERVER_BROADCAST_SERVER_H_
+#define BDISK_SERVER_BROADCAST_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "broadcast/broadcast_program.h"
+#include "broadcast/page.h"
+#include "broadcast/schedule_cursor.h"
+#include "server/pull_queue.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+#include "sim/trace.h"
+#include "sim/types.h"
+
+namespace bdisk::server {
+
+/// What a broadcast slot carried, for accounting.
+enum class SlotKind {
+  kPush,  // A page from the periodic schedule.
+  kPull,  // A page served from the backchannel queue.
+  kIdle,  // Nothing (schedule padding, or Pure-Pull with an empty queue).
+};
+
+/// Receives every page that appears on the frontchannel. All clients snoop
+/// the full broadcast: a page pulled by one client is visible to every
+/// other (§2.3, "request/response with snooping").
+class BroadcastListener {
+ public:
+  virtual ~BroadcastListener() = default;
+
+  /// `page` finished transmission at time `now` (valid page, never kNoPage).
+  /// `kind` says whether the slot was a scheduled push or a pull response.
+  virtual void OnBroadcast(PageId page, SlotKind kind, sim::SimTime now) = 0;
+};
+
+/// The broadcast server: one page per broadcast unit, interleaving the
+/// periodic Broadcast Disk program with responses to backchannel pulls.
+///
+/// Slot semantics: the server picks the content of slot [t, t+1) at time t
+/// (using the queue state at t) and the page is *delivered* to listeners at
+/// t+1, when its transmission completes. Response times therefore include
+/// the transmission unit, matching the paper's ~2-unit Pure-Pull floor.
+///
+/// The Push/Pull MUX (§2.2): when the pull queue is non-empty, a coin
+/// weighted by `pull_bw` decides whether the slot serves the queue head or
+/// the next page of the periodic program; an empty queue always yields the
+/// slot back to the program, so `pull_bw` is an upper bound on pull
+/// bandwidth. With no program at all (Pure-Pull) an empty queue idles the
+/// slot.
+class BroadcastServer {
+ public:
+  /// `program` may be empty (Pure-Pull). `pull_bw` in [0,1] is the PullBW
+  /// fraction. `queue_capacity` is ServerQSize. The server schedules its
+  /// own slot events on `simulator` starting at time Now()+1.
+  BroadcastServer(sim::Simulator* simulator,
+                  broadcast::BroadcastProgram program, double pull_bw,
+                  std::uint32_t queue_capacity, sim::Rng rng);
+
+  BroadcastServer(const BroadcastServer&) = delete;
+  BroadcastServer& operator=(const BroadcastServer&) = delete;
+
+  /// Registers a frontchannel listener (not owned; must outlive the server).
+  void AddListener(BroadcastListener* listener);
+
+  /// Current PullBW fraction.
+  double pull_bw() const { return pull_bw_; }
+
+  /// Re-tunes the PullBW fraction (in [0,1]) at runtime — the knob a
+  /// dynamic controller adjusts (paper §6: "as the contention on the
+  /// server increases, a dynamic algorithm might automatically reduce the
+  /// pull bandwidth"). Takes effect from the next slot decision.
+  void SetPullBw(double pull_bw);
+
+  /// Attaches a trace recorder (not owned; null detaches). Every slot
+  /// decision and request outcome is recorded.
+  void SetTraceRecorder(sim::TraceRecorder* recorder) {
+    trace_ = recorder;
+  }
+
+  /// Submits a backchannel pull request. The return value is for
+  /// instrumentation only — per the model, clients get no feedback and must
+  /// not branch on it.
+  SubmitResult SubmitRequest(PageId page);
+
+  /// The periodic program (empty for Pure-Pull).
+  const broadcast::BroadcastProgram& program() const { return program_; }
+
+  /// Current position in the push schedule (meaningless when the program is
+  /// empty). Clients consult this for the threshold filter — the paper
+  /// assumes clients know the broadcast schedule.
+  std::uint32_t SchedulePosition() const;
+
+  /// Push-schedule slots until `page` next appears from the current
+  /// position; BroadcastProgram::kNeverBroadcast if it is not scheduled.
+  std::uint32_t DistanceToNextPush(PageId page) const;
+
+  /// Request-queue statistics.
+  const PullQueue& queue() const { return queue_; }
+
+  /// Slot accounting.
+  std::uint64_t TotalSlots() const { return total_slots_; }
+  std::uint64_t PushSlots() const { return push_slots_; }
+  std::uint64_t PullSlots() const { return pull_slots_; }
+  std::uint64_t IdleSlots() const { return idle_slots_; }
+
+ private:
+  void OnSlotBoundary();
+  void ChooseNextSlot();
+
+  sim::Simulator* simulator_;
+  broadcast::BroadcastProgram program_;
+  std::optional<broadcast::ScheduleCursor> cursor_;  // Absent if no program.
+  double pull_bw_;
+  PullQueue queue_;
+  sim::Rng rng_;
+  std::vector<BroadcastListener*> listeners_;
+  sim::TraceRecorder* trace_ = nullptr;
+
+  PageId in_flight_page_ = broadcast::kNoPage;
+  SlotKind in_flight_kind_ = SlotKind::kIdle;
+
+  std::uint64_t total_slots_ = 0;
+  std::uint64_t push_slots_ = 0;
+  std::uint64_t pull_slots_ = 0;
+  std::uint64_t idle_slots_ = 0;
+};
+
+}  // namespace bdisk::server
+
+#endif  // BDISK_SERVER_BROADCAST_SERVER_H_

@@ -1,0 +1,42 @@
+#include "server/pull_queue.h"
+
+#include "sim/check.h"
+
+namespace bdisk::server {
+
+PullQueue::PullQueue(std::uint32_t capacity, std::uint32_t db_size)
+    : capacity_(capacity), queued_(db_size, false) {
+  BDISK_CHECK_MSG(capacity >= 1, "queue capacity must be positive");
+}
+
+SubmitResult PullQueue::Submit(PageId page) {
+  BDISK_DCHECK(page < queued_.size());
+  ++submitted_;
+  if (queued_[page]) {
+    ++coalesced_;
+    return SubmitResult::kCoalesced;
+  }
+  if (fifo_.size() >= capacity_) {
+    ++dropped_;
+    return SubmitResult::kDroppedFull;
+  }
+  fifo_.push_back(page);
+  queued_[page] = true;
+  ++accepted_;
+  return SubmitResult::kAccepted;
+}
+
+PageId PullQueue::PopFront() {
+  BDISK_CHECK_MSG(!fifo_.empty(), "PopFront() on an empty queue");
+  const PageId page = fifo_.front();
+  fifo_.pop_front();
+  queued_[page] = false;
+  return page;
+}
+
+double PullQueue::DropRate() const {
+  if (submitted_ == 0) return 0.0;
+  return static_cast<double>(dropped_) / static_cast<double>(submitted_);
+}
+
+}  // namespace bdisk::server

@@ -1,0 +1,73 @@
+#ifndef BDISK_SERVER_PULL_QUEUE_H_
+#define BDISK_SERVER_PULL_QUEUE_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "broadcast/page.h"
+
+namespace bdisk::server {
+
+using broadcast::PageId;
+
+/// Outcome of submitting a pull request to the server (§2.2).
+enum class SubmitResult {
+  /// Queued; the page will eventually be broadcast in a pull slot.
+  kAccepted,
+  /// A request for this page is already queued; the earlier entry will
+  /// satisfy this client too, so the duplicate is ignored.
+  kCoalesced,
+  /// The queue was full; the request is thrown away. Clients receive no
+  /// feedback and fall back on the push schedule (the "safety net") if the
+  /// page is on it.
+  kDroppedFull,
+};
+
+/// The server's bounded backchannel request queue.
+///
+/// Holds up to `capacity` (ServerQSize) *distinct* pages, serviced FIFO.
+/// Matches the paper's server model: duplicate requests coalesce, arrivals
+/// at a full queue are dropped, and the queue never reorders.
+class PullQueue {
+ public:
+  /// `capacity` >= 1; `db_size` bounds valid page ids.
+  PullQueue(std::uint32_t capacity, std::uint32_t db_size);
+
+  /// Submits a request for `page`; returns what happened to it.
+  SubmitResult Submit(PageId page);
+
+  /// Removes and returns the oldest queued page. Queue must be non-empty.
+  PageId PopFront();
+
+  /// True iff `page` is currently queued.
+  bool IsQueued(PageId page) const { return queued_[page]; }
+
+  bool Empty() const { return fifo_.empty(); }
+  std::uint32_t Size() const { return static_cast<std::uint32_t>(fifo_.size()); }
+  std::uint32_t Capacity() const { return capacity_; }
+
+  /// Lifetime counters.
+  std::uint64_t SubmittedCount() const { return submitted_; }
+  std::uint64_t AcceptedCount() const { return accepted_; }
+  std::uint64_t CoalescedCount() const { return coalesced_; }
+  std::uint64_t DroppedCount() const { return dropped_; }
+
+  /// Fraction of submitted requests thrown away because the queue was full.
+  /// (Coalesced requests are *served* by the earlier entry, so they do not
+  /// count as drops.) Returns 0 when nothing was submitted.
+  double DropRate() const;
+
+ private:
+  std::uint32_t capacity_;
+  std::deque<PageId> fifo_;
+  std::vector<bool> queued_;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t coalesced_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace bdisk::server
+
+#endif  // BDISK_SERVER_PULL_QUEUE_H_

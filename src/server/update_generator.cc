@@ -1,0 +1,34 @@
+#include "server/update_generator.h"
+
+#include "sim/check.h"
+
+namespace bdisk::server {
+
+UpdateGenerator::UpdateGenerator(sim::Simulator* simulator, double rate,
+                                 const std::vector<double>& weights,
+                                 sim::Rng rng)
+    : sim::Process(simulator),
+      rate_(rate),
+      sampler_(weights),
+      rng_(rng),
+      versions_(weights.size(), 0) {
+  BDISK_CHECK_MSG(rate > 0.0, "update rate must be positive");
+}
+
+void UpdateGenerator::AddListener(InvalidationListener* listener) {
+  BDISK_CHECK_MSG(listener != nullptr, "null listener");
+  listeners_.push_back(listener);
+}
+
+void UpdateGenerator::OnWakeup() {
+  const auto page = static_cast<broadcast::PageId>(sampler_.Sample(rng_));
+  ++versions_[page];
+  ++updates_;
+  const sim::SimTime now = Now();
+  for (InvalidationListener* listener : listeners_) {
+    listener->OnInvalidate(page, now);
+  }
+  ScheduleWakeup(NextGap());
+}
+
+}  // namespace bdisk::server

@@ -1,0 +1,70 @@
+#ifndef BDISK_SERVER_UPDATE_GENERATOR_H_
+#define BDISK_SERVER_UPDATE_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "broadcast/page.h"
+#include "sim/alias_sampler.h"
+#include "sim/process.h"
+#include "sim/rng.h"
+
+namespace bdisk::server {
+
+/// Receives page-invalidation notices. The paper's companion study
+/// [Acha96b] has the server disseminate an invalidation report; clients
+/// drop stale copies. We model the report as instantaneous and free
+/// (see DESIGN.md): listeners hear about every update when it happens.
+class InvalidationListener {
+ public:
+  virtual ~InvalidationListener() = default;
+
+  /// `page` changed at time `now`; cached copies are now stale.
+  virtual void OnInvalidate(broadcast::PageId page, sim::SimTime now) = 0;
+};
+
+/// Models volatile data (the read-only assumption of §1.4 lifted, as in
+/// the paper's prior work [Acha96b]): pages are updated at the server as a
+/// Poisson process; each update picks its page from a weight vector
+/// (typically the same Zipf shape as reads — hot pages change often).
+///
+/// Each update bumps the page's version and notifies every
+/// InvalidationListener.
+class UpdateGenerator : public sim::Process {
+ public:
+  /// `rate`: expected updates per broadcast unit (> 0).
+  /// `weights[p]`: relative update frequency of page p.
+  UpdateGenerator(sim::Simulator* simulator, double rate,
+                  const std::vector<double>& weights, sim::Rng rng);
+
+  /// Begins generating updates.
+  void Start() { ScheduleWakeup(NextGap()); }
+
+  /// Registers a listener (not owned; must outlive the generator).
+  void AddListener(InvalidationListener* listener);
+
+  /// Total updates generated.
+  std::uint64_t UpdateCount() const { return updates_; }
+
+  /// Current version of `page` (0 = never updated).
+  std::uint64_t Version(broadcast::PageId page) const {
+    return versions_[page];
+  }
+
+ protected:
+  void OnWakeup() override;
+
+ private:
+  double NextGap() { return rng_.NextExponential(1.0 / rate_); }
+
+  double rate_;
+  sim::AliasSampler sampler_;
+  sim::Rng rng_;
+  std::vector<InvalidationListener*> listeners_;
+  std::vector<std::uint64_t> versions_;
+  std::uint64_t updates_ = 0;
+};
+
+}  // namespace bdisk::server
+
+#endif  // BDISK_SERVER_UPDATE_GENERATOR_H_

@@ -1,0 +1,38 @@
+#include "sim/batch_means.h"
+
+#include <cmath>
+
+#include "sim/check.h"
+
+namespace bdisk::sim {
+
+BatchMeans::BatchMeans(std::uint64_t batch_size, double tolerance,
+                       std::uint32_t window)
+    : batch_size_(batch_size), tolerance_(tolerance), window_(window) {
+  BDISK_CHECK_MSG(batch_size >= 1, "batch size must be positive");
+  BDISK_CHECK_MSG(tolerance > 0.0, "tolerance must be positive");
+  BDISK_CHECK_MSG(window >= 1, "window must be positive");
+}
+
+bool BatchMeans::Add(double x) {
+  overall_.Add(x);
+  current_batch_.Add(x);
+  if (current_batch_.Count() < batch_size_) return stable_;
+
+  const double batch_mean = current_batch_.Mean();
+  batch_means_.push_back(batch_mean);
+  current_batch_.Reset();
+
+  const double overall_mean = overall_.Mean();
+  // Relative deviation; an absolute floor of `tolerance_` handles
+  // near-zero means (e.g. Pure-Pull at light load, ~2 units).
+  const double scale = std::max(std::fabs(overall_mean), 1.0);
+  if (std::fabs(batch_mean - overall_mean) <= tolerance_ * scale) {
+    if (++consecutive_ok_ >= window_) stable_ = true;
+  } else {
+    consecutive_ok_ = 0;
+  }
+  return stable_;
+}
+
+}  // namespace bdisk::sim

@@ -1,0 +1,50 @@
+#ifndef BDISK_SIM_BATCH_MEANS_H_
+#define BDISK_SIM_BATCH_MEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/stats.h"
+
+namespace bdisk::sim {
+
+/// Steady-state convergence detector using the method of batch means.
+///
+/// The paper runs each configuration "until the response time stabilized".
+/// This class makes that operational: observations are grouped into batches
+/// of `batch_size`; the run is declared stable once `window` consecutive
+/// batch means each lie within `tolerance` (relative) of the cumulative
+/// mean. Callers still cap total observations to bound runtime.
+class BatchMeans {
+ public:
+  /// `batch_size` observations per batch; stability requires `window`
+  /// consecutive in-tolerance batches.
+  BatchMeans(std::uint64_t batch_size, double tolerance,
+             std::uint32_t window = 3);
+
+  /// Adds one observation; returns true once the series is stable.
+  bool Add(double x);
+
+  /// True once stability has been reached.
+  bool IsStable() const { return stable_; }
+
+  /// Cumulative statistics over all observations.
+  const RunningStats& overall() const { return overall_; }
+
+  /// Means of each completed batch, in order.
+  const std::vector<double>& batch_means() const { return batch_means_; }
+
+ private:
+  std::uint64_t batch_size_;
+  double tolerance_;
+  std::uint32_t window_;
+  RunningStats overall_;
+  RunningStats current_batch_;
+  std::vector<double> batch_means_;
+  std::uint32_t consecutive_ok_ = 0;
+  bool stable_ = false;
+};
+
+}  // namespace bdisk::sim
+
+#endif  // BDISK_SIM_BATCH_MEANS_H_

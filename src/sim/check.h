@@ -1,0 +1,42 @@
+#ifndef BDISK_SIM_CHECK_H_
+#define BDISK_SIM_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Invariant-checking macros.
+//
+// The library does not use exceptions (Google C++ style). Programmer errors
+// (invalid configuration, broken invariants) abort with a diagnostic;
+// runtime-fallible operations return std::optional or a status enum instead.
+//
+// BDISK_CHECK is always on; BDISK_DCHECK compiles out in NDEBUG builds and is
+// reserved for hot-path invariants.
+
+#define BDISK_CHECK(cond)                                                    \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "BDISK_CHECK failed at %s:%d: %s\n", __FILE__,    \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define BDISK_CHECK_MSG(cond, msg)                                           \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "BDISK_CHECK failed at %s:%d: %s (%s)\n",         \
+                   __FILE__, __LINE__, #cond, msg);                          \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#ifdef NDEBUG
+#define BDISK_DCHECK(cond) \
+  do {                     \
+  } while (0)
+#else
+#define BDISK_DCHECK(cond) BDISK_CHECK(cond)
+#endif
+
+#endif  // BDISK_SIM_CHECK_H_

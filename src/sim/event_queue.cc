@@ -1,0 +1,53 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "sim/check.h"
+
+namespace bdisk::sim {
+
+EventId EventQueue::Schedule(SimTime when, Callback callback) {
+  BDISK_CHECK_MSG(std::isfinite(when), "event time must be finite");
+  const EventId id = next_id_++;
+  heap_.push_back(Entry{when, id, std::move(callback)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  pending_.insert(id);
+  return id;
+}
+
+void EventQueue::Cancel(EventId id) {
+  // An id absent from pending_ already fired or was already cancelled; the
+  // heap entry (if any) is skipped lazily in SkipCancelled().
+  pending_.erase(id);
+}
+
+void EventQueue::SkipCancelled() {
+  while (!heap_.empty() && pending_.count(heap_.front().id) == 0) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+  }
+}
+
+SimTime EventQueue::NextTime() {
+  SkipCancelled();
+  return heap_.empty() ? kTimeNever : heap_.front().when;
+}
+
+void EventQueue::Pop(SimTime* when, Callback* callback) {
+  SkipCancelled();
+  BDISK_CHECK_MSG(!heap_.empty(), "Pop() on an empty EventQueue");
+  *when = heap_.front().when;
+  pending_.erase(heap_.front().id);
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  *callback = std::move(heap_.back().callback);
+  heap_.pop_back();
+}
+
+void EventQueue::Clear() {
+  heap_.clear();
+  pending_.clear();
+}
+
+}  // namespace bdisk::sim

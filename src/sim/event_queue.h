@@ -1,0 +1,78 @@
+#ifndef BDISK_SIM_EVENT_QUEUE_H_
+#define BDISK_SIM_EVENT_QUEUE_H_
+
+#include <cstddef>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace bdisk::sim {
+
+/// A time-ordered priority queue of events.
+///
+/// Events scheduled for the same time fire in FIFO order of scheduling
+/// (stable tie-breaking by EventId), which makes simulations deterministic.
+/// Cancellation is lazy: cancelled entries are skipped at pop time, so
+/// Cancel() is O(1) and Pop() stays O(log n) amortized.
+class EventQueue {
+ public:
+  /// The action to run when an event fires.
+  using Callback = std::function<void()>;
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Schedules `callback` to fire at absolute time `when`.
+  /// Returns an id usable with Cancel(). `when` must be finite.
+  EventId Schedule(SimTime when, Callback callback);
+
+  /// Cancels a previously scheduled event. Cancelling an id that already
+  /// fired (or was already cancelled) is a harmless no-op.
+  void Cancel(EventId id);
+
+  /// True iff `id` is scheduled and not yet fired or cancelled.
+  bool IsPending(EventId id) const { return pending_.count(id) != 0; }
+
+  /// True when no live (non-cancelled) events remain.
+  bool Empty() const { return pending_.empty(); }
+
+  /// Number of live events.
+  std::size_t Size() const { return pending_.size(); }
+
+  /// Time of the earliest live event, or kTimeNever when empty.
+  SimTime NextTime();
+
+  /// Removes and returns the earliest live event. Must not be called when
+  /// Empty(). Out-parameters receive the fire time and the callback.
+  void Pop(SimTime* when, Callback* callback);
+
+  /// Drops all events.
+  void Clear();
+
+ private:
+  struct Entry {
+    SimTime when;
+    EventId id;
+    Callback callback;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.id > b.id;  // Earlier-scheduled events fire first.
+    }
+  };
+
+  // Discards cancelled entries sitting at the top of the heap.
+  void SkipCancelled();
+
+  std::vector<Entry> heap_;
+  std::unordered_set<EventId> pending_;  // Scheduled, not fired or cancelled.
+  EventId next_id_ = 1;                  // 0 is kInvalidEventId.
+};
+
+}  // namespace bdisk::sim
+
+#endif  // BDISK_SIM_EVENT_QUEUE_H_

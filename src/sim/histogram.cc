@@ -1,0 +1,79 @@
+#include "sim/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "sim/check.h"
+
+namespace bdisk::sim {
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)) {
+  BDISK_CHECK_MSG(lo < hi, "histogram range must be non-empty");
+  BDISK_CHECK_MSG(buckets >= 1, "histogram needs at least one bucket");
+  counts_.assign(buckets, 0);
+}
+
+void Histogram::Add(double x) {
+  ++count_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto idx = static_cast<std::size_t>((x - lo_) / width_);
+  idx = std::min(idx, counts_.size() - 1);  // Guards FP edge at hi_.
+  ++counts_[idx];
+}
+
+double Histogram::BucketLow(std::size_t i) const {
+  return lo_ + static_cast<double>(i) * width_;
+}
+
+double Histogram::Quantile(double q) const {
+  BDISK_CHECK_MSG(q >= 0.0 && q <= 1.0, "quantile must be in [0,1]");
+  if (count_ == 0) return lo_;
+  const double target = q * static_cast<double>(count_);
+  double cum = static_cast<double>(underflow_);
+  if (cum >= target) return lo_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (next >= target && counts_[i] > 0) {
+      const double frac = (target - cum) / static_cast<double>(counts_[i]);
+      return BucketLow(i) + frac * width_;
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+std::string Histogram::ToAscii(std::size_t max_width) const {
+  std::uint64_t peak = 1;
+  for (const auto c : counts_) peak = std::max(peak, c);
+  std::string out;
+  char line[160];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar_len = static_cast<std::size_t>(
+        std::llround(static_cast<double>(counts_[i]) * max_width /
+                     static_cast<double>(peak)));
+    std::snprintf(line, sizeof(line), "[%10.1f, %10.1f) %8llu ",
+                  BucketLow(i), BucketLow(i) + width_,
+                  static_cast<unsigned long long>(counts_[i]));
+    out += line;
+    out.append(bar_len, '#');
+    out += '\n';
+  }
+  if (underflow_ > 0 || overflow_ > 0) {
+    std::snprintf(line, sizeof(line), "underflow %llu, overflow %llu\n",
+                  static_cast<unsigned long long>(underflow_),
+                  static_cast<unsigned long long>(overflow_));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace bdisk::sim

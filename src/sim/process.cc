@@ -1,0 +1,26 @@
+#include "sim/process.h"
+
+namespace bdisk::sim {
+
+Process::~Process() { CancelWakeup(); }
+
+void Process::ScheduleWakeup(SimTime delay) {
+  CancelWakeup();
+  wakeup_id_ = simulator_->ScheduleAfter(delay, [this] {
+    wakeup_id_ = kInvalidEventId;
+    OnWakeup();
+  });
+}
+
+void Process::CancelWakeup() {
+  if (wakeup_id_ != kInvalidEventId) {
+    simulator_->Cancel(wakeup_id_);
+    wakeup_id_ = kInvalidEventId;
+  }
+}
+
+bool Process::WakeupPending() const {
+  return wakeup_id_ != kInvalidEventId && simulator_->IsPending(wakeup_id_);
+}
+
+}  // namespace bdisk::sim

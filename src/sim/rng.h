@@ -1,0 +1,55 @@
+#ifndef BDISK_SIM_RNG_H_
+#define BDISK_SIM_RNG_H_
+
+#include <cstdint>
+
+namespace bdisk::sim {
+
+/// xoshiro256++ pseudo-random generator (Blackman & Vigna, 2019).
+///
+/// Small, fast, and high quality — suitable for simulation hot paths where
+/// std::mt19937_64's state size and speed are a poor fit. Deterministic for
+/// a given seed, so every experiment in this repo is exactly reproducible.
+/// Satisfies the C++ UniformRandomBitGenerator concept.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the generator. Distinct seeds give statistically independent
+  /// streams (the seed is expanded with SplitMix64 per Vigna's guidance).
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  /// Next 64 uniformly distributed bits.
+  result_type operator()() { return Next(); }
+
+  /// Next 64 uniformly distributed bits.
+  std::uint64_t Next();
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double NextDouble();
+
+  /// Uniform integer in [0, bound), bound > 0. Uses Lemire's unbiased
+  /// multiply-shift rejection method.
+  std::uint64_t NextBounded(std::uint64_t bound);
+
+  /// Bernoulli trial: true with probability `p` (clamped to [0,1]).
+  bool NextBernoulli(double p);
+
+  /// Exponentially distributed variate with the given mean (> 0).
+  double NextExponential(double mean);
+
+  /// Creates an independent child stream; deterministic given this
+  /// generator's current state. Useful for giving each model component its
+  /// own stream so adding a component never perturbs another's draws.
+  Rng Split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace bdisk::sim
+
+#endif  // BDISK_SIM_RNG_H_

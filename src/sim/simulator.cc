@@ -1,0 +1,48 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+#include "sim/check.h"
+
+namespace bdisk::sim {
+
+EventId Simulator::ScheduleAt(SimTime when, EventQueue::Callback callback) {
+  BDISK_CHECK_MSG(when >= now_, "cannot schedule an event in the past");
+  return queue_.Schedule(when, std::move(callback));
+}
+
+EventId Simulator::ScheduleAfter(SimTime delay,
+                                 EventQueue::Callback callback) {
+  BDISK_CHECK_MSG(delay >= 0.0, "negative delay");
+  return queue_.Schedule(now_ + delay, std::move(callback));
+}
+
+void Simulator::Run() {
+  stop_requested_ = false;
+  while (!stop_requested_ && Step()) {
+  }
+}
+
+void Simulator::RunUntil(SimTime deadline) {
+  stop_requested_ = false;
+  while (!stop_requested_) {
+    const SimTime next = queue_.NextTime();
+    if (next == kTimeNever || next > deadline) break;
+    Step();
+  }
+  if (!stop_requested_ && now_ < deadline) now_ = deadline;
+}
+
+bool Simulator::Step() {
+  if (queue_.Empty()) return false;
+  SimTime when = 0.0;
+  EventQueue::Callback callback;
+  queue_.Pop(&when, &callback);
+  BDISK_DCHECK(when >= now_);
+  now_ = when;
+  ++events_executed_;
+  callback();
+  return true;
+}
+
+}  // namespace bdisk::sim

@@ -1,0 +1,20 @@
+#include "sim/time_series.h"
+
+#include "sim/check.h"
+
+namespace bdisk::sim {
+
+void TimeSeries::Add(SimTime time, double value) {
+  BDISK_CHECK_MSG(samples_.empty() || time >= samples_.back().time,
+                  "TimeSeries times must be non-decreasing");
+  samples_.push_back(Sample{time, value});
+}
+
+SimTime TimeSeries::FirstTimeAtOrAbove(double threshold) const {
+  for (const Sample& s : samples_) {
+    if (s.value >= threshold) return s.time;
+  }
+  return kTimeNever;
+}
+
+}  // namespace bdisk::sim

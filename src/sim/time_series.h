@@ -1,0 +1,44 @@
+#ifndef BDISK_SIM_TIME_SERIES_H_
+#define BDISK_SIM_TIME_SERIES_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace bdisk::sim {
+
+/// An append-only series of (time, value) samples with monotonically
+/// non-decreasing times. Records warm-up trajectories (Figure 4: the time at
+/// which each cache-fill percentage is first reached) and any other
+/// time-indexed metric.
+class TimeSeries {
+ public:
+  struct Sample {
+    SimTime time;
+    double value;
+  };
+
+  /// Appends a sample; `time` must be >= the last appended time.
+  void Add(SimTime time, double value);
+
+  /// All samples, in time order.
+  const std::vector<Sample>& samples() const { return samples_; }
+
+  /// Number of samples.
+  std::size_t size() const { return samples_.size(); }
+
+  bool empty() const { return samples_.empty(); }
+
+  /// The first time at which the value reached (>=) `threshold`, or
+  /// kTimeNever if it never did. Values are assumed non-decreasing when this
+  /// query is meaningful (e.g. cache fill fraction).
+  SimTime FirstTimeAtOrAbove(double threshold) const;
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+}  // namespace bdisk::sim
+
+#endif  // BDISK_SIM_TIME_SERIES_H_

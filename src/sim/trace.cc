@@ -1,0 +1,88 @@
+#include "sim/trace.h"
+
+#include <cstdio>
+
+#include "sim/check.h"
+
+namespace bdisk::sim {
+
+const char* TraceEventKindName(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kSlotPush:
+      return "slot_push";
+    case TraceEventKind::kSlotPull:
+      return "slot_pull";
+    case TraceEventKind::kSlotIdle:
+      return "slot_idle";
+    case TraceEventKind::kRequestAccepted:
+      return "request_accepted";
+    case TraceEventKind::kRequestCoalesced:
+      return "request_coalesced";
+    case TraceEventKind::kRequestDropped:
+      return "request_dropped";
+    case TraceEventKind::kMaxValue:
+      break;
+  }
+  return "?";
+}
+
+TraceRecorder::TraceRecorder(std::size_t capacity) : capacity_(capacity) {
+  BDISK_CHECK_MSG(capacity >= 1, "trace capacity must be positive");
+  ring_.reserve(capacity);
+}
+
+void TraceRecorder::Record(SimTime time, TraceEventKind kind,
+                           std::uint32_t page) {
+  BDISK_DCHECK(kind < TraceEventKind::kMaxValue);
+  ++counts_[static_cast<std::size_t>(kind)];
+  ++total_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(TraceEvent{time, kind, page});
+  } else {
+    ring_[next_] = TraceEvent{time, kind, page};
+  }
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<TraceEvent> TraceRecorder::Events() const {
+  std::vector<TraceEvent> ordered;
+  ordered.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    ordered = ring_;
+  } else {
+    // Ring is full: next_ points at the oldest entry.
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+      ordered.push_back(ring_[(next_ + i) % capacity_]);
+    }
+  }
+  return ordered;
+}
+
+std::uint64_t TraceRecorder::Count(TraceEventKind kind) const {
+  BDISK_DCHECK(kind < TraceEventKind::kMaxValue);
+  return counts_[static_cast<std::size_t>(kind)];
+}
+
+std::uint64_t TraceRecorder::DroppedEvents() const {
+  return total_ - ring_.size();
+}
+
+std::string TraceRecorder::ToCsv() const {
+  std::string out = "time,kind,page\n";
+  char line[96];
+  for (const TraceEvent& event : Events()) {
+    std::snprintf(line, sizeof(line), "%.3f,%s,%u\n", event.time,
+                  TraceEventKindName(event.kind), event.page);
+    out += line;
+  }
+  return out;
+}
+
+void TraceRecorder::Clear() {
+  ring_.clear();
+  next_ = 0;
+  total_ = 0;
+  counts_.fill(0);
+}
+
+}  // namespace bdisk::sim

@@ -1,0 +1,77 @@
+#ifndef BDISK_SIM_TRACE_H_
+#define BDISK_SIM_TRACE_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace bdisk::sim {
+
+/// Kinds of traced events (broadcast server instrumentation).
+enum class TraceEventKind : std::uint8_t {
+  kSlotPush = 0,     // A scheduled page went out.
+  kSlotPull,         // A pulled page went out.
+  kSlotIdle,         // Nothing went out (padding / empty pull queue).
+  kRequestAccepted,  // Backchannel request queued.
+  kRequestCoalesced, // Backchannel request merged with a queued one.
+  kRequestDropped,   // Backchannel request thrown away (queue full).
+  kMaxValue,         // Sentinel; keep last.
+};
+
+/// Human-readable kind name.
+const char* TraceEventKindName(TraceEventKind kind);
+
+/// One traced event. `page` is the page involved (kNoPage-equivalent
+/// 0xFFFFFFFF for idle slots).
+struct TraceEvent {
+  SimTime time;
+  TraceEventKind kind;
+  std::uint32_t page;
+};
+
+/// A bounded in-memory event trace.
+///
+/// Keeps the most recent `capacity` events in a ring (older events are
+/// overwritten, counted in DroppedEvents()) plus exact per-kind lifetime
+/// counts. Intended for debugging simulations and asserting fine-grained
+/// behaviour in tests; attach via BroadcastServer::SetTraceRecorder.
+class TraceRecorder {
+ public:
+  /// `capacity` >= 1 bounds memory; default keeps the last 64Ki events.
+  explicit TraceRecorder(std::size_t capacity = 1 << 16);
+
+  /// Appends one event.
+  void Record(SimTime time, TraceEventKind kind, std::uint32_t page);
+
+  /// Events currently retained, oldest first.
+  std::vector<TraceEvent> Events() const;
+
+  /// Lifetime count of events of `kind` (including overwritten ones).
+  std::uint64_t Count(TraceEventKind kind) const;
+
+  /// Total events ever recorded / lost to the ring bound.
+  std::uint64_t TotalEvents() const { return total_; }
+  std::uint64_t DroppedEvents() const;
+
+  /// Renders retained events as CSV: time,kind,page.
+  std::string ToCsv() const;
+
+  /// Forgets retained events and counters.
+  void Clear();
+
+ private:
+  std::size_t capacity_;
+  std::vector<TraceEvent> ring_;
+  std::size_t next_ = 0;
+  std::uint64_t total_ = 0;
+  std::array<std::uint64_t, static_cast<std::size_t>(
+                                TraceEventKind::kMaxValue)>
+      counts_{};
+};
+
+}  // namespace bdisk::sim
+
+#endif  // BDISK_SIM_TRACE_H_

@@ -1,0 +1,26 @@
+#ifndef BDISK_SIM_TYPES_H_
+#define BDISK_SIM_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace bdisk::sim {
+
+/// Simulated time, measured in *broadcast units*: the time the server needs
+/// to broadcast exactly one page. All latencies in the paper are reported in
+/// this unit, which makes results independent of physical channel bandwidth.
+using SimTime = double;
+
+/// Sentinel for "never" / "no such event".
+inline constexpr SimTime kTimeNever = std::numeric_limits<SimTime>::infinity();
+
+/// Monotonic identifier assigned to scheduled events; used both for stable
+/// FIFO tie-breaking of simultaneous events and for O(1) cancellation.
+using EventId = std::uint64_t;
+
+/// Sentinel returned for events that were never scheduled.
+inline constexpr EventId kInvalidEventId = 0;
+
+}  // namespace bdisk::sim
+
+#endif  // BDISK_SIM_TYPES_H_

@@ -1,0 +1,22 @@
+#include "sim/zipf.h"
+
+#include <cmath>
+
+#include "sim/check.h"
+
+namespace bdisk::sim {
+
+std::vector<double> ZipfPmf(std::size_t n, double theta) {
+  BDISK_CHECK_MSG(n > 0, "Zipf needs at least one item");
+  BDISK_CHECK_MSG(theta >= 0.0, "Zipf parameter must be non-negative");
+  std::vector<double> pmf(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    pmf[i] = std::pow(1.0 / static_cast<double>(i + 1), theta);
+    total += pmf[i];
+  }
+  for (double& p : pmf) p /= total;
+  return pmf;
+}
+
+}  // namespace bdisk::sim

@@ -1,0 +1,21 @@
+#ifndef BDISK_SIM_ZIPF_H_
+#define BDISK_SIM_ZIPF_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace bdisk::sim {
+
+/// The Zipf probability mass function used throughout the paper to model
+/// skewed client access patterns [Knut81].
+///
+/// With parameter theta, rank i (1-based) has probability proportional to
+/// (1/i)^theta. theta = 0 is uniform; the paper uses theta = 0.95.
+///
+/// Returns probabilities by *rank*: index 0 is the hottest item. Mapping
+/// ranks to page ids is the workload layer's job (see workload::Noise).
+std::vector<double> ZipfPmf(std::size_t n, double theta);
+
+}  // namespace bdisk::sim
+
+#endif  // BDISK_SIM_ZIPF_H_

@@ -1,0 +1,11 @@
+#include "workload/think_time.h"
+
+#include "sim/check.h"
+
+namespace bdisk::workload {
+
+ThinkTime::ThinkTime(Kind kind, sim::SimTime mean) : kind_(kind), mean_(mean) {
+  BDISK_CHECK_MSG(mean > 0.0, "think time mean must be positive");
+}
+
+}  // namespace bdisk::workload

@@ -1,0 +1,49 @@
+#ifndef BDISK_WORKLOAD_THINK_TIME_H_
+#define BDISK_WORKLOAD_THINK_TIME_H_
+
+#include "sim/rng.h"
+#include "sim/types.h"
+
+namespace bdisk::workload {
+
+/// Think-time model for the request-think client loop.
+///
+/// The measured client waits a *fixed* ThinkTime (20 units) between
+/// requests; the virtual client's think time is *exponential* with mean
+/// ThinkTime / ThinkTimeRatio, so raising the ratio models a proportionally
+/// larger client population (§3.1).
+class ThinkTime {
+ public:
+  enum class Kind { kFixed, kExponential };
+
+  /// Fixed think time of exactly `mean` units.
+  static ThinkTime Fixed(sim::SimTime mean) {
+    return ThinkTime(Kind::kFixed, mean);
+  }
+
+  /// Exponentially distributed think time with the given mean.
+  static ThinkTime Exponential(sim::SimTime mean) {
+    return ThinkTime(Kind::kExponential, mean);
+  }
+
+  /// Draws the next think interval.
+  sim::SimTime Next(sim::Rng& rng) const {
+    return kind_ == Kind::kFixed ? mean_ : rng.NextExponential(mean_);
+  }
+
+  /// The configured mean.
+  sim::SimTime Mean() const { return mean_; }
+
+  /// The model kind.
+  Kind kind() const { return kind_; }
+
+ private:
+  ThinkTime(Kind kind, sim::SimTime mean);
+
+  Kind kind_;
+  sim::SimTime mean_;
+};
+
+}  // namespace bdisk::workload
+
+#endif  // BDISK_WORKLOAD_THINK_TIME_H_

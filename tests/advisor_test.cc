@@ -1,0 +1,90 @@
+#include "analysis/advisor.h"
+
+#include <gtest/gtest.h>
+
+namespace bdisk::analysis {
+namespace {
+
+core::SystemConfig BaseConfig() {
+  core::SystemConfig config;
+  config.server_db_size = 100;
+  config.disks = broadcast::DiskConfig{{10, 40, 50}, {3, 2, 1}};
+  config.cache_size = 10;
+  config.server_queue_size = 10;
+  config.mc_think_time = 5.0;
+  return config;
+}
+
+TEST(AdvisorTest, LightLoadPrefersAggressivePull) {
+  core::SystemConfig config = BaseConfig();
+  config.think_time_ratio = 5.0;
+  const Recommendation rec = Recommend(config);
+  EXPECT_GE(rec.pull_bw, 0.5);
+  EXPECT_LE(rec.thres_perc, 0.10);
+  EXPECT_GT(rec.predicted_response, 0.0);
+}
+
+TEST(AdvisorTest, HeavyLoadPrefersConservativeBackchannel) {
+  core::SystemConfig config = BaseConfig();
+  config.think_time_ratio = 500.0;
+  const Recommendation heavy = Recommend(config);
+
+  config.think_time_ratio = 5.0;
+  const Recommendation light = Recommend(config);
+  // Under saturation the advisor must back off relative to light load:
+  // larger threshold and/or less pull bandwidth.
+  EXPECT_TRUE(heavy.thres_perc > light.thres_perc ||
+              heavy.pull_bw < light.pull_bw);
+}
+
+TEST(AdvisorTest, RobustWorstCaseIsAtLeastEachPointwise) {
+  core::SystemConfig config = BaseConfig();
+  const std::vector<double> loads = {5.0, 50.0, 500.0};
+  const Recommendation robust = RecommendRobust(config, loads);
+  for (const double ttr : loads) {
+    config.think_time_ratio = ttr;
+    const Recommendation pointwise = Recommend(config);
+    EXPECT_GE(robust.predicted_response,
+              pointwise.predicted_response - 1e-9);
+  }
+}
+
+TEST(AdvisorTest, RobustBeatsExtremeKnobsAcrossTheRange) {
+  // The robust pick's worst case must not exceed the worst case of the
+  // most aggressive grid point (that is the point of hedging).
+  core::SystemConfig config = BaseConfig();
+  const std::vector<double> loads = {5.0, 500.0};
+  const Recommendation robust = RecommendRobust(config, loads);
+
+  double aggressive_worst = 0.0;
+  for (const double ttr : loads) {
+    core::SystemConfig point = config;
+    point.mode = core::DeliveryMode::kIpp;
+    point.think_time_ratio = ttr;
+    point.pull_bw = 0.9;
+    point.thres_perc = 0.0;
+    aggressive_worst = std::max(
+        aggressive_worst, PredictResponse(point).mean_response);
+  }
+  EXPECT_LE(robust.predicted_response, aggressive_worst + 1e-9);
+}
+
+TEST(AdvisorTest, SearchesChopGridWhenProvided) {
+  core::SystemConfig config = BaseConfig();
+  config.think_time_ratio = 10.0;
+  AdvisorGrid grid;
+  grid.chop = {0, 50};
+  const Recommendation rec = Recommend(config, grid);
+  EXPECT_TRUE(rec.chop == 0 || rec.chop == 50);
+}
+
+TEST(AdvisorDeathTest, RejectsEmptyInput) {
+  core::SystemConfig config = BaseConfig();
+  EXPECT_DEATH(RecommendRobust(config, {}), "at least one");
+  AdvisorGrid grid;
+  grid.pull_bw = {};
+  EXPECT_DEATH(Recommend(config, grid), "non-empty");
+}
+
+}  // namespace
+}  // namespace bdisk::analysis

@@ -1,0 +1,94 @@
+#include "sim/batch_means.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.h"
+
+namespace bdisk::sim {
+namespace {
+
+TEST(BatchMeansTest, ConstantSeriesStabilizesQuickly) {
+  BatchMeans bm(10, 0.01, 3);
+  bool stable = false;
+  int added = 0;
+  while (!stable && added < 1000) {
+    stable = bm.Add(5.0);
+    ++added;
+  }
+  EXPECT_TRUE(stable);
+  EXPECT_EQ(added, 30);  // Exactly 3 batches of 10.
+  EXPECT_EQ(bm.overall().Mean(), 5.0);
+}
+
+TEST(BatchMeansTest, TrendingSeriesDoesNotStabilize) {
+  BatchMeans bm(10, 0.01, 3);
+  bool stable = false;
+  for (int i = 0; i < 1000; ++i) {
+    stable = bm.Add(static_cast<double>(i));  // Strong upward trend.
+  }
+  EXPECT_FALSE(stable);
+}
+
+TEST(BatchMeansTest, NoisyStationarySeriesStabilizes) {
+  Rng rng(42);
+  BatchMeans bm(500, 0.05, 3);
+  bool stable = false;
+  int added = 0;
+  while (!stable && added < 100000) {
+    stable = bm.Add(100.0 + (rng.NextDouble() - 0.5) * 20.0);
+    ++added;
+  }
+  EXPECT_TRUE(stable);
+  EXPECT_NEAR(bm.overall().Mean(), 100.0, 1.0);
+}
+
+TEST(BatchMeansTest, StabilityLatchesOnceReached) {
+  BatchMeans bm(5, 0.01, 1);
+  for (int i = 0; i < 5; ++i) bm.Add(1.0);
+  EXPECT_TRUE(bm.IsStable());
+  // A wild value afterwards does not un-latch IsStable.
+  bm.Add(1000.0);
+  EXPECT_TRUE(bm.IsStable());
+}
+
+TEST(BatchMeansTest, BatchMeansRecorded) {
+  BatchMeans bm(2, 0.5, 2);
+  bm.Add(1.0);
+  bm.Add(3.0);  // Batch mean 2.
+  bm.Add(5.0);
+  bm.Add(7.0);  // Batch mean 6.
+  ASSERT_EQ(bm.batch_means().size(), 2U);
+  EXPECT_EQ(bm.batch_means()[0], 2.0);
+  EXPECT_EQ(bm.batch_means()[1], 6.0);
+}
+
+TEST(BatchMeansTest, DeviationResetsTheWindow) {
+  BatchMeans bm(1, 0.01, 3);
+  bm.Add(10.0);  // ok (mean == batch)
+  bm.Add(10.0);  // ok
+  bm.Add(50.0);  // far off the cumulative mean: resets window
+  EXPECT_FALSE(bm.IsStable());
+}
+
+TEST(BatchMeansTest, NearZeroMeansUseAbsoluteFloor) {
+  // Means below 1 would make a purely relative test hypersensitive; the
+  // implementation clamps the scale at 1.0.
+  BatchMeans bm(10, 0.05, 3);
+  bool stable = false;
+  int added = 0;
+  Rng rng(7);
+  while (!stable && added < 10000) {
+    stable = bm.Add(rng.NextDouble() * 0.02);  // Mean ~0.01.
+    ++added;
+  }
+  EXPECT_TRUE(stable);
+}
+
+TEST(BatchMeansDeathTest, RejectsBadParameters) {
+  EXPECT_DEATH(BatchMeans(0, 0.1, 1), "batch size");
+  EXPECT_DEATH(BatchMeans(10, 0.0, 1), "tolerance");
+  EXPECT_DEATH(BatchMeans(10, 0.1, 0), "window");
+}
+
+}  // namespace
+}  // namespace bdisk::sim

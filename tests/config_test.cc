@@ -1,0 +1,106 @@
+#include "core/config.h"
+
+#include <gtest/gtest.h>
+
+namespace bdisk::core {
+namespace {
+
+TEST(ConfigTest, DefaultsAreThePaperTable3AndValid) {
+  SystemConfig config;
+  EXPECT_TRUE(config.Validate().empty()) << config.Validate();
+  EXPECT_EQ(config.server_db_size, 1000U);
+  EXPECT_EQ(config.cache_size, 100U);
+  EXPECT_EQ(config.server_queue_size, 100U);
+  EXPECT_EQ(config.mc_think_time, 20.0);
+  EXPECT_EQ(config.zipf_theta, 0.95);
+  EXPECT_EQ(config.disks.sizes, (std::vector<std::uint32_t>{100, 400, 500}));
+  EXPECT_EQ(config.disks.rel_freqs, (std::vector<std::uint32_t>{3, 2, 1}));
+  EXPECT_EQ(config.EffectiveOffset(), 100U);  // Offset = CacheSize.
+}
+
+TEST(ConfigTest, EffectivePullBwFollowsMode) {
+  SystemConfig config;
+  config.pull_bw = 0.3;
+  config.mode = DeliveryMode::kPurePush;
+  EXPECT_EQ(config.EffectivePullBw(), 0.0);
+  config.mode = DeliveryMode::kPurePull;
+  EXPECT_EQ(config.EffectivePullBw(), 1.0);
+  config.mode = DeliveryMode::kIpp;
+  EXPECT_EQ(config.EffectivePullBw(), 0.3);
+}
+
+TEST(ConfigTest, ModeNames) {
+  EXPECT_STREQ(DeliveryModeName(DeliveryMode::kPurePush), "Push");
+  EXPECT_STREQ(DeliveryModeName(DeliveryMode::kPurePull), "Pull");
+  EXPECT_STREQ(DeliveryModeName(DeliveryMode::kIpp), "IPP");
+}
+
+TEST(ConfigTest, RejectsDiskSizeMismatch) {
+  SystemConfig config;
+  config.server_db_size = 900;
+  EXPECT_NE(config.Validate().find("sum"), std::string::npos);
+}
+
+TEST(ConfigTest, PurePullIgnoresDiskShape) {
+  SystemConfig config;
+  config.mode = DeliveryMode::kPurePull;
+  config.server_db_size = 900;  // Disks no longer match: fine for pull.
+  EXPECT_TRUE(config.Validate().empty()) << config.Validate();
+}
+
+TEST(ConfigTest, RejectsIppWithZeroPullBw) {
+  SystemConfig config;
+  config.pull_bw = 0.0;
+  EXPECT_NE(config.Validate().find("Pure-Push"), std::string::npos);
+}
+
+TEST(ConfigTest, RejectsPushWithTruncation) {
+  SystemConfig config;
+  config.mode = DeliveryMode::kPurePush;
+  config.chop_count = 100;
+  EXPECT_NE(config.Validate().find("truncate"), std::string::npos);
+}
+
+TEST(ConfigTest, RejectsChopOfEverything) {
+  SystemConfig config;
+  config.chop_count = 1000;
+  EXPECT_FALSE(config.Validate().empty());
+}
+
+TEST(ConfigTest, RejectsOffsetBeyondBroadcastPages) {
+  SystemConfig config;
+  config.chop_count = 950;
+  config.offset = 100;
+  EXPECT_NE(config.Validate().find("offset"), std::string::npos);
+}
+
+TEST(ConfigTest, RejectsCacheAsLargeAsDatabase) {
+  SystemConfig config;
+  config.cache_size = 1000;
+  EXPECT_NE(config.Validate().find("smaller"), std::string::npos);
+}
+
+TEST(ConfigTest, RejectsBadFractions) {
+  SystemConfig config;
+  config.thres_perc = 1.2;
+  EXPECT_FALSE(config.Validate().empty());
+  config = SystemConfig{};
+  config.noise = -0.2;
+  EXPECT_FALSE(config.Validate().empty());
+  config = SystemConfig{};
+  config.steady_state_perc = 2.0;
+  EXPECT_FALSE(config.Validate().empty());
+  config = SystemConfig{};
+  config.pull_bw = 1.0001;
+  EXPECT_FALSE(config.Validate().empty());
+}
+
+TEST(ConfigTest, ExplicitOffsetOverridesDefault) {
+  SystemConfig config;
+  config.offset = 0;
+  EXPECT_EQ(config.EffectiveOffset(), 0U);
+  EXPECT_TRUE(config.Validate().empty());
+}
+
+}  // namespace
+}  // namespace bdisk::core

@@ -1,0 +1,68 @@
+#include "broadcast/disk_config.h"
+
+#include <gtest/gtest.h>
+
+namespace bdisk::broadcast {
+namespace {
+
+TEST(DiskConfigTest, PaperConfiguration) {
+  const DiskConfig config = DiskConfig::Paper();
+  EXPECT_EQ(config.NumDisks(), 3U);
+  EXPECT_EQ(config.TotalPages(), 1000U);
+  EXPECT_EQ(config.sizes, (std::vector<std::uint32_t>{100, 400, 500}));
+  EXPECT_EQ(config.rel_freqs, (std::vector<std::uint32_t>{3, 2, 1}));
+  EXPECT_TRUE(config.Validate().empty());
+}
+
+TEST(DiskConfigTest, Figure1Configuration) {
+  const DiskConfig config = DiskConfig::Figure1();
+  EXPECT_EQ(config.TotalPages(), 7U);
+  EXPECT_EQ(config.rel_freqs, (std::vector<std::uint32_t>{4, 2, 1}));
+  EXPECT_TRUE(config.Validate().empty());
+}
+
+TEST(DiskConfigTest, RejectsEmpty) {
+  DiskConfig config;
+  EXPECT_FALSE(config.Validate().empty());
+}
+
+TEST(DiskConfigTest, RejectsMismatchedLengths) {
+  DiskConfig config{{10, 20}, {2}};
+  EXPECT_NE(config.Validate().find("same length"), std::string::npos);
+}
+
+TEST(DiskConfigTest, RejectsZeroFrequency) {
+  DiskConfig config{{10}, {0}};
+  EXPECT_NE(config.Validate().find(">= 1"), std::string::npos);
+}
+
+TEST(DiskConfigTest, RejectsIncreasingFrequencies) {
+  DiskConfig config{{10, 10}, {1, 2}};
+  EXPECT_NE(config.Validate().find("non-increasing"), std::string::npos);
+}
+
+TEST(DiskConfigTest, AllowsEqualFrequencies) {
+  DiskConfig config{{10, 10}, {2, 2}};
+  EXPECT_TRUE(config.Validate().empty());
+}
+
+TEST(DiskConfigTest, AllowsZeroSizedDisk) {
+  // Fully truncated disks are legal; they are skipped at build time.
+  DiskConfig config{{10, 0}, {2, 1}};
+  EXPECT_TRUE(config.Validate().empty());
+  EXPECT_EQ(config.TotalPages(), 10U);
+}
+
+TEST(DiskConfigTest, RejectsAllEmpty) {
+  DiskConfig config{{0, 0}, {2, 1}};
+  EXPECT_NE(config.Validate().find("at least one page"), std::string::npos);
+}
+
+TEST(DiskConfigTest, SingleFlatDisk) {
+  // A one-disk program is the "flat disk" of Datacycle/BCIS (§5).
+  DiskConfig config{{1000}, {1}};
+  EXPECT_TRUE(config.Validate().empty());
+}
+
+}  // namespace
+}  // namespace bdisk::broadcast

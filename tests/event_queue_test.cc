@@ -1,0 +1,148 @@
+#include "sim/event_queue.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace bdisk::sim {
+namespace {
+
+TEST(EventQueueTest, StartsEmpty) {
+  EventQueue queue;
+  EXPECT_TRUE(queue.Empty());
+  EXPECT_EQ(queue.Size(), 0U);
+  EXPECT_EQ(queue.NextTime(), kTimeNever);
+}
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> fired;
+  queue.Schedule(3.0, [&] { fired.push_back(3); });
+  queue.Schedule(1.0, [&] { fired.push_back(1); });
+  queue.Schedule(2.0, [&] { fired.push_back(2); });
+
+  while (!queue.Empty()) {
+    SimTime when;
+    EventQueue::Callback cb;
+    queue.Pop(&when, &cb);
+    cb();
+  }
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, SimultaneousEventsFireInScheduleOrder) {
+  EventQueue queue;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) {
+    queue.Schedule(5.0, [&fired, i] { fired.push_back(i); });
+  }
+  while (!queue.Empty()) {
+    SimTime when;
+    EventQueue::Callback cb;
+    queue.Pop(&when, &cb);
+    EXPECT_EQ(when, 5.0);
+    cb();
+  }
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+}
+
+TEST(EventQueueTest, NextTimeReportsEarliest) {
+  EventQueue queue;
+  queue.Schedule(7.0, [] {});
+  queue.Schedule(4.0, [] {});
+  EXPECT_EQ(queue.NextTime(), 4.0);
+}
+
+TEST(EventQueueTest, CancelPreventsFiring) {
+  EventQueue queue;
+  bool fired = false;
+  const EventId id = queue.Schedule(1.0, [&] { fired = true; });
+  queue.Schedule(2.0, [] {});
+  EXPECT_TRUE(queue.IsPending(id));
+  queue.Cancel(id);
+  EXPECT_FALSE(queue.IsPending(id));
+  EXPECT_EQ(queue.Size(), 1U);
+  EXPECT_EQ(queue.NextTime(), 2.0);
+
+  SimTime when;
+  EventQueue::Callback cb;
+  queue.Pop(&when, &cb);
+  EXPECT_EQ(when, 2.0);
+  EXPECT_FALSE(fired);
+  EXPECT_TRUE(queue.Empty());
+}
+
+TEST(EventQueueTest, CancelAfterFireIsHarmless) {
+  EventQueue queue;
+  const EventId id = queue.Schedule(1.0, [] {});
+  SimTime when;
+  EventQueue::Callback cb;
+  queue.Pop(&when, &cb);
+  queue.Cancel(id);  // Already fired: must be a no-op.
+  EXPECT_TRUE(queue.Empty());
+
+  // A new event must still work after the stale cancel.
+  const EventId id2 = queue.Schedule(2.0, [] {});
+  EXPECT_TRUE(queue.IsPending(id2));
+  EXPECT_EQ(queue.Size(), 1U);
+}
+
+TEST(EventQueueTest, CancelInvalidIdIsHarmless) {
+  EventQueue queue;
+  queue.Cancel(kInvalidEventId);
+  queue.Cancel(12345);
+  EXPECT_TRUE(queue.Empty());
+}
+
+TEST(EventQueueTest, DoubleCancelIsHarmless) {
+  EventQueue queue;
+  const EventId id = queue.Schedule(1.0, [] {});
+  queue.Cancel(id);
+  queue.Cancel(id);
+  EXPECT_TRUE(queue.Empty());
+}
+
+TEST(EventQueueTest, ClearDropsEverything) {
+  EventQueue queue;
+  queue.Schedule(1.0, [] {});
+  queue.Schedule(2.0, [] {});
+  queue.Clear();
+  EXPECT_TRUE(queue.Empty());
+  EXPECT_EQ(queue.NextTime(), kTimeNever);
+}
+
+TEST(EventQueueTest, InterleavedScheduleAndPop) {
+  EventQueue queue;
+  std::vector<double> times;
+  queue.Schedule(1.0, [] {});
+  queue.Schedule(5.0, [] {});
+  SimTime when;
+  EventQueue::Callback cb;
+  queue.Pop(&when, &cb);
+  times.push_back(when);
+  queue.Schedule(3.0, [] {});
+  queue.Pop(&when, &cb);
+  times.push_back(when);
+  queue.Pop(&when, &cb);
+  times.push_back(when);
+  EXPECT_EQ(times, (std::vector<double>{1.0, 3.0, 5.0}));
+}
+
+TEST(EventQueueTest, ManyEventsStressOrdering) {
+  EventQueue queue;
+  // Pseudo-random insertion order, ascending pop order.
+  for (int i = 0; i < 1000; ++i) {
+    queue.Schedule(static_cast<double>((i * 7919) % 1000), [] {});
+  }
+  SimTime prev = -1.0;
+  while (!queue.Empty()) {
+    SimTime when;
+    EventQueue::Callback cb;
+    queue.Pop(&when, &cb);
+    EXPECT_GE(when, prev);
+    prev = when;
+  }
+}
+
+}  // namespace
+}  // namespace bdisk::sim

@@ -1,0 +1,112 @@
+#include "core/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace bdisk::core {
+namespace {
+
+SystemConfig SmallConfig(double ttr) {
+  SystemConfig config;
+  config.server_db_size = 100;
+  config.disks = broadcast::DiskConfig{{10, 40, 50}, {3, 2, 1}};
+  config.cache_size = 10;
+  config.server_queue_size = 10;
+  config.mc_think_time = 5.0;
+  config.think_time_ratio = ttr;
+  config.seed = 7;
+  return config;
+}
+
+SteadyStateProtocol FastProtocol() {
+  SteadyStateProtocol protocol;
+  protocol.post_fill_accesses = 100;
+  protocol.min_measured_accesses = 1000;
+  protocol.max_measured_accesses = 3000;
+  protocol.batch_size = 500;
+  protocol.tolerance = 0.1;
+  return protocol;
+}
+
+TEST(ExperimentTest, EmptySweep) {
+  EXPECT_TRUE(RunSweep({}).empty());
+}
+
+TEST(ExperimentTest, OutcomesKeepInputOrderAndLabels) {
+  std::vector<SweepPoint> points;
+  for (const double ttr : {5.0, 10.0, 20.0}) {
+    SweepPoint point;
+    point.curve = "IPP";
+    point.x = ttr;
+    point.config = SmallConfig(ttr);
+    points.push_back(point);
+  }
+  const auto outcomes = RunSweep(points, FastProtocol());
+  ASSERT_EQ(outcomes.size(), 3U);
+  EXPECT_EQ(outcomes[0].point.x, 5.0);
+  EXPECT_EQ(outcomes[1].point.x, 10.0);
+  EXPECT_EQ(outcomes[2].point.x, 20.0);
+  for (const auto& outcome : outcomes) {
+    EXPECT_EQ(outcome.point.curve, "IPP");
+    EXPECT_GT(outcome.result.mean_response, 0.0);
+  }
+}
+
+TEST(ExperimentTest, ParallelMatchesSerial) {
+  std::vector<SweepPoint> points;
+  for (const double ttr : {5.0, 25.0}) {
+    SweepPoint point;
+    point.x = ttr;
+    point.config = SmallConfig(ttr);
+    points.push_back(point);
+  }
+  const auto serial = RunSweep(points, FastProtocol(), {}, 1);
+  const auto parallel = RunSweep(points, FastProtocol(), {}, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].result.mean_response,
+              parallel[i].result.mean_response);
+  }
+}
+
+TEST(ExperimentTest, ReplicationsAggregateAcrossSeeds) {
+  const auto result = RunReplicated(SmallConfig(10.0), 4, FastProtocol());
+  EXPECT_EQ(result.means.Count(), 4U);
+  EXPECT_EQ(result.replications.size(), 4U);
+  EXPECT_GT(result.means.Mean(), 0.0);
+  EXPECT_GT(result.ci95_half_width, 0.0);
+  // Seeds differ, so replications are not literally identical...
+  EXPECT_GT(result.means.StdDev(), 0.0);
+  // ...but they estimate the same quantity: CI is small relative to mean.
+  EXPECT_LT(result.ci95_half_width, result.means.Mean());
+}
+
+TEST(ExperimentTest, SingleReplicationHasNoInterval) {
+  const auto result = RunReplicated(SmallConfig(10.0), 1, FastProtocol());
+  EXPECT_EQ(result.means.Count(), 1U);
+  EXPECT_EQ(result.ci95_half_width, 0.0);
+}
+
+TEST(ExperimentTest, ReplicationIsDeterministic) {
+  const auto a = RunReplicated(SmallConfig(10.0), 3, FastProtocol());
+  const auto b = RunReplicated(SmallConfig(10.0), 3, FastProtocol());
+  EXPECT_EQ(a.means.Mean(), b.means.Mean());
+}
+
+TEST(ExperimentDeathTest, ReplicationNeedsAtLeastOne) {
+  EXPECT_DEATH(RunReplicated(SmallConfig(10.0), 0, FastProtocol()),
+               "at least one");
+}
+
+TEST(ExperimentTest, MixedWarmupAndSteadyPoints) {
+  std::vector<SweepPoint> points(2);
+  points[0].config = SmallConfig(5.0);
+  points[0].warmup_run = false;
+  points[1].config = SmallConfig(5.0);
+  points[1].warmup_run = true;
+  const auto outcomes = RunSweep(points, FastProtocol());
+  EXPECT_TRUE(outcomes[0].result.warmup.empty());
+  EXPECT_FALSE(outcomes[1].result.warmup.empty());
+}
+
+}  // namespace
+}  // namespace bdisk::core

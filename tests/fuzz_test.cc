@@ -1,0 +1,137 @@
+// Randomized model-checking ("fuzz") tests: drive components with long
+// random operation sequences and compare against trivially correct
+// reference models.
+
+#include <deque>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "server/pull_queue.h"
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+
+namespace bdisk {
+namespace {
+
+// ---------------------------------------------------------- EventQueue
+
+TEST(EventQueueFuzzTest, MatchesReferenceMultimapModel) {
+  sim::EventQueue queue;
+  // Reference: (time, id) -> alive?; ordering is (time, id).
+  std::map<std::pair<double, sim::EventId>, bool> model;
+  sim::Rng rng(2024);
+
+  for (int step = 0; step < 20000; ++step) {
+    const std::uint64_t op = rng.NextBounded(10);
+    if (op < 5) {  // Schedule.
+      const double when = rng.NextDouble() * 1000.0;
+      const sim::EventId id = queue.Schedule(when, [] {});
+      model[{when, id}] = true;
+    } else if (op < 7 && !model.empty()) {  // Cancel a random known event.
+      auto it = model.begin();
+      std::advance(it, rng.NextBounded(model.size()));
+      queue.Cancel(it->first.second);
+      model.erase(it);
+    } else if (op == 7) {  // Cancel ids that are guaranteed not live.
+      queue.Cancel(sim::kInvalidEventId);
+      queue.Cancel((1ULL << 40) + rng.NextBounded(1000));  // Never issued.
+    } else if (!queue.Empty()) {  // Pop.
+      sim::SimTime when;
+      sim::EventQueue::Callback cb;
+      queue.Pop(&when, &cb);
+      ASSERT_FALSE(model.empty());
+      EXPECT_EQ(when, model.begin()->first.first);
+      model.erase(model.begin());
+    }
+    ASSERT_EQ(queue.Size(), model.size()) << "step " << step;
+    if (!model.empty()) {
+      EXPECT_EQ(queue.NextTime(), model.begin()->first.first);
+    }
+  }
+}
+
+TEST(EventQueueFuzzTest, DrainsSortedAfterChurn) {
+  sim::EventQueue queue;
+  sim::Rng rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    queue.Schedule(rng.NextDouble() * 100.0, [] {});
+    if (i % 3 == 0 && !queue.Empty()) {
+      sim::SimTime when;
+      sim::EventQueue::Callback cb;
+      queue.Pop(&when, &cb);
+    }
+  }
+  double prev = -1.0;
+  while (!queue.Empty()) {
+    sim::SimTime when;
+    sim::EventQueue::Callback cb;
+    queue.Pop(&when, &cb);
+    ASSERT_GE(when, prev);
+    prev = when;
+  }
+}
+
+// ---------------------------------------------------------- PullQueue
+
+TEST(PullQueueFuzzTest, MatchesReferenceDequeModel) {
+  const std::uint32_t capacity = 7;
+  const std::uint32_t db_size = 20;
+  server::PullQueue queue(capacity, db_size);
+  std::deque<server::PageId> model;
+  std::set<server::PageId> queued;
+  sim::Rng rng(31337);
+
+  for (int step = 0; step < 50000; ++step) {
+    if (rng.NextBernoulli(0.6)) {  // Submit.
+      const auto page =
+          static_cast<server::PageId>(rng.NextBounded(db_size));
+      const server::SubmitResult result = queue.Submit(page);
+      if (queued.count(page)) {
+        EXPECT_EQ(result, server::SubmitResult::kCoalesced);
+      } else if (model.size() >= capacity) {
+        EXPECT_EQ(result, server::SubmitResult::kDroppedFull);
+      } else {
+        EXPECT_EQ(result, server::SubmitResult::kAccepted);
+        model.push_back(page);
+        queued.insert(page);
+      }
+    } else if (!model.empty()) {  // Serve.
+      const server::PageId page = queue.PopFront();
+      EXPECT_EQ(page, model.front());
+      model.pop_front();
+      queued.erase(page);
+    }
+    ASSERT_EQ(queue.Size(), model.size()) << "step " << step;
+    ASSERT_EQ(queue.Empty(), model.empty());
+  }
+}
+
+// ---------------------------------------------------------- Simulator
+
+TEST(SimulatorFuzzTest, NestedSchedulingNeverGoesBackwards) {
+  sim::Simulator sim;
+  sim::Rng rng(99);
+  double last_seen = 0.0;
+  int fired = 0;
+  std::function<void()> chaos = [&] {
+    ASSERT_GE(sim.Now(), last_seen);
+    last_seen = sim.Now();
+    ++fired;
+    if (fired < 5000) {
+      // Randomly fan out 0-2 future events.
+      const std::uint64_t fan = rng.NextBounded(3);
+      for (std::uint64_t i = 0; i < fan; ++i) {
+        sim.ScheduleAfter(rng.NextDouble() * 10.0, chaos);
+      }
+    }
+  };
+  for (int i = 0; i < 10; ++i) sim.ScheduleAt(rng.NextDouble(), chaos);
+  sim.RunUntil(1e9);
+  EXPECT_GT(fired, 10);
+}
+
+}  // namespace
+}  // namespace bdisk

@@ -1,0 +1,67 @@
+#include "sim/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace bdisk::sim {
+namespace {
+
+TEST(HistogramTest, BucketsObservationsCorrectly) {
+  Histogram h(0.0, 10.0, 5);  // Cells of width 2.
+  h.Add(0.0);
+  h.Add(1.9);
+  h.Add(2.0);
+  h.Add(9.99);
+  EXPECT_EQ(h.Count(), 4U);
+  EXPECT_EQ(h.BucketCount(0), 2U);
+  EXPECT_EQ(h.BucketCount(1), 1U);
+  EXPECT_EQ(h.BucketCount(4), 1U);
+  EXPECT_EQ(h.Underflow(), 0U);
+  EXPECT_EQ(h.Overflow(), 0U);
+}
+
+TEST(HistogramTest, UnderAndOverflow) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(-1.0);
+  h.Add(10.0);  // hi is exclusive.
+  h.Add(100.0);
+  EXPECT_EQ(h.Underflow(), 1U);
+  EXPECT_EQ(h.Overflow(), 2U);
+  EXPECT_EQ(h.Count(), 3U);
+}
+
+TEST(HistogramTest, BucketLowEdges) {
+  Histogram h(10.0, 20.0, 4);
+  EXPECT_DOUBLE_EQ(h.BucketLow(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.BucketLow(1), 12.5);
+  EXPECT_DOUBLE_EQ(h.BucketLow(3), 17.5);
+}
+
+TEST(HistogramTest, MedianOfUniformFill) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.Add(i + 0.5);
+  EXPECT_NEAR(h.Quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.Quantile(0.9), 90.0, 1.5);
+  EXPECT_NEAR(h.Quantile(0.1), 10.0, 1.5);
+}
+
+TEST(HistogramTest, QuantileEmptyReturnsLo) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, AsciiRenderingMentionsCounts) {
+  Histogram h(0.0, 2.0, 2);
+  h.Add(0.5);
+  h.Add(0.6);
+  h.Add(1.5);
+  const std::string art = h.ToAscii(10);
+  EXPECT_NE(art.find("##"), std::string::npos);
+  EXPECT_NE(art.find('\n'), std::string::npos);
+}
+
+TEST(HistogramDeathTest, RejectsEmptyRange) {
+  EXPECT_DEATH(Histogram(5.0, 5.0, 3), "non-empty");
+}
+
+}  // namespace
+}  // namespace bdisk::sim

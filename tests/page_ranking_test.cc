@@ -1,0 +1,131 @@
+#include "broadcast/page_ranking.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/zipf.h"
+
+namespace bdisk::broadcast {
+namespace {
+
+// 10-page toy database with strictly decreasing probabilities, so page id
+// == rank.
+std::vector<double> ToyProbs() { return bdisk::sim::ZipfPmf(10, 0.95); }
+
+TEST(PageRankingTest, NoOffsetAssignsHottestToFastest) {
+  const DiskConfig config{{2, 3, 5}, {3, 2, 1}};
+  const PushLayout layout = BuildPushLayout(ToyProbs(), config, 0, 0);
+  EXPECT_EQ(layout.disk_pages[0], (std::vector<PageId>{0, 1}));
+  EXPECT_EQ(layout.disk_pages[1], (std::vector<PageId>{2, 3, 4}));
+  EXPECT_EQ(layout.disk_pages[2], (std::vector<PageId>{5, 6, 7, 8, 9}));
+  EXPECT_TRUE(layout.pull_only.empty());
+}
+
+TEST(PageRankingTest, OffsetShiftsHotPagesToSlowestDisk) {
+  // Offset 2: the 2 hottest pages move to the slowest disk; everything
+  // else shifts up.
+  const DiskConfig config{{2, 3, 5}, {3, 2, 1}};
+  const PushLayout layout = BuildPushLayout(ToyProbs(), config, 2, 0);
+  EXPECT_EQ(layout.disk_pages[0], (std::vector<PageId>{2, 3}));
+  EXPECT_EQ(layout.disk_pages[1], (std::vector<PageId>{4, 5, 6}));
+  EXPECT_EQ(layout.disk_pages[2], (std::vector<PageId>{7, 8, 9, 0, 1}));
+}
+
+TEST(PageRankingTest, TruncationRemovesColdestFromSlowestDisk) {
+  const DiskConfig config{{2, 3, 5}, {3, 2, 1}};
+  const PushLayout layout = BuildPushLayout(ToyProbs(), config, 0, 3);
+  // Coldest 3 pages (7, 8, 9) become pull-only, coldest first.
+  EXPECT_EQ(layout.pull_only, (std::vector<PageId>{9, 8, 7}));
+  EXPECT_EQ(layout.effective_config.sizes,
+            (std::vector<std::uint32_t>{2, 3, 2}));
+  EXPECT_EQ(layout.disk_pages[2], (std::vector<PageId>{5, 6}));
+}
+
+TEST(PageRankingTest, TruncationEliminatesSlowestThenShrinksMiddle) {
+  // Chop 6 of 10: disk 3 (5 pages) fully gone, disk 2 loses one.
+  const DiskConfig config{{2, 3, 5}, {3, 2, 1}};
+  const PushLayout layout = BuildPushLayout(ToyProbs(), config, 0, 6);
+  EXPECT_EQ(layout.effective_config.sizes,
+            (std::vector<std::uint32_t>{2, 2, 0}));
+  EXPECT_TRUE(layout.disk_pages[2].empty());
+  EXPECT_EQ(layout.disk_pages[1], (std::vector<PageId>{2, 3}));
+  EXPECT_EQ(layout.pull_only.size(), 6U);
+}
+
+TEST(PageRankingTest, OffsetAfterTruncationLandsOnSlowestNonEmptyDisk) {
+  // Disk 3 fully chopped; offset pages must land at the tail of disk 2.
+  const DiskConfig config{{2, 3, 5}, {3, 2, 1}};
+  const PushLayout layout = BuildPushLayout(ToyProbs(), config, 2, 5);
+  // Surviving ranked pages: 0..4; rotation by 2 -> 2,3,4,0,1.
+  EXPECT_EQ(layout.disk_pages[0], (std::vector<PageId>{2, 3}));
+  EXPECT_EQ(layout.disk_pages[1], (std::vector<PageId>{4, 0, 1}));
+  EXPECT_TRUE(layout.disk_pages[2].empty());
+}
+
+TEST(PageRankingTest, EveryPageExactlyOnceAcrossDisksAndPullOnly) {
+  const DiskConfig config{{2, 3, 5}, {3, 2, 1}};
+  for (const std::uint32_t chop : {0U, 1U, 4U, 7U, 9U}) {
+    const PushLayout layout = BuildPushLayout(ToyProbs(), config, 1, chop);
+    std::set<PageId> seen;
+    std::size_t total = 0;
+    for (const auto& disk : layout.disk_pages) {
+      for (const PageId p : disk) {
+        seen.insert(p);
+        ++total;
+      }
+    }
+    for (const PageId p : layout.pull_only) {
+      seen.insert(p);
+      ++total;
+    }
+    EXPECT_EQ(total, 10U) << "chop=" << chop;
+    EXPECT_EQ(seen.size(), 10U) << "chop=" << chop;
+  }
+}
+
+TEST(PageRankingTest, RanksByProbabilityNotPageId) {
+  // Non-monotone probabilities: page 5 hottest, page 0 coldest.
+  std::vector<double> probs = {0.05, 0.1, 0.1, 0.15, 0.2, 0.4};
+  const DiskConfig config{{1, 2, 3}, {3, 2, 1}};
+  const PushLayout layout = BuildPushLayout(probs, config, 0, 0);
+  EXPECT_EQ(layout.disk_pages[0], (std::vector<PageId>{5}));
+  EXPECT_EQ(layout.disk_pages[1], (std::vector<PageId>{4, 3}));
+  // Ties (pages 1 and 2) break toward the lower id being hotter.
+  EXPECT_EQ(layout.disk_pages[2], (std::vector<PageId>{1, 2, 0}));
+}
+
+TEST(PageRankingTest, PaperScaleConfigShapes) {
+  const auto probs = bdisk::sim::ZipfPmf(1000, 0.95);
+  const PushLayout layout =
+      BuildPushLayout(probs, DiskConfig::Paper(), 100, 0);
+  EXPECT_EQ(layout.disk_pages[0].size(), 100U);
+  EXPECT_EQ(layout.disk_pages[1].size(), 400U);
+  EXPECT_EQ(layout.disk_pages[2].size(), 500U);
+  // With Offset = CacheSize = 100, the fastest disk holds ranks 100..199,
+  // i.e. pages 100..199 (identity mapping for Zipf by rank).
+  EXPECT_EQ(layout.disk_pages[0].front(), 100U);
+  EXPECT_EQ(layout.disk_pages[0].back(), 199U);
+  // The slowest disk ends with the 100 hottest pages.
+  EXPECT_EQ(layout.disk_pages[2].back(), 99U);
+}
+
+TEST(PageRankingDeathTest, RejectsChopOfWholeDatabase) {
+  const DiskConfig config{{2, 3, 5}, {3, 2, 1}};
+  EXPECT_DEATH(BuildPushLayout(ToyProbs(), config, 0, 10), "entire");
+}
+
+TEST(PageRankingDeathTest, RejectsSizeMismatch) {
+  const DiskConfig config{{2, 3}, {2, 1}};  // Covers 5 pages, probs has 10.
+  EXPECT_DEATH(BuildPushLayout(ToyProbs(), config, 0, 0), "cover");
+}
+
+TEST(PageRankingDeathTest, RejectsOffsetBeyondRemaining) {
+  const DiskConfig config{{2, 3, 5}, {3, 2, 1}};
+  EXPECT_DEATH(BuildPushLayout(ToyProbs(), config, 5, 6), "offset");
+}
+
+}  // namespace
+}  // namespace bdisk::broadcast

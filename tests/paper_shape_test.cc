@@ -1,0 +1,155 @@
+// Shape-regression suite: the paper's qualitative findings, asserted at a
+// 10x-scaled configuration so the whole suite stays fast. These are the
+// claims EXPERIMENTS.md reports; if a refactor flips one of these
+// orderings, the reproduction is broken even if every unit test passes.
+
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+
+namespace bdisk::core {
+namespace {
+
+SystemConfig Base(double ttr) {
+  SystemConfig config;
+  config.server_db_size = 100;
+  config.disks = broadcast::DiskConfig{{10, 40, 50}, {3, 2, 1}};
+  config.cache_size = 10;
+  config.server_queue_size = 10;
+  config.mc_think_time = 20.0;
+  config.think_time_ratio = ttr;
+  config.seed = 1997;
+  return config;
+}
+
+SteadyStateProtocol Fast() {
+  SteadyStateProtocol protocol;
+  protocol.post_fill_accesses = 200;
+  protocol.min_measured_accesses = 2000;
+  protocol.max_measured_accesses = 6000;
+  protocol.batch_size = 500;
+  protocol.tolerance = 0.05;
+  return protocol;
+}
+
+double RunPoint(SystemConfig config) {
+  System system(config);
+  return system.RunSteadyState(Fast()).mean_response;
+}
+
+// Figure 3(b): at saturation, less pull bandwidth is *better* — pull
+// slots only delay the broadcast everyone falls back on.
+TEST(PaperShapeTest, Fig3bPullBwOrderingInvertsAtSaturation) {
+  SystemConfig config = Base(400.0);
+  config.pull_bw = 0.1;
+  const double bw10 = RunPoint(config);
+  config.pull_bw = 0.5;
+  const double bw50 = RunPoint(config);
+  EXPECT_LT(bw10, bw50);
+
+  // And the opposite at light load.
+  SystemConfig light = Base(2.0);
+  light.pull_bw = 0.1;
+  const double light10 = RunPoint(light);
+  light.pull_bw = 0.5;
+  const double light50 = RunPoint(light);
+  EXPECT_LT(light50, light10);
+}
+
+// Figure 7(b): with a threshold and enough pull bandwidth, truncating the
+// cold tail *improves* light-load response.
+TEST(PaperShapeTest, Fig7TruncationHelpsWithThresholdAndBandwidth) {
+  SystemConfig config = Base(10.0);
+  config.pull_bw = 0.5;
+  config.thres_perc = 0.35;
+  config.chop_count = 0;
+  const double full = RunPoint(config);
+  config.chop_count = 50;  // Whole slowest disk.
+  const double chopped = RunPoint(config);
+  EXPECT_LT(chopped, full);
+}
+
+// Figure 7(a): with starved pull bandwidth, truncation is catastrophic.
+TEST(PaperShapeTest, Fig7TruncationHurtsWithoutBandwidth) {
+  SystemConfig config = Base(25.0);
+  config.pull_bw = 0.1;
+  config.thres_perc = 0.0;
+  config.chop_count = 0;
+  const double full = RunPoint(config);
+  config.chop_count = 50;
+  const double chopped = RunPoint(config);
+  EXPECT_GT(chopped, full * 1.3);
+}
+
+// Figure 8: the truncation benefit inverts with load — what helps when
+// underutilized hurts at saturation (no safety net for chopped pages).
+TEST(PaperShapeTest, Fig8TruncationOrderingInvertsWithLoad) {
+  SystemConfig light = Base(10.0);
+  light.pull_bw = 0.3;
+  light.thres_perc = 0.35;
+  light.chop_count = 0;
+  const double light_full = RunPoint(light);
+  light.chop_count = 70;
+  const double light_chopped = RunPoint(light);
+  EXPECT_LT(light_chopped, light_full);
+
+  SystemConfig heavy = Base(400.0);
+  heavy.pull_bw = 0.3;
+  heavy.thres_perc = 0.35;
+  heavy.chop_count = 0;
+  const double heavy_full = RunPoint(heavy);
+  heavy.chop_count = 70;
+  const double heavy_chopped = RunPoint(heavy);
+  EXPECT_GT(heavy_chopped, heavy_full);
+}
+
+// Figure 5: Noise hurts Pure-Pull more than IPP at saturation (IPP's push
+// half is the safety net).
+TEST(PaperShapeTest, Fig5IppLessNoiseSensitiveThanPullWhenSaturated) {
+  SystemConfig pull = Base(400.0);
+  pull.mode = DeliveryMode::kPurePull;
+  pull.noise = 0.0;
+  const double pull_clean = RunPoint(pull);
+  pull.noise = 0.35;
+  const double pull_noisy = RunPoint(pull);
+
+  SystemConfig ipp = Base(400.0);
+  ipp.pull_bw = 0.5;
+  ipp.noise = 0.0;
+  const double ipp_clean = RunPoint(ipp);
+  ipp.noise = 0.35;
+  const double ipp_noisy = RunPoint(ipp);
+
+  const double pull_penalty = pull_noisy / pull_clean;
+  const double ipp_penalty = ipp_noisy / ipp_clean;
+  EXPECT_GT(pull_penalty, 1.0);
+  EXPECT_LT(ipp_penalty, pull_penalty * 1.05);
+}
+
+// §4.4's summary: Pure-Pull collapses at one end, and while IPP "never
+// has the best performance numbers", a well-thresholded IPP stays within
+// a modest factor of Pure-Push's flat line everywhere — where Pure-Pull's
+// worst case is far beyond it.
+TEST(PaperShapeTest, SummaryIppBoundsTheWorstCase) {
+  double push_worst = 0.0, pull_worst = 0.0, ipp_worst = 0.0;
+  for (const double ttr : {2.0, 50.0, 400.0}) {
+    SystemConfig push = Base(ttr);
+    push.mode = DeliveryMode::kPurePush;
+    push_worst = std::max(push_worst, RunPoint(push));
+
+    SystemConfig pull = Base(ttr);
+    pull.mode = DeliveryMode::kPurePull;
+    pull_worst = std::max(pull_worst, RunPoint(pull));
+
+    SystemConfig ipp = Base(ttr);
+    ipp.pull_bw = 0.3;
+    ipp.thres_perc = 0.35;
+    ipp_worst = std::max(ipp_worst, RunPoint(ipp));
+  }
+  EXPECT_LT(ipp_worst, pull_worst);
+  EXPECT_LT(ipp_worst, push_worst * 1.25);
+  EXPECT_GT(pull_worst, push_worst * 1.25);
+}
+
+}  // namespace
+}  // namespace bdisk::core

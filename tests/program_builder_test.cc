@@ -1,0 +1,148 @@
+#include "broadcast/program_builder.h"
+
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "broadcast/disk_config.h"
+
+namespace bdisk::broadcast {
+namespace {
+
+// The paper's Figure 1: pages a..g = 0..6 on disks {a}, {b,c}, {d,e,f,g}
+// with relative frequencies 4:2:1 produce the 12-slot major cycle
+// a b d a c e a b f a c g.
+TEST(ProgramBuilderTest, ReproducesPaperFigure1) {
+  const std::vector<std::vector<PageId>> disks = {
+      {0}, {1, 2}, {3, 4, 5, 6}};
+  const auto schedule = BuildSchedule(disks, {4, 2, 1});
+  const std::vector<PageId> expected = {0, 1, 3, 0, 2, 4,
+                                        0, 1, 5, 0, 2, 6};
+  EXPECT_EQ(schedule, expected);
+}
+
+TEST(ProgramBuilderTest, Figure1SameUnderBothChunkingModes) {
+  // All chunk sizes divide evenly in the Figure 1 example.
+  const std::vector<std::vector<PageId>> disks = {
+      {0}, {1, 2}, {3, 4, 5, 6}};
+  EXPECT_EQ(BuildSchedule(disks, {4, 2, 1}, ChunkingMode::kBalanced),
+            BuildSchedule(disks, {4, 2, 1}, ChunkingMode::kPad));
+}
+
+TEST(ProgramBuilderTest, FrequenciesMatchRelFreqs) {
+  // Paper main config shape (scaled down 10x): disks of 10/40/50 pages at
+  // 3:2:1. Every page on disk d must appear exactly RelFreq(d) times.
+  std::vector<std::vector<PageId>> disks(3);
+  PageId next = 0;
+  for (std::uint32_t size : {10U, 40U, 50U}) {
+    for (std::uint32_t i = 0; i < size; ++i) {
+      disks[next < 10 ? 0 : (next < 50 ? 1 : 2)].push_back(next);
+      ++next;
+    }
+  }
+  const auto schedule = BuildSchedule(disks, {3, 2, 1});
+
+  std::map<PageId, int> counts;
+  for (const PageId p : schedule) ++counts[p];
+  for (const PageId p : disks[0]) EXPECT_EQ(counts[p], 3) << p;
+  for (const PageId p : disks[1]) EXPECT_EQ(counts[p], 2) << p;
+  for (const PageId p : disks[2]) EXPECT_EQ(counts[p], 1) << p;
+
+  // Balanced mode wastes no slots: 10*3 + 40*2 + 50*1 = 160.
+  EXPECT_EQ(schedule.size(), 160U);
+}
+
+TEST(ProgramBuilderTest, PadModeInsertsEmptySlots) {
+  // Disk 1: 4 pages in 3 chunks (ceil -> 2-page chunks, 2 pad slots).
+  const std::vector<std::vector<PageId>> disks = {{0, 1, 2}, {3, 4, 5, 6}};
+  const auto schedule = BuildSchedule(disks, {3, 1}, ChunkingMode::kPad);
+  int pad = 0;
+  std::map<PageId, int> counts;
+  for (const PageId p : schedule) {
+    if (p == kNoPage) {
+      ++pad;
+    } else {
+      ++counts[p];
+    }
+  }
+  EXPECT_EQ(pad, 2);
+  for (const PageId p : disks[0]) EXPECT_EQ(counts[p], 3) << p;
+  for (const PageId p : disks[1]) EXPECT_EQ(counts[p], 1) << p;
+}
+
+TEST(ProgramBuilderTest, BalancedModeFrequenciesSurviveNonDivisibleSizes) {
+  // 5 pages in 3 chunks: sizes 2,2,1 — frequency must still be exact.
+  const std::vector<std::vector<PageId>> disks = {{0, 1, 2, 3, 4}, {5, 6}};
+  const auto schedule = BuildSchedule(disks, {3, 1}, ChunkingMode::kBalanced);
+  std::map<PageId, int> counts;
+  for (const PageId p : schedule) {
+    ASSERT_NE(p, kNoPage);
+    ++counts[p];
+  }
+  for (PageId p = 0; p <= 4; ++p) EXPECT_EQ(counts[p], 3) << p;
+  EXPECT_EQ(counts[5], 1);
+  EXPECT_EQ(counts[6], 1);
+  EXPECT_EQ(schedule.size(), 17U);  // 5*3 + 2*1.
+}
+
+TEST(ProgramBuilderTest, SkipsEmptyDisks) {
+  const std::vector<std::vector<PageId>> disks = {{0, 1}, {}, {2}};
+  const auto schedule = BuildSchedule(disks, {4, 2, 1});
+  std::map<PageId, int> counts;
+  for (const PageId p : schedule) ++counts[p];
+  EXPECT_EQ(counts[0], 4);
+  EXPECT_EQ(counts[1], 4);
+  EXPECT_EQ(counts[2], 1);
+  EXPECT_EQ(schedule.size(), 9U);
+}
+
+TEST(ProgramBuilderTest, AllDisksEmptyYieldsEmptySchedule) {
+  const std::vector<std::vector<PageId>> disks = {{}, {}};
+  EXPECT_TRUE(BuildSchedule(disks, {2, 1}).empty());
+}
+
+TEST(ProgramBuilderTest, SingleDiskIsFlatRotation) {
+  const std::vector<std::vector<PageId>> disks = {{3, 1, 4, 1 + 4, 9}};
+  // Frequencies are ratios (normalized by their gcd): a lone disk at
+  // "frequency 7" is just a flat disk.
+  const auto schedule = BuildSchedule(disks, {7});
+  EXPECT_EQ(schedule, disks[0]);
+}
+
+TEST(ProgramBuilderTest, FrequenciesNormalizedByGcd) {
+  const std::vector<std::vector<PageId>> disks = {{0}, {1, 2}};
+  // {6, 2} behaves as {3, 1}.
+  const auto a = BuildSchedule(disks, {6, 2});
+  const auto b = BuildSchedule(disks, {3, 1});
+  EXPECT_EQ(a, b);
+}
+
+TEST(ProgramBuilderTest, MinorCycleStructure) {
+  // Every minor cycle contains one chunk of each disk, fastest first.
+  const std::vector<std::vector<PageId>> disks = {{0}, {1, 2}};
+  const auto schedule = BuildSchedule(disks, {2, 1});
+  // max_chunks = 2; minor cycles: [0 | 1] [0 | 2].
+  EXPECT_EQ(schedule, (std::vector<PageId>{0, 1, 0, 2}));
+}
+
+TEST(ProgramBuilderTest, PaperMainConfigCycleLength) {
+  // Full-scale paper config: 100/400/500 at 3:2:1 -> balanced major cycle
+  // of 100*3 + 400*2 + 500*1 = 1600 slots.
+  std::vector<std::vector<PageId>> disks(3);
+  PageId next = 0;
+  for (int d = 0; d < 3; ++d) {
+    const std::uint32_t size = DiskConfig::Paper().sizes[d];
+    for (std::uint32_t i = 0; i < size; ++i) disks[d].push_back(next++);
+  }
+  const auto schedule = BuildSchedule(disks, {3, 2, 1});
+  EXPECT_EQ(schedule.size(), 1600U);
+}
+
+TEST(ProgramBuilderDeathTest, RejectsMismatchedFreqCount) {
+  const std::vector<std::vector<PageId>> disks = {{0}};
+  EXPECT_DEATH(BuildSchedule(disks, {1, 2}), "per disk");
+}
+
+}  // namespace
+}  // namespace bdisk::broadcast

@@ -1,0 +1,93 @@
+#include "server/pull_queue.h"
+
+#include <gtest/gtest.h>
+
+namespace bdisk::server {
+namespace {
+
+TEST(PullQueueTest, AcceptsUpToCapacity) {
+  PullQueue queue(3, 10);
+  EXPECT_EQ(queue.Submit(0), SubmitResult::kAccepted);
+  EXPECT_EQ(queue.Submit(1), SubmitResult::kAccepted);
+  EXPECT_EQ(queue.Submit(2), SubmitResult::kAccepted);
+  EXPECT_EQ(queue.Size(), 3U);
+  EXPECT_EQ(queue.Submit(3), SubmitResult::kDroppedFull);
+  EXPECT_EQ(queue.Size(), 3U);
+}
+
+TEST(PullQueueTest, FifoOrder) {
+  PullQueue queue(5, 10);
+  queue.Submit(7);
+  queue.Submit(3);
+  queue.Submit(9);
+  EXPECT_EQ(queue.PopFront(), 7U);
+  EXPECT_EQ(queue.PopFront(), 3U);
+  EXPECT_EQ(queue.PopFront(), 9U);
+  EXPECT_TRUE(queue.Empty());
+}
+
+TEST(PullQueueTest, DuplicatesCoalesce) {
+  PullQueue queue(5, 10);
+  EXPECT_EQ(queue.Submit(4), SubmitResult::kAccepted);
+  EXPECT_EQ(queue.Submit(4), SubmitResult::kCoalesced);
+  EXPECT_EQ(queue.Submit(4), SubmitResult::kCoalesced);
+  EXPECT_EQ(queue.Size(), 1U);
+  EXPECT_EQ(queue.CoalescedCount(), 2U);
+}
+
+TEST(PullQueueTest, PageCanRequeueAfterService) {
+  PullQueue queue(5, 10);
+  queue.Submit(4);
+  EXPECT_EQ(queue.PopFront(), 4U);
+  EXPECT_FALSE(queue.IsQueued(4));
+  EXPECT_EQ(queue.Submit(4), SubmitResult::kAccepted);
+}
+
+TEST(PullQueueTest, CoalesceCheckedBeforeFullness) {
+  // Paper semantics: a duplicate is ignored-as-satisfied even when the
+  // queue is full; only genuinely new pages are dropped.
+  PullQueue queue(2, 10);
+  queue.Submit(0);
+  queue.Submit(1);
+  EXPECT_EQ(queue.Submit(0), SubmitResult::kCoalesced);
+  EXPECT_EQ(queue.Submit(2), SubmitResult::kDroppedFull);
+}
+
+TEST(PullQueueTest, DropRateAccounting) {
+  PullQueue queue(1, 10);
+  queue.Submit(0);  // Accepted.
+  queue.Submit(1);  // Dropped.
+  queue.Submit(2);  // Dropped.
+  queue.Submit(0);  // Coalesced.
+  EXPECT_EQ(queue.SubmittedCount(), 4U);
+  EXPECT_EQ(queue.AcceptedCount(), 1U);
+  EXPECT_EQ(queue.DroppedCount(), 2U);
+  EXPECT_EQ(queue.CoalescedCount(), 1U);
+  EXPECT_DOUBLE_EQ(queue.DropRate(), 0.5);
+}
+
+TEST(PullQueueTest, DropRateZeroWhenIdle) {
+  PullQueue queue(1, 10);
+  EXPECT_EQ(queue.DropRate(), 0.0);
+}
+
+TEST(PullQueueTest, IsQueuedTracksMembership) {
+  PullQueue queue(3, 10);
+  EXPECT_FALSE(queue.IsQueued(5));
+  queue.Submit(5);
+  EXPECT_TRUE(queue.IsQueued(5));
+  queue.PopFront();
+  EXPECT_FALSE(queue.IsQueued(5));
+}
+
+TEST(PullQueueDeathTest, PopOnEmptyAborts) {
+  PullQueue queue(3, 10);
+  EXPECT_DEATH(queue.PopFront(), "empty");
+}
+
+TEST(PullQueueDeathTest, RejectsZeroCapacity) {
+  EXPECT_DEATH(PullQueue(0, 10), "positive");
+}
+
+}  // namespace
+}  // namespace bdisk::server

@@ -1,0 +1,77 @@
+#include "analysis/queue_model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace bdisk::analysis {
+namespace {
+
+TEST(MM1KTest, IdleSystem) {
+  const MM1K queue{0.0, 0.5, 10};
+  EXPECT_EQ(queue.BlockingProbability(), 0.0);
+  EXPECT_EQ(queue.MeanInSystem(), 0.0);
+  EXPECT_EQ(queue.StateProbability(0), 1.0);
+  EXPECT_EQ(queue.Throughput(), 0.0);
+  EXPECT_DOUBLE_EQ(queue.MeanResponse(), 2.0);  // 1/mu.
+}
+
+TEST(MM1KTest, StateProbabilitiesSumToOne) {
+  const MM1K queue{0.7, 0.5, 20};
+  double total = 0.0;
+  for (std::uint32_t n = 0; n <= 20; ++n) {
+    total += queue.StateProbability(n);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(MM1KTest, KnownSmallSystem) {
+  // M/M/1/1 (no waiting room): blocking = rho/(1+rho).
+  const MM1K queue{1.0, 1.0, 1};
+  EXPECT_NEAR(queue.BlockingProbability(), 0.5, 1e-12);
+  EXPECT_NEAR(queue.MeanInSystem(), 0.5, 1e-12);
+  // Accepted requests see an empty server: response = 1/mu.
+  EXPECT_NEAR(queue.MeanResponse(), 1.0, 1e-12);
+}
+
+TEST(MM1KTest, CriticallyLoadedUsesLimit) {
+  // rho == 1: uniform state distribution, L = k/2.
+  const MM1K queue{0.5, 0.5, 8};
+  EXPECT_NEAR(queue.BlockingProbability(), 1.0 / 9.0, 1e-12);
+  EXPECT_NEAR(queue.MeanInSystem(), 4.0, 1e-12);
+}
+
+TEST(MM1KTest, LightLoadMatchesMM1) {
+  // With rho << 1 and large K, M/M/1/K ~ M/M/1: W = 1/(mu - lambda).
+  const MM1K queue{0.1, 0.5, 100};
+  EXPECT_LT(queue.BlockingProbability(), 1e-20);
+  EXPECT_NEAR(queue.MeanResponse(), 1.0 / (0.5 - 0.1), 1e-6);
+}
+
+TEST(MM1KTest, OverloadBlocksMost) {
+  // lambda = 10x mu: almost every arrival is dropped; throughput ~ mu.
+  const MM1K queue{5.0, 0.5, 100};
+  EXPECT_GT(queue.BlockingProbability(), 0.89);
+  EXPECT_NEAR(queue.Throughput(), 0.5, 0.01);
+  // The queue sits essentially full.
+  EXPECT_GT(queue.MeanInSystem(), 98.0);
+}
+
+TEST(MM1KTest, BlockingMonotoneInLoad) {
+  double prev = -1.0;
+  for (const double lambda : {0.1, 0.3, 0.5, 0.7, 1.0, 2.0}) {
+    const MM1K queue{lambda, 0.5, 10};
+    EXPECT_GT(queue.BlockingProbability(), prev);
+    prev = queue.BlockingProbability();
+  }
+}
+
+TEST(MM1KDeathTest, RejectsBadParameters) {
+  const MM1K bad_mu{1.0, 0.0, 10};
+  EXPECT_DEATH(bad_mu.StateProbability(0), "service rate");
+  const MM1K queue{1.0, 1.0, 10};
+  EXPECT_DEATH(queue.StateProbability(11), "exceeds");
+}
+
+}  // namespace
+}  // namespace bdisk::analysis

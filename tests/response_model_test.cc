@@ -1,0 +1,130 @@
+#include "analysis/response_model.h"
+
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+
+namespace bdisk::analysis {
+namespace {
+
+core::SystemConfig SmallConfig(double ttr) {
+  core::SystemConfig config;
+  config.server_db_size = 100;
+  config.disks = broadcast::DiskConfig{{10, 40, 50}, {3, 2, 1}};
+  config.cache_size = 10;
+  config.server_queue_size = 10;
+  config.mc_think_time = 5.0;
+  config.think_time_ratio = ttr;
+  config.seed = 31;
+  return config;
+}
+
+core::SteadyStateProtocol FastProtocol() {
+  core::SteadyStateProtocol protocol;
+  protocol.post_fill_accesses = 200;
+  protocol.min_measured_accesses = 2000;
+  protocol.max_measured_accesses = 8000;
+  protocol.batch_size = 500;
+  protocol.tolerance = 0.05;
+  return protocol;
+}
+
+TEST(ResponseModelTest, PurePushMatchesAnalyticExpectation) {
+  core::SystemConfig config = SmallConfig(10.0);
+  config.mode = core::DeliveryMode::kPurePush;
+  const ResponsePrediction prediction = PredictResponse(config);
+  EXPECT_EQ(prediction.request_rate, 0.0);
+  EXPECT_EQ(prediction.blocking_prob, 0.0);
+  EXPECT_EQ(prediction.push_slowdown, 1.0);
+
+  core::System system(config);
+  const double simulated =
+      system.RunSteadyState(FastProtocol()).mean_response;
+  EXPECT_NEAR(prediction.mean_response, simulated,
+              0.25 * simulated);
+}
+
+TEST(ResponseModelTest, PurePullLightLoadIsAboutTwoUnitsPerMiss) {
+  core::SystemConfig config = SmallConfig(2.0);
+  config.mode = core::DeliveryMode::kPurePull;
+  const ResponsePrediction prediction = PredictResponse(config);
+  EXPECT_LT(prediction.blocking_prob, 0.01);
+  // mean ~ miss_rate * ~2 units.
+  EXPECT_GT(prediction.mean_response, prediction.miss_rate * 1.0);
+  EXPECT_LT(prediction.mean_response, prediction.miss_rate * 4.0);
+}
+
+TEST(ResponseModelTest, PredictsSaturationOrdering) {
+  // The model must reproduce the central qualitative result: pull beats
+  // push at light load, push beats pull at saturation.
+  core::SystemConfig pull_config = SmallConfig(5.0);
+  pull_config.mode = core::DeliveryMode::kPurePull;
+  core::SystemConfig push_config = SmallConfig(5.0);
+  push_config.mode = core::DeliveryMode::kPurePush;
+
+  const double pull_light = PredictResponse(pull_config).mean_response;
+  const double push_light = PredictResponse(push_config).mean_response;
+  EXPECT_LT(pull_light, push_light / 5.0);
+
+  pull_config.think_time_ratio = 500.0;
+  push_config.think_time_ratio = 500.0;
+  const double pull_heavy = PredictResponse(pull_config).mean_response;
+  const double push_heavy = PredictResponse(push_config).mean_response;
+  EXPECT_GT(pull_heavy, push_heavy);
+}
+
+TEST(ResponseModelTest, BlockingGrowsWithLoad) {
+  double prev = -1.0;
+  for (const double ttr : {5.0, 50.0, 200.0, 500.0}) {
+    core::SystemConfig config = SmallConfig(ttr);
+    config.mode = core::DeliveryMode::kPurePull;
+    const double blocking = PredictResponse(config).blocking_prob;
+    EXPECT_GE(blocking, prev) << ttr;
+    prev = blocking;
+  }
+  EXPECT_GT(prev, 0.3);
+}
+
+TEST(ResponseModelTest, ThresholdCutsRequestRate) {
+  core::SystemConfig config = SmallConfig(100.0);
+  config.thres_perc = 0.0;
+  const double rate_t0 = PredictResponse(config).request_rate;
+  config.thres_perc = 0.35;
+  const double rate_t35 = PredictResponse(config).request_rate;
+  EXPECT_LT(rate_t35, rate_t0);
+  EXPECT_GT(rate_t35, 0.0);
+}
+
+TEST(ResponseModelTest, PullBwSlowdownReflected) {
+  core::SystemConfig config = SmallConfig(200.0);
+  config.pull_bw = 0.5;
+  const ResponsePrediction prediction = PredictResponse(config);
+  // Saturated: pull share ~ pull_bw, so the disk spins ~2x slower.
+  EXPECT_GT(prediction.push_slowdown, 1.5);
+  EXPECT_LT(prediction.push_slowdown, 2.2);
+}
+
+TEST(ResponseModelTest, TracksSimulatedIppWithinBand) {
+  // Coarse end-to-end validation: prediction within a factor-2 band of the
+  // simulation at a light and a heavy operating point.
+  for (const double ttr : {5.0, 200.0}) {
+    core::SystemConfig config = SmallConfig(ttr);
+    config.pull_bw = 0.5;
+    config.thres_perc = 0.25;
+    const double predicted = PredictResponse(config).mean_response;
+    core::System system(config);
+    const double simulated =
+        system.RunSteadyState(FastProtocol()).mean_response;
+    EXPECT_GT(predicted, simulated / 2.5) << "ttr=" << ttr;
+    EXPECT_LT(predicted, simulated * 2.5 + 5.0) << "ttr=" << ttr;
+  }
+}
+
+TEST(ResponseModelDeathTest, RejectsInvalidConfig) {
+  core::SystemConfig config = SmallConfig(10.0);
+  config.pull_bw = 5.0;
+  EXPECT_DEATH(PredictResponse(config), "pull_bw");
+}
+
+}  // namespace
+}  // namespace bdisk::analysis

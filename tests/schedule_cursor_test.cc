@@ -1,0 +1,43 @@
+#include "broadcast/schedule_cursor.h"
+
+#include <gtest/gtest.h>
+
+namespace bdisk::broadcast {
+namespace {
+
+TEST(ScheduleCursorTest, AdvancesCyclically) {
+  const BroadcastProgram program({10, 11, 12}, 13);
+  ScheduleCursor cursor(&program);
+  EXPECT_EQ(cursor.Position(), 0U);
+  EXPECT_EQ(cursor.Advance(), 10U);
+  EXPECT_EQ(cursor.Advance(), 11U);
+  EXPECT_EQ(cursor.Advance(), 12U);
+  EXPECT_EQ(cursor.Position(), 0U);  // Wrapped.
+  EXPECT_EQ(cursor.Advance(), 10U);
+}
+
+TEST(ScheduleCursorTest, DistanceTracksPosition) {
+  const BroadcastProgram program({0, 1, 2, 0}, 3);
+  ScheduleCursor cursor(&program);
+  EXPECT_EQ(cursor.DistanceToNext(2), 2U);
+  cursor.Advance();
+  EXPECT_EQ(cursor.DistanceToNext(2), 1U);
+  cursor.Advance();
+  EXPECT_EQ(cursor.DistanceToNext(2), 0U);
+  cursor.Advance();
+  EXPECT_EQ(cursor.DistanceToNext(2), 3U);  // Wrap to slot 2 next cycle.
+}
+
+TEST(ScheduleCursorTest, UnscheduledPageIsNever) {
+  const BroadcastProgram program({0, 1}, 5);
+  ScheduleCursor cursor(&program);
+  EXPECT_EQ(cursor.DistanceToNext(4), BroadcastProgram::kNeverBroadcast);
+}
+
+TEST(ScheduleCursorDeathTest, RejectsEmptyProgram) {
+  const BroadcastProgram program({}, 5);
+  EXPECT_DEATH(ScheduleCursor cursor(&program), "empty program");
+}
+
+}  // namespace
+}  // namespace bdisk::broadcast

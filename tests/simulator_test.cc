@@ -1,0 +1,156 @@
+#include "sim/simulator.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/process.h"
+
+namespace bdisk::sim {
+namespace {
+
+TEST(SimulatorTest, ClockStartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.Now(), 0.0);
+  EXPECT_EQ(sim.EventsExecuted(), 0U);
+}
+
+TEST(SimulatorTest, RunAdvancesClockToEventTimes) {
+  Simulator sim;
+  std::vector<double> observed;
+  sim.ScheduleAt(2.5, [&] { observed.push_back(sim.Now()); });
+  sim.ScheduleAt(1.0, [&] { observed.push_back(sim.Now()); });
+  sim.Run();
+  EXPECT_EQ(observed, (std::vector<double>{1.0, 2.5}));
+  EXPECT_EQ(sim.Now(), 2.5);
+  EXPECT_EQ(sim.EventsExecuted(), 2U);
+}
+
+TEST(SimulatorTest, ScheduleAfterIsRelative) {
+  Simulator sim;
+  double fired_at = -1.0;
+  sim.ScheduleAt(10.0, [&] {
+    sim.ScheduleAfter(5.0, [&] { fired_at = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(fired_at, 15.0);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAt(1.0, [&] { ++fired; });
+  sim.ScheduleAt(2.0, [&] { ++fired; });
+  sim.ScheduleAt(3.0, [&] { ++fired; });
+  sim.RunUntil(2.0);
+  EXPECT_EQ(fired, 2);  // Events at exactly the deadline run.
+  EXPECT_EQ(sim.Now(), 2.0);
+  EXPECT_EQ(sim.PendingEvents(), 1U);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockToDeadlineWhenIdle) {
+  Simulator sim;
+  sim.RunUntil(100.0);
+  EXPECT_EQ(sim.Now(), 100.0);
+}
+
+TEST(SimulatorTest, StopFromInsideCallback) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAt(1.0, [&] {
+    ++fired;
+    sim.Stop();
+  });
+  sim.ScheduleAt(2.0, [&] { ++fired; });
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.PendingEvents(), 1U);
+  // Run can be resumed afterwards.
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, SelfReschedulingEventChain) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    ++count;
+    if (count < 100) sim.ScheduleAfter(1.0, tick);
+  };
+  sim.ScheduleAt(0.0, tick);
+  sim.Run();
+  EXPECT_EQ(count, 100);
+  EXPECT_EQ(sim.Now(), 99.0);
+}
+
+TEST(SimulatorTest, StepExecutesExactlyOne) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAt(1.0, [&] { ++fired; });
+  sim.ScheduleAt(2.0, [&] { ++fired; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(SimulatorTest, CancelledEventDoesNotRun) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.ScheduleAt(1.0, [&] { fired = true; });
+  sim.Cancel(id);
+  sim.Run();
+  EXPECT_FALSE(fired);
+}
+
+// A minimal Process subclass exercising the wakeup machinery.
+class CountingProcess : public Process {
+ public:
+  explicit CountingProcess(Simulator* s) : Process(s) {}
+  void Go(SimTime delay) { ScheduleWakeup(delay); }
+  void Abort() { CancelWakeup(); }
+  bool Pending() const { return WakeupPending(); }
+  int wakeups = 0;
+
+ protected:
+  void OnWakeup() override {
+    ++wakeups;
+    if (wakeups < 3) ScheduleWakeup(2.0);
+  }
+};
+
+TEST(ProcessTest, WakeupChainRuns) {
+  Simulator sim;
+  CountingProcess p(&sim);
+  p.Go(1.0);
+  EXPECT_TRUE(p.Pending());
+  sim.Run();
+  EXPECT_EQ(p.wakeups, 3);
+  EXPECT_EQ(sim.Now(), 5.0);  // 1 + 2 + 2.
+  EXPECT_FALSE(p.Pending());
+}
+
+TEST(ProcessTest, ReschedulingReplacesPendingWakeup) {
+  Simulator sim;
+  CountingProcess p(&sim);
+  p.Go(10.0);
+  p.Go(1.0);  // Replaces the 10.0 wakeup.
+  sim.RunUntil(2.0);
+  EXPECT_EQ(p.wakeups, 1);  // The 1.0 wakeup fired; the 10.0 one never will.
+  sim.Run();
+  EXPECT_EQ(p.wakeups, 3);  // Chain continues at 3.0 and 5.0 only.
+  EXPECT_EQ(sim.Now(), 5.0);
+}
+
+TEST(ProcessTest, CancelWakeupPreventsFiring) {
+  Simulator sim;
+  CountingProcess p(&sim);
+  p.Go(1.0);
+  p.Abort();
+  sim.Run();
+  EXPECT_EQ(p.wakeups, 0);
+}
+
+}  // namespace
+}  // namespace bdisk::sim

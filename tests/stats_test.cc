@@ -1,0 +1,96 @@
+#include "sim/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace bdisk::sim {
+namespace {
+
+TEST(RunningStatsTest, EmptyDefaults) {
+  RunningStats s;
+  EXPECT_EQ(s.Count(), 0U);
+  EXPECT_EQ(s.Mean(), 0.0);
+  EXPECT_EQ(s.Variance(), 0.0);
+  EXPECT_EQ(s.StdError(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleObservation) {
+  RunningStats s;
+  s.Add(5.0);
+  EXPECT_EQ(s.Count(), 1U);
+  EXPECT_EQ(s.Mean(), 5.0);
+  EXPECT_EQ(s.Variance(), 0.0);
+  EXPECT_EQ(s.Min(), 5.0);
+  EXPECT_EQ(s.Max(), 5.0);
+  EXPECT_EQ(s.Sum(), 5.0);
+}
+
+TEST(RunningStatsTest, KnownMeanAndVariance) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.Mean(), 5.0);
+  // Sample variance of this classic dataset is 32/7.
+  EXPECT_NEAR(s.Variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.StdDev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_EQ(s.Min(), 2.0);
+  EXPECT_EQ(s.Max(), 9.0);
+}
+
+TEST(RunningStatsTest, NumericallyStableForShiftedData) {
+  // Large offset + small variance is where naive sum-of-squares fails.
+  RunningStats s;
+  const double offset = 1e9;
+  for (const double x : {offset + 1, offset + 2, offset + 3}) s.Add(x);
+  EXPECT_NEAR(s.Mean(), offset + 2, 1e-3);
+  EXPECT_NEAR(s.Variance(), 1.0, 1e-6);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  RunningStats all, a, b;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10.0;
+    all.Add(x);
+    (i < 37 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), all.Count());
+  EXPECT_NEAR(a.Mean(), all.Mean(), 1e-12);
+  EXPECT_NEAR(a.Variance(), all.Variance(), 1e-9);
+  EXPECT_EQ(a.Min(), all.Min());
+  EXPECT_EQ(a.Max(), all.Max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.Add(1.0);
+  a.Add(3.0);
+  a.Merge(empty);
+  EXPECT_EQ(a.Count(), 2U);
+  EXPECT_EQ(a.Mean(), 2.0);
+
+  RunningStats b;
+  b.Merge(a);
+  EXPECT_EQ(b.Count(), 2U);
+  EXPECT_EQ(b.Mean(), 2.0);
+}
+
+TEST(RunningStatsTest, ResetClears) {
+  RunningStats s;
+  s.Add(1.0);
+  s.Reset();
+  EXPECT_EQ(s.Count(), 0U);
+  EXPECT_EQ(s.Mean(), 0.0);
+}
+
+TEST(RunningStatsTest, StdErrorShrinksWithN) {
+  RunningStats s;
+  for (int i = 0; i < 100; ++i) s.Add(i % 2 == 0 ? 1.0 : -1.0);
+  const double se100 = s.StdError();
+  for (int i = 0; i < 300; ++i) s.Add(i % 2 == 0 ? 1.0 : -1.0);
+  EXPECT_LT(s.StdError(), se100);
+  EXPECT_NEAR(s.StdError(), s.StdDev() / 20.0, 1e-12);  // n = 400.
+}
+
+}  // namespace
+}  // namespace bdisk::sim

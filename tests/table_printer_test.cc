@@ -1,0 +1,54 @@
+#include "core/table_printer.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace bdisk::core {
+namespace {
+
+TEST(TablePrinterTest, RendersHeaderAndRows) {
+  TablePrinter table({"TTR", "Push", "Pull"});
+  table.AddRow({"10", "278.0", "2.1"});
+  table.AddRow({"250", "278.0", "650.4"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("TTR"), std::string::npos);
+  EXPECT_NE(out.find("650.4"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  // Three data lines + separator + header.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TablePrinterTest, ColumnsAreAligned) {
+  TablePrinter table({"A", "B"});
+  table.AddRow({"1", "22"});
+  table.AddRow({"333", "4"});
+  const std::string out = table.ToString();
+  // Every line has the same length (right-aligned padding).
+  std::size_t first_len = out.find('\n');
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const std::size_t next = out.find('\n', pos);
+    EXPECT_EQ(next - pos, first_len);
+    pos = next + 1;
+  }
+}
+
+TEST(TablePrinterTest, FmtAndPct) {
+  EXPECT_EQ(TablePrinter::Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Fmt(278.0, 0), "278");
+  EXPECT_EQ(TablePrinter::Pct(0.688), "68.8%");
+  EXPECT_EQ(TablePrinter::Pct(0.5, 0), "50%");
+}
+
+TEST(TablePrinterDeathTest, RejectsRowWidthMismatch) {
+  TablePrinter table({"A", "B"});
+  EXPECT_DEATH(table.AddRow({"only one"}), "width");
+}
+
+TEST(TablePrinterDeathTest, RejectsEmptyHeader) {
+  EXPECT_DEATH(TablePrinter({}), "column");
+}
+
+}  // namespace
+}  // namespace bdisk::core

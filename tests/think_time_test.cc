@@ -1,0 +1,44 @@
+#include "workload/think_time.h"
+
+#include <gtest/gtest.h>
+
+namespace bdisk::workload {
+namespace {
+
+TEST(ThinkTimeTest, FixedIsConstant) {
+  const ThinkTime think = ThinkTime::Fixed(20.0);
+  sim::Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(think.Next(rng), 20.0);
+  EXPECT_EQ(think.Mean(), 20.0);
+  EXPECT_EQ(think.kind(), ThinkTime::Kind::kFixed);
+}
+
+TEST(ThinkTimeTest, ExponentialHasRequestedMean) {
+  const ThinkTime think = ThinkTime::Exponential(0.08);  // TTR 250 regime.
+  sim::Rng rng(2);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = think.Next(rng);
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 0.08, 0.002);
+  EXPECT_EQ(think.kind(), ThinkTime::Kind::kExponential);
+}
+
+TEST(ThinkTimeTest, ExponentialVaries) {
+  const ThinkTime think = ThinkTime::Exponential(5.0);
+  sim::Rng rng(3);
+  const double a = think.Next(rng);
+  const double b = think.Next(rng);
+  EXPECT_NE(a, b);
+}
+
+TEST(ThinkTimeDeathTest, RejectsNonPositiveMean) {
+  EXPECT_DEATH(ThinkTime::Fixed(0.0), "positive");
+  EXPECT_DEATH(ThinkTime::Exponential(-1.0), "positive");
+}
+
+}  // namespace
+}  // namespace bdisk::workload

@@ -1,0 +1,59 @@
+#include "client/threshold_filter.h"
+
+#include <gtest/gtest.h>
+
+namespace bdisk::client {
+namespace {
+
+constexpr std::uint32_t kNever = broadcast::BroadcastProgram::kNeverBroadcast;
+
+TEST(ThresholdFilterTest, ZeroThresholdPullsEverythingNotImmediate) {
+  const ThresholdFilter filter(0.0, 1600);
+  EXPECT_EQ(filter.ThresholdSlots(), 0U);
+  EXPECT_FALSE(filter.ShouldPull(0));  // Arriving this very slot.
+  EXPECT_TRUE(filter.ShouldPull(1));
+  EXPECT_TRUE(filter.ShouldPull(1599));
+}
+
+TEST(ThresholdFilterTest, QuarterCycleThreshold) {
+  const ThresholdFilter filter(0.25, 1600);
+  EXPECT_EQ(filter.ThresholdSlots(), 400U);
+  EXPECT_FALSE(filter.ShouldPull(399));
+  EXPECT_FALSE(filter.ShouldPull(400));  // "Within the threshold": wait.
+  EXPECT_TRUE(filter.ShouldPull(401));
+}
+
+TEST(ThresholdFilterTest, FullCycleThresholdBlocksAllScheduledPages) {
+  // ThresPerc=100% with the whole database on the schedule: no page can be
+  // farther than one major cycle away, so no requests are ever sent (§2.3).
+  const ThresholdFilter filter(1.0, 1600);
+  EXPECT_FALSE(filter.ShouldPull(1599));
+  EXPECT_FALSE(filter.ShouldPull(1600));
+}
+
+TEST(ThresholdFilterTest, UnscheduledPagesAlwaysPass) {
+  const ThresholdFilter full(1.0, 1600);
+  EXPECT_TRUE(full.ShouldPull(kNever));
+  const ThresholdFilter zero(0.0, 1600);
+  EXPECT_TRUE(zero.ShouldPull(kNever));
+}
+
+TEST(ThresholdFilterTest, EmptyProgramPullsEverything) {
+  // Pure-Pull: major cycle length 0, threshold meaningless.
+  const ThresholdFilter filter(0.35, 0);
+  EXPECT_TRUE(filter.ShouldPull(kNever));
+  EXPECT_EQ(filter.ThresholdSlots(), 0U);
+}
+
+TEST(ThresholdFilterTest, RoundsToNearestSlot) {
+  const ThresholdFilter filter(0.35, 10);  // 3.5 -> 4.
+  EXPECT_EQ(filter.ThresholdSlots(), 4U);
+}
+
+TEST(ThresholdFilterDeathTest, RejectsOutOfRangeFraction) {
+  EXPECT_DEATH(ThresholdFilter(1.5, 100), "ThresPerc");
+  EXPECT_DEATH(ThresholdFilter(-0.1, 100), "ThresPerc");
+}
+
+}  // namespace
+}  // namespace bdisk::client

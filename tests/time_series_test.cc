@@ -1,0 +1,53 @@
+#include "sim/time_series.h"
+
+#include <gtest/gtest.h>
+
+namespace bdisk::sim {
+namespace {
+
+TEST(TimeSeriesTest, StartsEmpty) {
+  TimeSeries ts;
+  EXPECT_TRUE(ts.empty());
+  EXPECT_EQ(ts.size(), 0U);
+  EXPECT_EQ(ts.FirstTimeAtOrAbove(0.0), kTimeNever);
+}
+
+TEST(TimeSeriesTest, StoresSamplesInOrder) {
+  TimeSeries ts;
+  ts.Add(1.0, 0.1);
+  ts.Add(2.0, 0.2);
+  ts.Add(2.0, 0.3);  // Equal time is allowed.
+  ASSERT_EQ(ts.size(), 3U);
+  EXPECT_EQ(ts.samples()[0].value, 0.1);
+  EXPECT_EQ(ts.samples()[2].time, 2.0);
+}
+
+TEST(TimeSeriesTest, FirstCrossing) {
+  TimeSeries ts;
+  ts.Add(10.0, 0.25);
+  ts.Add(20.0, 0.50);
+  ts.Add(30.0, 0.75);
+  EXPECT_EQ(ts.FirstTimeAtOrAbove(0.2), 10.0);
+  EXPECT_EQ(ts.FirstTimeAtOrAbove(0.5), 20.0);  // At-or-above.
+  EXPECT_EQ(ts.FirstTimeAtOrAbove(0.6), 30.0);
+  EXPECT_EQ(ts.FirstTimeAtOrAbove(0.9), kTimeNever);
+}
+
+TEST(TimeSeriesTest, FirstCrossingWithDips) {
+  // Values may dip (e.g. a target page evicted); the first crossing time
+  // must still be the earliest.
+  TimeSeries ts;
+  ts.Add(1.0, 0.5);
+  ts.Add(2.0, 0.4);
+  ts.Add(3.0, 0.5);
+  EXPECT_EQ(ts.FirstTimeAtOrAbove(0.5), 1.0);
+}
+
+TEST(TimeSeriesDeathTest, RejectsTimeGoingBackwards) {
+  TimeSeries ts;
+  ts.Add(5.0, 1.0);
+  EXPECT_DEATH(ts.Add(4.0, 2.0), "non-decreasing");
+}
+
+}  // namespace
+}  // namespace bdisk::sim

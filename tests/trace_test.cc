@@ -1,0 +1,95 @@
+#include "sim/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "server/broadcast_server.h"
+#include "sim/simulator.h"
+
+namespace bdisk::sim {
+namespace {
+
+TEST(TraceRecorderTest, RecordsInOrder) {
+  TraceRecorder trace(8);
+  trace.Record(1.0, TraceEventKind::kSlotPush, 5);
+  trace.Record(2.0, TraceEventKind::kSlotPull, 7);
+  const auto events = trace.Events();
+  ASSERT_EQ(events.size(), 2U);
+  EXPECT_EQ(events[0].time, 1.0);
+  EXPECT_EQ(events[0].page, 5U);
+  EXPECT_EQ(events[1].kind, TraceEventKind::kSlotPull);
+}
+
+TEST(TraceRecorderTest, RingOverwritesOldest) {
+  TraceRecorder trace(3);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    trace.Record(static_cast<double>(i), TraceEventKind::kSlotPush, i);
+  }
+  const auto events = trace.Events();
+  ASSERT_EQ(events.size(), 3U);
+  EXPECT_EQ(events[0].page, 2U);  // Oldest retained.
+  EXPECT_EQ(events[2].page, 4U);
+  EXPECT_EQ(trace.TotalEvents(), 5U);
+  EXPECT_EQ(trace.DroppedEvents(), 2U);
+}
+
+TEST(TraceRecorderTest, CountsSurviveOverwrite) {
+  TraceRecorder trace(2);
+  for (int i = 0; i < 10; ++i) {
+    trace.Record(i, TraceEventKind::kRequestDropped, 0);
+  }
+  EXPECT_EQ(trace.Count(TraceEventKind::kRequestDropped), 10U);
+  EXPECT_EQ(trace.Count(TraceEventKind::kSlotPush), 0U);
+}
+
+TEST(TraceRecorderTest, CsvAndClear) {
+  TraceRecorder trace(8);
+  trace.Record(1.5, TraceEventKind::kRequestAccepted, 9);
+  const std::string csv = trace.ToCsv();
+  EXPECT_NE(csv.find("time,kind,page"), std::string::npos);
+  EXPECT_NE(csv.find("1.500,request_accepted,9"), std::string::npos);
+  trace.Clear();
+  EXPECT_TRUE(trace.Events().empty());
+  EXPECT_EQ(trace.TotalEvents(), 0U);
+}
+
+TEST(TraceRecorderTest, KindNames) {
+  EXPECT_STREQ(TraceEventKindName(TraceEventKind::kSlotIdle), "slot_idle");
+  EXPECT_STREQ(TraceEventKindName(TraceEventKind::kRequestCoalesced),
+               "request_coalesced");
+}
+
+TEST(TraceRecorderDeathTest, RejectsZeroCapacity) {
+  EXPECT_DEATH(TraceRecorder(0), "capacity");
+}
+
+// ---------------------------------------------------- Server integration
+
+TEST(ServerTraceTest, SlotAndRequestEventsRecorded) {
+  Simulator sim;
+  server::BroadcastServer server(
+      &sim, broadcast::BroadcastProgram({0, 1}, 4), 0.5, 1, Rng(1));
+  TraceRecorder trace;
+  server.SetTraceRecorder(&trace);
+
+  server.SubmitRequest(3);  // Accepted.
+  server.SubmitRequest(3);  // Coalesced.
+  server.SubmitRequest(2);  // Dropped (capacity 1).
+  sim.RunUntil(10.0);
+
+  EXPECT_EQ(trace.Count(TraceEventKind::kRequestAccepted), 1U);
+  EXPECT_EQ(trace.Count(TraceEventKind::kRequestCoalesced), 1U);
+  EXPECT_EQ(trace.Count(TraceEventKind::kRequestDropped), 1U);
+  // Slot decisions after attach: pushes plus exactly one pull (page 3).
+  EXPECT_EQ(trace.Count(TraceEventKind::kSlotPull), 1U);
+  EXPECT_GT(trace.Count(TraceEventKind::kSlotPush), 5U);
+
+  // The trace agrees with the server's own counters (minus the slot
+  // chosen at construction, before the recorder was attached).
+  EXPECT_EQ(trace.Count(TraceEventKind::kSlotPush) +
+                trace.Count(TraceEventKind::kSlotPull) +
+                trace.Count(TraceEventKind::kSlotIdle) + 1,
+            server.TotalSlots());
+}
+
+}  // namespace
+}  // namespace bdisk::sim

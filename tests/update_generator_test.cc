@@ -1,0 +1,73 @@
+#include "server/update_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+#include "sim/zipf.h"
+
+namespace bdisk::server {
+namespace {
+
+class RecordingInvalidationListener : public InvalidationListener {
+ public:
+  void OnInvalidate(broadcast::PageId page, sim::SimTime now) override {
+    pages.push_back(page);
+    times.push_back(now);
+  }
+  std::vector<broadcast::PageId> pages;
+  std::vector<sim::SimTime> times;
+};
+
+TEST(UpdateGeneratorTest, GeneratesAtTheConfiguredRate) {
+  sim::Simulator sim;
+  UpdateGenerator generator(&sim, /*rate=*/0.1,
+                            std::vector<double>(10, 1.0), sim::Rng(1));
+  generator.Start();
+  sim.RunUntil(50000.0);
+  // ~5000 updates expected.
+  EXPECT_GT(generator.UpdateCount(), 4500U);
+  EXPECT_LT(generator.UpdateCount(), 5500U);
+}
+
+TEST(UpdateGeneratorTest, NotifiesAllListeners) {
+  sim::Simulator sim;
+  UpdateGenerator generator(&sim, 1.0, std::vector<double>(4, 1.0),
+                            sim::Rng(2));
+  RecordingInvalidationListener a, b;
+  generator.AddListener(&a);
+  generator.AddListener(&b);
+  generator.Start();
+  sim.RunUntil(100.0);
+  EXPECT_EQ(a.pages.size(), generator.UpdateCount());
+  EXPECT_EQ(a.pages, b.pages);
+  EXPECT_FALSE(a.pages.empty());
+}
+
+TEST(UpdateGeneratorTest, VersionsTrackUpdates) {
+  sim::Simulator sim;
+  // All weight on page 3: every update hits it.
+  std::vector<double> weights(5, 0.0);
+  weights[3] = 1.0;
+  UpdateGenerator generator(&sim, 0.5, weights, sim::Rng(3));
+  generator.Start();
+  sim.RunUntil(100.0);
+  EXPECT_EQ(generator.Version(3), generator.UpdateCount());
+  EXPECT_EQ(generator.Version(0), 0U);
+}
+
+TEST(UpdateGeneratorTest, SkewedUpdatesHitHotPagesMore) {
+  sim::Simulator sim;
+  UpdateGenerator generator(&sim, 1.0, sim::ZipfPmf(100, 0.95),
+                            sim::Rng(4));
+  generator.Start();
+  sim.RunUntil(20000.0);
+  EXPECT_GT(generator.Version(0), generator.Version(99) * 3);
+}
+
+TEST(UpdateGeneratorDeathTest, RejectsNonPositiveRate) {
+  sim::Simulator sim;
+  EXPECT_DEATH(UpdateGenerator(&sim, 0.0, {1.0}, sim::Rng(1)), "rate");
+}
+
+}  // namespace
+}  // namespace bdisk::server

@@ -1,0 +1,46 @@
+#include "cache/value_functions.h"
+
+#include <gtest/gtest.h>
+
+namespace bdisk::cache {
+namespace {
+
+TEST(ValueFunctionsTest, PixDividesByBroadcastFrequency) {
+  const broadcast::BroadcastProgram program({0, 0, 1, 0, 1, 2}, 4);
+  const std::vector<double> probs = {0.4, 0.3, 0.2, 0.1};
+  const auto values = PixValues(probs, program);
+  EXPECT_DOUBLE_EQ(values[0], 0.4 / 3.0);
+  EXPECT_DOUBLE_EQ(values[1], 0.3 / 2.0);
+  EXPECT_DOUBLE_EQ(values[2], 0.2 / 1.0);
+}
+
+TEST(ValueFunctionsTest, OffSchedulePagesGetHighValue) {
+  const broadcast::BroadcastProgram program({0, 0, 1, 0, 1, 2}, 4);
+  const std::vector<double> probs = {0.4, 0.3, 0.2, 0.1};
+  const auto values = PixValues(probs, program);
+  // Page 3 is never broadcast -> x = kOffScheduleFrequency = 0.5, making it
+  // more valuable than an equal-probability once-per-cycle page.
+  EXPECT_DOUBLE_EQ(values[3], 0.1 / kOffScheduleFrequency);
+  EXPECT_GT(values[3], 0.1 / 1.0);
+}
+
+TEST(ValueFunctionsTest, PValuesAreProbabilities) {
+  const std::vector<double> probs = {0.7, 0.3};
+  EXPECT_EQ(PValues(probs), probs);
+}
+
+TEST(ValueFunctionsTest, PixOrderingCanInvertProbabilityOrdering) {
+  // Paper §2.1: pa=0.3/xa=4 < pb=0.1/xb=1 despite pa > pb.
+  const broadcast::BroadcastProgram program({0, 0, 0, 0, 1}, 2);
+  const std::vector<double> probs = {0.3, 0.1};
+  const auto values = PixValues(probs, program);
+  EXPECT_LT(values[0], values[1]);
+}
+
+TEST(ValueFunctionsDeathTest, RejectsSizeMismatch) {
+  const broadcast::BroadcastProgram program({0}, 1);
+  EXPECT_DEATH(PixValues({0.5, 0.5}, program), "cover");
+}
+
+}  // namespace
+}  // namespace bdisk::cache

@@ -1,0 +1,102 @@
+// End-to-end tests of the volatile-data extension ([Acha96b]): updates
+// invalidate cached copies, degrading hit rates and response times
+// gracefully at moderate rates.
+
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+
+namespace bdisk::core {
+namespace {
+
+SystemConfig SmallConfig(double update_rate) {
+  SystemConfig config;
+  config.server_db_size = 100;
+  config.disks = broadcast::DiskConfig{{10, 40, 50}, {3, 2, 1}};
+  config.cache_size = 10;
+  config.server_queue_size = 10;
+  config.mc_think_time = 5.0;
+  config.think_time_ratio = 10.0;
+  config.update_rate = update_rate;
+  config.seed = 13;
+  return config;
+}
+
+SteadyStateProtocol FastProtocol() {
+  SteadyStateProtocol protocol;
+  protocol.post_fill_accesses = 200;
+  protocol.min_measured_accesses = 2000;
+  protocol.max_measured_accesses = 8000;
+  protocol.batch_size = 500;
+  protocol.tolerance = 0.05;
+  return protocol;
+}
+
+TEST(VolatileDataTest, ReadOnlyHasNoUpdateMachinery) {
+  System system(SmallConfig(0.0));
+  EXPECT_EQ(system.update_generator(), nullptr);
+  const RunResult result = system.RunSteadyState(FastProtocol());
+  EXPECT_EQ(result.updates_generated, 0U);
+  EXPECT_EQ(result.mc_invalidations, 0U);
+}
+
+TEST(VolatileDataTest, UpdatesReachTheMeasuredClient) {
+  System system(SmallConfig(0.05));
+  ASSERT_NE(system.update_generator(), nullptr);
+  const RunResult result = system.RunSteadyState(FastProtocol());
+  EXPECT_GT(result.updates_generated, 0U);
+  EXPECT_EQ(result.mc_invalidations, result.updates_generated);
+}
+
+TEST(VolatileDataTest, UpdatesLowerHitRate) {
+  System clean(SmallConfig(0.0));
+  const RunResult read_only = clean.RunSteadyState(FastProtocol());
+
+  System dirty(SmallConfig(0.1));
+  const RunResult updated = dirty.RunSteadyState(FastProtocol());
+
+  EXPECT_LT(updated.mc_hit_rate, read_only.mc_hit_rate);
+  EXPECT_GT(updated.mean_response, read_only.mean_response);
+}
+
+TEST(VolatileDataTest, ModerateRatesDegradeGracefully) {
+  // [Acha96b]'s qualitative claim (cited in §1.4): moderate update rates
+  // approach read-only performance. One update per ~10 broadcast pages of
+  // a 100-page DB is already aggressive; response must stay the same
+  // order of magnitude.
+  System clean(SmallConfig(0.0));
+  const double read_only =
+      clean.RunSteadyState(FastProtocol()).mean_response;
+
+  System dirty(SmallConfig(0.02));
+  const double updated = dirty.RunSteadyState(FastProtocol()).mean_response;
+  EXPECT_LT(updated, read_only * 3.0 + 10.0);
+}
+
+TEST(VolatileDataTest, MonotoneInUpdateRate) {
+  double prev = -1.0;
+  for (const double rate : {0.0, 0.05, 0.2}) {
+    System system(SmallConfig(rate));
+    const double response =
+        system.RunSteadyState(FastProtocol()).mean_response;
+    EXPECT_GT(response, prev) << "rate=" << rate;
+    prev = response;
+  }
+}
+
+TEST(VolatileDataTest, UpdateSkewIsConfigurable) {
+  SystemConfig config = SmallConfig(0.05);
+  config.update_zipf_theta = 0.0;  // Uniform updates.
+  System system(config);
+  const RunResult result = system.RunSteadyState(FastProtocol());
+  EXPECT_GT(result.updates_generated, 0U);
+}
+
+TEST(VolatileDataDeathTest, RejectsNegativeRate) {
+  SystemConfig config = SmallConfig(0.0);
+  config.update_rate = -1.0;
+  EXPECT_DEATH(System system(config), "update_rate");
+}
+
+}  // namespace
+}  // namespace bdisk::core

@@ -1,0 +1,67 @@
+#include "client/warmup_tracker.h"
+
+#include <gtest/gtest.h>
+
+namespace bdisk::client {
+namespace {
+
+TEST(WarmupTrackerTest, StartsAtZero) {
+  WarmupTracker tracker({1, 2, 3, 4}, 10);
+  EXPECT_EQ(tracker.Fraction(), 0.0);
+  EXPECT_EQ(tracker.TimeToFraction(0.25), sim::kTimeNever);
+}
+
+TEST(WarmupTrackerTest, FractionTracksTargetInsertions) {
+  WarmupTracker tracker({1, 2, 3, 4}, 10);
+  tracker.OnInsert(1, 10.0);
+  EXPECT_DOUBLE_EQ(tracker.Fraction(), 0.25);
+  tracker.OnInsert(2, 20.0);
+  EXPECT_DOUBLE_EQ(tracker.Fraction(), 0.5);
+}
+
+TEST(WarmupTrackerTest, NonTargetPagesIgnored) {
+  WarmupTracker tracker({1, 2}, 10);
+  tracker.OnInsert(7, 5.0);
+  tracker.OnInsert(8, 6.0);
+  EXPECT_EQ(tracker.Fraction(), 0.0);
+  tracker.OnEvict(7, 7.0);
+  EXPECT_EQ(tracker.Fraction(), 0.0);
+}
+
+TEST(WarmupTrackerTest, FirstCrossingTimes) {
+  WarmupTracker tracker({1, 2, 3, 4}, 10);
+  tracker.OnInsert(1, 10.0);
+  tracker.OnInsert(2, 20.0);
+  tracker.OnInsert(3, 30.0);
+  EXPECT_EQ(tracker.TimeToFraction(0.25), 10.0);
+  EXPECT_EQ(tracker.TimeToFraction(0.5), 20.0);
+  EXPECT_EQ(tracker.TimeToFraction(0.75), 30.0);
+  EXPECT_EQ(tracker.TimeToFraction(1.0), sim::kTimeNever);
+}
+
+TEST(WarmupTrackerTest, EvictionLowersFractionButKeepsFirstCrossing) {
+  WarmupTracker tracker({1, 2}, 10);
+  tracker.OnInsert(1, 10.0);
+  tracker.OnInsert(2, 20.0);
+  tracker.OnEvict(1, 30.0);
+  EXPECT_DOUBLE_EQ(tracker.Fraction(), 0.5);
+  EXPECT_EQ(tracker.TimeToFraction(1.0), 20.0);  // First crossing stands.
+}
+
+TEST(WarmupTrackerTest, DoubleInsertCountsOnce) {
+  WarmupTracker tracker({1, 2}, 10);
+  tracker.OnInsert(1, 10.0);
+  tracker.OnInsert(1, 20.0);
+  EXPECT_DOUBLE_EQ(tracker.Fraction(), 0.5);
+}
+
+TEST(WarmupTrackerDeathTest, RejectsEmptyTarget) {
+  EXPECT_DEATH(WarmupTracker({}, 10), "empty");
+}
+
+TEST(WarmupTrackerDeathTest, RejectsOutOfRangeTarget) {
+  EXPECT_DEATH(WarmupTracker({10}, 10), "out of range");
+}
+
+}  // namespace
+}  // namespace bdisk::client

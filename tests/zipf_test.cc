@@ -1,0 +1,70 @@
+#include "sim/zipf.h"
+
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+namespace bdisk::sim {
+namespace {
+
+TEST(ZipfTest, SumsToOne) {
+  const auto pmf = ZipfPmf(1000, 0.95);
+  const double total = std::accumulate(pmf.begin(), pmf.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(ZipfTest, MonotonicallyDecreasing) {
+  const auto pmf = ZipfPmf(1000, 0.95);
+  for (std::size_t i = 1; i < pmf.size(); ++i) {
+    EXPECT_LT(pmf[i], pmf[i - 1]) << "rank " << i;
+  }
+}
+
+TEST(ZipfTest, ThetaZeroIsUniform) {
+  const auto pmf = ZipfPmf(10, 0.0);
+  for (const double p : pmf) EXPECT_NEAR(p, 0.1, 1e-12);
+}
+
+TEST(ZipfTest, RatioFollowsPowerLaw) {
+  const double theta = 0.95;
+  const auto pmf = ZipfPmf(100, theta);
+  // p(rank 1) / p(rank 2) == 2^theta (ranks are 1-based).
+  EXPECT_NEAR(pmf[0] / pmf[1], std::pow(2.0, theta), 1e-9);
+  EXPECT_NEAR(pmf[1] / pmf[3], std::pow(2.0, theta), 1e-9);
+}
+
+TEST(ZipfTest, SingleItem) {
+  const auto pmf = ZipfPmf(1, 0.95);
+  ASSERT_EQ(pmf.size(), 1U);
+  EXPECT_EQ(pmf[0], 1.0);
+}
+
+TEST(ZipfTest, HigherThetaIsMoreSkewed) {
+  const auto flat = ZipfPmf(100, 0.5);
+  const auto steep = ZipfPmf(100, 1.5);
+  EXPECT_GT(steep[0], flat[0]);
+  EXPECT_LT(steep[99], flat[99]);
+}
+
+TEST(ZipfTest, PaperSkewTopHundredOfThousand) {
+  // With theta = 0.95 over 1000 pages, the 100 hottest pages draw roughly
+  // 60% of accesses — the regime that makes a CacheSize=100 cache and the
+  // Offset transformation meaningful.
+  const auto pmf = ZipfPmf(1000, 0.95);
+  const double top100 =
+      std::accumulate(pmf.begin(), pmf.begin() + 100, 0.0);
+  EXPECT_GT(top100, 0.55);
+  EXPECT_LT(top100, 0.70);
+}
+
+TEST(ZipfDeathTest, RejectsZeroItems) {
+  EXPECT_DEATH(ZipfPmf(0, 0.95), "at least one");
+}
+
+TEST(ZipfDeathTest, RejectsNegativeTheta) {
+  EXPECT_DEATH(ZipfPmf(10, -1.0), "non-negative");
+}
+
+}  // namespace
+}  // namespace bdisk::sim

@@ -1,0 +1,218 @@
+// bdisk_sim — command-line driver for the push/pull broadcast simulator.
+//
+// Run a single configuration or a ThinkTimeRatio sweep, from a config file
+// and/or --set overrides, printing a table or CSV. Examples:
+//
+//   bdisk_sim                                   # Table 3 defaults, IPP
+//   bdisk_sim --set mode=pull --set think_time_ratio=250
+//   bdisk_sim --config my.conf --sweep 10,25,50,100,250 --csv
+//   bdisk_sim --warmup --set mode=push
+//   bdisk_sim --print-config                    # dump effective config
+//   bdisk_sim --recommend                       # analytic advisor
+//
+// Config file syntax: `key = value` lines, `#` comments; keys documented
+// in src/core/config_io.h.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/advisor.h"
+#include "core/config_io.h"
+#include "core/csv.h"
+#include "core/experiment.h"
+#include "core/system.h"
+#include "core/table_printer.h"
+
+namespace {
+
+void PrintUsage() {
+  std::printf(
+      "usage: bdisk_sim [options]\n"
+      "  --config FILE      load key=value config file\n"
+      "  --set KEY=VALUE    override one config key (repeatable)\n"
+      "  --sweep T1,T2,...  run a ThinkTimeRatio sweep\n"
+      "  --warmup           measure warm-up trajectory instead of steady "
+      "state\n"
+      "  --csv              emit CSV instead of a table\n"
+      "  --quick            short measurement protocol\n"
+      "  --print-config     print the effective configuration and exit\n"
+      "  --recommend        run the analytic advisor for this config\n"
+      "  --help             this message\n");
+}
+
+bool ParseDoubleList(const std::string& text, std::vector<double>* out) {
+  std::stringstream stream(text);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    char* end = nullptr;
+    const double parsed = std::strtod(item.c_str(), &end);
+    if (end == item.c_str()) return false;
+    out->push_back(parsed);
+  }
+  return !out->empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bdisk;
+
+  core::SystemConfig config;
+  std::vector<double> sweep;
+  bool warmup = false;
+  bool csv = false;
+  bool quick = false;
+  bool print_config = false;
+  bool recommend = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return 0;
+    } else if (arg == "--config") {
+      const char* path = next_value("--config");
+      std::ifstream file(path);
+      if (!file) {
+        std::fprintf(stderr, "cannot open %s\n", path);
+        return 2;
+      }
+      std::stringstream buffer;
+      buffer << file.rdbuf();
+      const std::string error = core::ParseConfigText(buffer.str(), &config);
+      if (!error.empty()) {
+        std::fprintf(stderr, "%s: %s\n", path, error.c_str());
+        return 2;
+      }
+    } else if (arg == "--set") {
+      const std::string assignment = next_value("--set");
+      const std::size_t eq = assignment.find('=');
+      if (eq == std::string::npos) {
+        std::fprintf(stderr, "--set expects KEY=VALUE\n");
+        return 2;
+      }
+      const std::string error = core::ApplyConfigOption(
+          assignment.substr(0, eq), assignment.substr(eq + 1), &config);
+      if (!error.empty()) {
+        std::fprintf(stderr, "--set %s: %s\n", assignment.c_str(),
+                     error.c_str());
+        return 2;
+      }
+    } else if (arg == "--sweep") {
+      if (!ParseDoubleList(next_value("--sweep"), &sweep)) {
+        std::fprintf(stderr, "--sweep expects a comma-separated list\n");
+        return 2;
+      }
+    } else if (arg == "--warmup") {
+      warmup = true;
+    } else if (arg == "--csv") {
+      csv = true;
+    } else if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--print-config") {
+      print_config = true;
+    } else if (arg == "--recommend") {
+      recommend = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      PrintUsage();
+      return 2;
+    }
+  }
+
+  const std::string error = config.Validate();
+  if (!error.empty()) {
+    std::fprintf(stderr, "invalid configuration: %s\n", error.c_str());
+    return 2;
+  }
+
+  if (print_config) {
+    std::fputs(core::ConfigToText(config).c_str(), stdout);
+    return 0;
+  }
+
+  if (recommend) {
+    const std::vector<double> loads =
+        sweep.empty() ? std::vector<double>{config.think_time_ratio} : sweep;
+    const analysis::Recommendation rec =
+        analysis::RecommendRobust(config, loads);
+    std::printf("recommended: pull_bw=%.2f thres_perc=%.2f chop=%u "
+                "(predicted response %.1f)\n",
+                rec.pull_bw, rec.thres_perc, rec.chop,
+                rec.predicted_response);
+    return 0;
+  }
+
+  core::SteadyStateProtocol steady;
+  core::WarmupProtocol warm;
+  if (quick) {
+    steady.post_fill_accesses = 500;
+    steady.min_measured_accesses = 1000;
+    steady.max_measured_accesses = 3000;
+    steady.batch_size = 500;
+    steady.tolerance = 0.1;
+  }
+
+  std::vector<core::SweepPoint> points;
+  if (sweep.empty()) sweep.push_back(config.think_time_ratio);
+  for (const double ttr : sweep) {
+    core::SweepPoint point;
+    point.curve = core::DeliveryModeName(config.mode);
+    point.x = ttr;
+    point.config = config;
+    point.config.think_time_ratio = ttr;
+    point.warmup_run = warmup;
+    points.push_back(point);
+  }
+  const auto outcomes = core::RunSweep(points, steady, warm);
+
+  if (csv) {
+    std::fputs((warmup ? core::WarmupToCsv(outcomes)
+                       : core::SweepToCsv(outcomes))
+                   .c_str(),
+               stdout);
+    return 0;
+  }
+
+  if (warmup) {
+    core::TablePrinter table({"TTR", "fraction", "time"});
+    for (const auto& outcome : outcomes) {
+      for (const auto& point : outcome.result.warmup) {
+        table.AddRow({core::TablePrinter::Fmt(outcome.point.x, 0),
+                      core::TablePrinter::Pct(point.fraction, 0),
+                      point.time == sim::kTimeNever
+                          ? "never"
+                          : core::TablePrinter::Fmt(point.time, 0)});
+      }
+    }
+    std::printf("%s", table.ToString().c_str());
+  } else {
+    core::TablePrinter table({"TTR", "response", "hit rate", "drop rate",
+                              "push/pull/idle", "converged"});
+    for (const auto& outcome : outcomes) {
+      const core::RunResult& r = outcome.result;
+      table.AddRow(
+          {core::TablePrinter::Fmt(outcome.point.x, 0),
+           core::TablePrinter::Fmt(r.mean_response, 1),
+           core::TablePrinter::Pct(r.mc_hit_rate),
+           core::TablePrinter::Pct(r.drop_rate),
+           core::TablePrinter::Pct(r.push_slot_frac, 0) + "/" +
+               core::TablePrinter::Pct(r.pull_slot_frac, 0) + "/" +
+               core::TablePrinter::Pct(r.idle_slot_frac, 0),
+           r.converged ? "yes" : "no"});
+    }
+    std::printf("%s", table.ToString().c_str());
+  }
+  return 0;
+}
