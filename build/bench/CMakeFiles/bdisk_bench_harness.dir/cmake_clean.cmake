@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdisk_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/bdisk_bench_harness.dir/harness.cc.o.d"
+  "libbdisk_bench_harness.a"
+  "libbdisk_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdisk_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbdisk_bench_harness.a"
+)

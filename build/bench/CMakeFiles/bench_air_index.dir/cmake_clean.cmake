@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_air_index.dir/bench_air_index.cc.o"
+  "CMakeFiles/bench_air_index.dir/bench_air_index.cc.o.d"
+  "bench_air_index"
+  "bench_air_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_air_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

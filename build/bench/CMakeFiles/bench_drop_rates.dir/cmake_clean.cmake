@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_drop_rates.dir/bench_drop_rates.cc.o"
+  "CMakeFiles/bench_drop_rates.dir/bench_drop_rates.cc.o.d"
+  "bench_drop_rates"
+  "bench_drop_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_drop_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

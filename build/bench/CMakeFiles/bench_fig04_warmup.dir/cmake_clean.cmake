@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_warmup.dir/bench_fig04_warmup.cc.o"
+  "CMakeFiles/bench_fig04_warmup.dir/bench_fig04_warmup.cc.o.d"
+  "bench_fig04_warmup"
+  "bench_fig04_warmup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_warmup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_truncation.dir/bench_fig07_truncation.cc.o"
+  "CMakeFiles/bench_fig07_truncation.dir/bench_fig07_truncation.cc.o.d"
+  "bench_fig07_truncation"
+  "bench_fig07_truncation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_truncation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

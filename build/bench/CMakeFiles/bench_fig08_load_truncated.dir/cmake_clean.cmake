@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_load_truncated.dir/bench_fig08_load_truncated.cc.o"
+  "CMakeFiles/bench_fig08_load_truncated.dir/bench_fig08_load_truncated.cc.o.d"
+  "bench_fig08_load_truncated"
+  "bench_fig08_load_truncated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_load_truncated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_iv_split.dir/bench_iv_split.cc.o"
+  "CMakeFiles/bench_iv_split.dir/bench_iv_split.cc.o.d"
+  "bench_iv_split"
+  "bench_iv_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_iv_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/news_wire.dir/news_wire.cpp.o"
+  "CMakeFiles/news_wire.dir/news_wire.cpp.o.d"
+  "news_wire"
+  "news_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/news_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traveler_info.dir/traveler_info.cpp.o"
+  "CMakeFiles/traveler_info.dir/traveler_info.cpp.o.d"
+  "traveler_info"
+  "traveler_info.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traveler_info.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdisk_adaptive.dir/client_controller.cc.o"
+  "CMakeFiles/bdisk_adaptive.dir/client_controller.cc.o.d"
+  "CMakeFiles/bdisk_adaptive.dir/server_controller.cc.o"
+  "CMakeFiles/bdisk_adaptive.dir/server_controller.cc.o.d"
+  "libbdisk_adaptive.a"
+  "libbdisk_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdisk_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/advisor.cc" "src/analysis/CMakeFiles/bdisk_analysis.dir/advisor.cc.o" "gcc" "src/analysis/CMakeFiles/bdisk_analysis.dir/advisor.cc.o.d"
+  "/root/repo/src/analysis/publication_split.cc" "src/analysis/CMakeFiles/bdisk_analysis.dir/publication_split.cc.o" "gcc" "src/analysis/CMakeFiles/bdisk_analysis.dir/publication_split.cc.o.d"
+  "/root/repo/src/analysis/queue_model.cc" "src/analysis/CMakeFiles/bdisk_analysis.dir/queue_model.cc.o" "gcc" "src/analysis/CMakeFiles/bdisk_analysis.dir/queue_model.cc.o.d"
+  "/root/repo/src/analysis/response_model.cc" "src/analysis/CMakeFiles/bdisk_analysis.dir/response_model.cc.o" "gcc" "src/analysis/CMakeFiles/bdisk_analysis.dir/response_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bdisk_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/bdisk_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/broadcast/CMakeFiles/bdisk_broadcast.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bdisk_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/adaptive/CMakeFiles/bdisk_adaptive.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/bdisk_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/bdisk_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bdisk_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

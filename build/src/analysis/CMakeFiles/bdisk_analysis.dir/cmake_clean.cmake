@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdisk_analysis.dir/advisor.cc.o"
+  "CMakeFiles/bdisk_analysis.dir/advisor.cc.o.d"
+  "CMakeFiles/bdisk_analysis.dir/publication_split.cc.o"
+  "CMakeFiles/bdisk_analysis.dir/publication_split.cc.o.d"
+  "CMakeFiles/bdisk_analysis.dir/queue_model.cc.o"
+  "CMakeFiles/bdisk_analysis.dir/queue_model.cc.o.d"
+  "CMakeFiles/bdisk_analysis.dir/response_model.cc.o"
+  "CMakeFiles/bdisk_analysis.dir/response_model.cc.o.d"
+  "libbdisk_analysis.a"
+  "libbdisk_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdisk_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/broadcast/air_index.cc" "src/broadcast/CMakeFiles/bdisk_broadcast.dir/air_index.cc.o" "gcc" "src/broadcast/CMakeFiles/bdisk_broadcast.dir/air_index.cc.o.d"
+  "/root/repo/src/broadcast/broadcast_program.cc" "src/broadcast/CMakeFiles/bdisk_broadcast.dir/broadcast_program.cc.o" "gcc" "src/broadcast/CMakeFiles/bdisk_broadcast.dir/broadcast_program.cc.o.d"
+  "/root/repo/src/broadcast/disk_config.cc" "src/broadcast/CMakeFiles/bdisk_broadcast.dir/disk_config.cc.o" "gcc" "src/broadcast/CMakeFiles/bdisk_broadcast.dir/disk_config.cc.o.d"
+  "/root/repo/src/broadcast/page_ranking.cc" "src/broadcast/CMakeFiles/bdisk_broadcast.dir/page_ranking.cc.o" "gcc" "src/broadcast/CMakeFiles/bdisk_broadcast.dir/page_ranking.cc.o.d"
+  "/root/repo/src/broadcast/program_builder.cc" "src/broadcast/CMakeFiles/bdisk_broadcast.dir/program_builder.cc.o" "gcc" "src/broadcast/CMakeFiles/bdisk_broadcast.dir/program_builder.cc.o.d"
+  "/root/repo/src/broadcast/schedule_cursor.cc" "src/broadcast/CMakeFiles/bdisk_broadcast.dir/schedule_cursor.cc.o" "gcc" "src/broadcast/CMakeFiles/bdisk_broadcast.dir/schedule_cursor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/bdisk_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

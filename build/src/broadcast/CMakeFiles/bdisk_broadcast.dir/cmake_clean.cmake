@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdisk_broadcast.dir/air_index.cc.o"
+  "CMakeFiles/bdisk_broadcast.dir/air_index.cc.o.d"
+  "CMakeFiles/bdisk_broadcast.dir/broadcast_program.cc.o"
+  "CMakeFiles/bdisk_broadcast.dir/broadcast_program.cc.o.d"
+  "CMakeFiles/bdisk_broadcast.dir/disk_config.cc.o"
+  "CMakeFiles/bdisk_broadcast.dir/disk_config.cc.o.d"
+  "CMakeFiles/bdisk_broadcast.dir/page_ranking.cc.o"
+  "CMakeFiles/bdisk_broadcast.dir/page_ranking.cc.o.d"
+  "CMakeFiles/bdisk_broadcast.dir/program_builder.cc.o"
+  "CMakeFiles/bdisk_broadcast.dir/program_builder.cc.o.d"
+  "CMakeFiles/bdisk_broadcast.dir/schedule_cursor.cc.o"
+  "CMakeFiles/bdisk_broadcast.dir/schedule_cursor.cc.o.d"
+  "libbdisk_broadcast.a"
+  "libbdisk_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdisk_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

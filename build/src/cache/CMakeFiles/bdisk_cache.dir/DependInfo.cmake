@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/cache.cc" "src/cache/CMakeFiles/bdisk_cache.dir/cache.cc.o" "gcc" "src/cache/CMakeFiles/bdisk_cache.dir/cache.cc.o.d"
+  "/root/repo/src/cache/lfu_policy.cc" "src/cache/CMakeFiles/bdisk_cache.dir/lfu_policy.cc.o" "gcc" "src/cache/CMakeFiles/bdisk_cache.dir/lfu_policy.cc.o.d"
+  "/root/repo/src/cache/lru_policy.cc" "src/cache/CMakeFiles/bdisk_cache.dir/lru_policy.cc.o" "gcc" "src/cache/CMakeFiles/bdisk_cache.dir/lru_policy.cc.o.d"
+  "/root/repo/src/cache/static_value_policy.cc" "src/cache/CMakeFiles/bdisk_cache.dir/static_value_policy.cc.o" "gcc" "src/cache/CMakeFiles/bdisk_cache.dir/static_value_policy.cc.o.d"
+  "/root/repo/src/cache/value_functions.cc" "src/cache/CMakeFiles/bdisk_cache.dir/value_functions.cc.o" "gcc" "src/cache/CMakeFiles/bdisk_cache.dir/value_functions.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/broadcast/CMakeFiles/bdisk_broadcast.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bdisk_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdisk_cache.dir/cache.cc.o"
+  "CMakeFiles/bdisk_cache.dir/cache.cc.o.d"
+  "CMakeFiles/bdisk_cache.dir/lfu_policy.cc.o"
+  "CMakeFiles/bdisk_cache.dir/lfu_policy.cc.o.d"
+  "CMakeFiles/bdisk_cache.dir/lru_policy.cc.o"
+  "CMakeFiles/bdisk_cache.dir/lru_policy.cc.o.d"
+  "CMakeFiles/bdisk_cache.dir/static_value_policy.cc.o"
+  "CMakeFiles/bdisk_cache.dir/static_value_policy.cc.o.d"
+  "CMakeFiles/bdisk_cache.dir/value_functions.cc.o"
+  "CMakeFiles/bdisk_cache.dir/value_functions.cc.o.d"
+  "libbdisk_cache.a"
+  "libbdisk_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdisk_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

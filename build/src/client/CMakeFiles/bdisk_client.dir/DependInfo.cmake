@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/client/measured_client.cc" "src/client/CMakeFiles/bdisk_client.dir/measured_client.cc.o" "gcc" "src/client/CMakeFiles/bdisk_client.dir/measured_client.cc.o.d"
+  "/root/repo/src/client/threshold_filter.cc" "src/client/CMakeFiles/bdisk_client.dir/threshold_filter.cc.o" "gcc" "src/client/CMakeFiles/bdisk_client.dir/threshold_filter.cc.o.d"
+  "/root/repo/src/client/virtual_client.cc" "src/client/CMakeFiles/bdisk_client.dir/virtual_client.cc.o" "gcc" "src/client/CMakeFiles/bdisk_client.dir/virtual_client.cc.o.d"
+  "/root/repo/src/client/warmup_tracker.cc" "src/client/CMakeFiles/bdisk_client.dir/warmup_tracker.cc.o" "gcc" "src/client/CMakeFiles/bdisk_client.dir/warmup_tracker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cache/CMakeFiles/bdisk_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/bdisk_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bdisk_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/broadcast/CMakeFiles/bdisk_broadcast.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bdisk_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdisk_client.dir/measured_client.cc.o"
+  "CMakeFiles/bdisk_client.dir/measured_client.cc.o.d"
+  "CMakeFiles/bdisk_client.dir/threshold_filter.cc.o"
+  "CMakeFiles/bdisk_client.dir/threshold_filter.cc.o.d"
+  "CMakeFiles/bdisk_client.dir/virtual_client.cc.o"
+  "CMakeFiles/bdisk_client.dir/virtual_client.cc.o.d"
+  "CMakeFiles/bdisk_client.dir/warmup_tracker.cc.o"
+  "CMakeFiles/bdisk_client.dir/warmup_tracker.cc.o.d"
+  "libbdisk_client.a"
+  "libbdisk_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdisk_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analytic.cc" "src/core/CMakeFiles/bdisk_core.dir/analytic.cc.o" "gcc" "src/core/CMakeFiles/bdisk_core.dir/analytic.cc.o.d"
+  "/root/repo/src/core/config.cc" "src/core/CMakeFiles/bdisk_core.dir/config.cc.o" "gcc" "src/core/CMakeFiles/bdisk_core.dir/config.cc.o.d"
+  "/root/repo/src/core/config_io.cc" "src/core/CMakeFiles/bdisk_core.dir/config_io.cc.o" "gcc" "src/core/CMakeFiles/bdisk_core.dir/config_io.cc.o.d"
+  "/root/repo/src/core/csv.cc" "src/core/CMakeFiles/bdisk_core.dir/csv.cc.o" "gcc" "src/core/CMakeFiles/bdisk_core.dir/csv.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/core/CMakeFiles/bdisk_core.dir/experiment.cc.o" "gcc" "src/core/CMakeFiles/bdisk_core.dir/experiment.cc.o.d"
+  "/root/repo/src/core/system.cc" "src/core/CMakeFiles/bdisk_core.dir/system.cc.o" "gcc" "src/core/CMakeFiles/bdisk_core.dir/system.cc.o.d"
+  "/root/repo/src/core/table_printer.cc" "src/core/CMakeFiles/bdisk_core.dir/table_printer.cc.o" "gcc" "src/core/CMakeFiles/bdisk_core.dir/table_printer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/adaptive/CMakeFiles/bdisk_adaptive.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/bdisk_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/bdisk_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bdisk_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/bdisk_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/broadcast/CMakeFiles/bdisk_broadcast.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bdisk_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdisk_core.dir/analytic.cc.o"
+  "CMakeFiles/bdisk_core.dir/analytic.cc.o.d"
+  "CMakeFiles/bdisk_core.dir/config.cc.o"
+  "CMakeFiles/bdisk_core.dir/config.cc.o.d"
+  "CMakeFiles/bdisk_core.dir/config_io.cc.o"
+  "CMakeFiles/bdisk_core.dir/config_io.cc.o.d"
+  "CMakeFiles/bdisk_core.dir/csv.cc.o"
+  "CMakeFiles/bdisk_core.dir/csv.cc.o.d"
+  "CMakeFiles/bdisk_core.dir/experiment.cc.o"
+  "CMakeFiles/bdisk_core.dir/experiment.cc.o.d"
+  "CMakeFiles/bdisk_core.dir/system.cc.o"
+  "CMakeFiles/bdisk_core.dir/system.cc.o.d"
+  "CMakeFiles/bdisk_core.dir/table_printer.cc.o"
+  "CMakeFiles/bdisk_core.dir/table_printer.cc.o.d"
+  "libbdisk_core.a"
+  "libbdisk_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdisk_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/broadcast_server.cc" "src/server/CMakeFiles/bdisk_server.dir/broadcast_server.cc.o" "gcc" "src/server/CMakeFiles/bdisk_server.dir/broadcast_server.cc.o.d"
+  "/root/repo/src/server/pull_queue.cc" "src/server/CMakeFiles/bdisk_server.dir/pull_queue.cc.o" "gcc" "src/server/CMakeFiles/bdisk_server.dir/pull_queue.cc.o.d"
+  "/root/repo/src/server/update_generator.cc" "src/server/CMakeFiles/bdisk_server.dir/update_generator.cc.o" "gcc" "src/server/CMakeFiles/bdisk_server.dir/update_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/broadcast/CMakeFiles/bdisk_broadcast.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bdisk_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

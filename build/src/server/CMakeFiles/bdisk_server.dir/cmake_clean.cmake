@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdisk_server.dir/broadcast_server.cc.o"
+  "CMakeFiles/bdisk_server.dir/broadcast_server.cc.o.d"
+  "CMakeFiles/bdisk_server.dir/pull_queue.cc.o"
+  "CMakeFiles/bdisk_server.dir/pull_queue.cc.o.d"
+  "CMakeFiles/bdisk_server.dir/update_generator.cc.o"
+  "CMakeFiles/bdisk_server.dir/update_generator.cc.o.d"
+  "libbdisk_server.a"
+  "libbdisk_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdisk_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdisk_sim.dir/alias_sampler.cc.o"
+  "CMakeFiles/bdisk_sim.dir/alias_sampler.cc.o.d"
+  "CMakeFiles/bdisk_sim.dir/batch_means.cc.o"
+  "CMakeFiles/bdisk_sim.dir/batch_means.cc.o.d"
+  "CMakeFiles/bdisk_sim.dir/event_queue.cc.o"
+  "CMakeFiles/bdisk_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/bdisk_sim.dir/histogram.cc.o"
+  "CMakeFiles/bdisk_sim.dir/histogram.cc.o.d"
+  "CMakeFiles/bdisk_sim.dir/process.cc.o"
+  "CMakeFiles/bdisk_sim.dir/process.cc.o.d"
+  "CMakeFiles/bdisk_sim.dir/rng.cc.o"
+  "CMakeFiles/bdisk_sim.dir/rng.cc.o.d"
+  "CMakeFiles/bdisk_sim.dir/simulator.cc.o"
+  "CMakeFiles/bdisk_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/bdisk_sim.dir/stats.cc.o"
+  "CMakeFiles/bdisk_sim.dir/stats.cc.o.d"
+  "CMakeFiles/bdisk_sim.dir/time_series.cc.o"
+  "CMakeFiles/bdisk_sim.dir/time_series.cc.o.d"
+  "CMakeFiles/bdisk_sim.dir/trace.cc.o"
+  "CMakeFiles/bdisk_sim.dir/trace.cc.o.d"
+  "CMakeFiles/bdisk_sim.dir/zipf.cc.o"
+  "CMakeFiles/bdisk_sim.dir/zipf.cc.o.d"
+  "libbdisk_sim.a"
+  "libbdisk_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdisk_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/access_pattern.cc" "src/workload/CMakeFiles/bdisk_workload.dir/access_pattern.cc.o" "gcc" "src/workload/CMakeFiles/bdisk_workload.dir/access_pattern.cc.o.d"
+  "/root/repo/src/workload/noise.cc" "src/workload/CMakeFiles/bdisk_workload.dir/noise.cc.o" "gcc" "src/workload/CMakeFiles/bdisk_workload.dir/noise.cc.o.d"
+  "/root/repo/src/workload/think_time.cc" "src/workload/CMakeFiles/bdisk_workload.dir/think_time.cc.o" "gcc" "src/workload/CMakeFiles/bdisk_workload.dir/think_time.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/broadcast/CMakeFiles/bdisk_broadcast.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bdisk_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

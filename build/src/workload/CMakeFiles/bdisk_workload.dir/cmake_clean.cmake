@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdisk_workload.dir/access_pattern.cc.o"
+  "CMakeFiles/bdisk_workload.dir/access_pattern.cc.o.d"
+  "CMakeFiles/bdisk_workload.dir/noise.cc.o"
+  "CMakeFiles/bdisk_workload.dir/noise.cc.o.d"
+  "CMakeFiles/bdisk_workload.dir/think_time.cc.o"
+  "CMakeFiles/bdisk_workload.dir/think_time.cc.o.d"
+  "libbdisk_workload.a"
+  "libbdisk_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdisk_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

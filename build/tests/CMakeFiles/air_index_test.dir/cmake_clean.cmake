@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/air_index_test.dir/air_index_test.cc.o"
+  "CMakeFiles/air_index_test.dir/air_index_test.cc.o.d"
+  "air_index_test"
+  "air_index_test.pdb"
+  "air_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/air_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_means_test.dir/batch_means_test.cc.o"
+  "CMakeFiles/batch_means_test.dir/batch_means_test.cc.o.d"
+  "batch_means_test"
+  "batch_means_test.pdb"
+  "batch_means_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_means_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disk_config_test.dir/disk_config_test.cc.o"
+  "CMakeFiles/disk_config_test.dir/disk_config_test.cc.o.d"
+  "disk_config_test"
+  "disk_config_test.pdb"
+  "disk_config_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disk_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

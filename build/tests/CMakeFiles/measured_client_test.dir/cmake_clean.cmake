@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/measured_client_test.dir/measured_client_test.cc.o"
+  "CMakeFiles/measured_client_test.dir/measured_client_test.cc.o.d"
+  "measured_client_test"
+  "measured_client_test.pdb"
+  "measured_client_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/measured_client_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/page_ranking_test.dir/page_ranking_test.cc.o"
+  "CMakeFiles/page_ranking_test.dir/page_ranking_test.cc.o.d"
+  "page_ranking_test"
+  "page_ranking_test.pdb"
+  "page_ranking_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/page_ranking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

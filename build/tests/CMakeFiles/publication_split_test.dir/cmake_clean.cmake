@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/publication_split_test.dir/publication_split_test.cc.o"
+  "CMakeFiles/publication_split_test.dir/publication_split_test.cc.o.d"
+  "publication_split_test"
+  "publication_split_test.pdb"
+  "publication_split_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/publication_split_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedule_cursor_test.dir/schedule_cursor_test.cc.o"
+  "CMakeFiles/schedule_cursor_test.dir/schedule_cursor_test.cc.o.d"
+  "schedule_cursor_test"
+  "schedule_cursor_test.pdb"
+  "schedule_cursor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedule_cursor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

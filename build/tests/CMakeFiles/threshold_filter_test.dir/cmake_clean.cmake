@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threshold_filter_test.dir/threshold_filter_test.cc.o"
+  "CMakeFiles/threshold_filter_test.dir/threshold_filter_test.cc.o.d"
+  "threshold_filter_test"
+  "threshold_filter_test.pdb"
+  "threshold_filter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threshold_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

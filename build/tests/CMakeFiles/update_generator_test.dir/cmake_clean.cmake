@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/update_generator_test.dir/update_generator_test.cc.o"
+  "CMakeFiles/update_generator_test.dir/update_generator_test.cc.o.d"
+  "update_generator_test"
+  "update_generator_test.pdb"
+  "update_generator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/update_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/value_functions_test.dir/value_functions_test.cc.o"
+  "CMakeFiles/value_functions_test.dir/value_functions_test.cc.o.d"
+  "value_functions_test"
+  "value_functions_test.pdb"
+  "value_functions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/value_functions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

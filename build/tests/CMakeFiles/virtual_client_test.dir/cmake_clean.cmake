@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virtual_client_test.dir/virtual_client_test.cc.o"
+  "CMakeFiles/virtual_client_test.dir/virtual_client_test.cc.o.d"
+  "virtual_client_test"
+  "virtual_client_test.pdb"
+  "virtual_client_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virtual_client_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volatile_data_test.dir/volatile_data_test.cc.o"
+  "CMakeFiles/volatile_data_test.dir/volatile_data_test.cc.o.d"
+  "volatile_data_test"
+  "volatile_data_test.pdb"
+  "volatile_data_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volatile_data_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warmup_tracker_test.dir/warmup_tracker_test.cc.o"
+  "CMakeFiles/warmup_tracker_test.dir/warmup_tracker_test.cc.o.d"
+  "warmup_tracker_test"
+  "warmup_tracker_test.pdb"
+  "warmup_tracker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warmup_tracker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdisk_sim_cli.dir/bdisk_sim.cc.o"
+  "CMakeFiles/bdisk_sim_cli.dir/bdisk_sim.cc.o.d"
+  "bdisk_sim"
+  "bdisk_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdisk_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_help "/root/repo/build/tools/bdisk_sim" "--help")
+set_tests_properties(cli_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_print_config "/root/repo/build/tools/bdisk_sim" "--print-config")
+set_tests_properties(cli_print_config PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_recommend "/root/repo/build/tools/bdisk_sim" "--recommend")
+set_tests_properties(cli_recommend PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_quick_steady "/root/repo/build/tools/bdisk_sim" "--quick" "--set" "server_db_size=100" "--set" "disk_sizes=10,40,50" "--set" "cache_size=10" "--set" "server_queue_size=10" "--set" "think_time_ratio=10")
+set_tests_properties(cli_quick_steady PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_quick_csv "/root/repo/build/tools/bdisk_sim" "--quick" "--csv" "--set" "server_db_size=100" "--set" "disk_sizes=10,40,50" "--set" "cache_size=10" "--set" "server_queue_size=10" "--set" "mode=pull")
+set_tests_properties(cli_quick_csv PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_rejects_unknown_key "/root/repo/build/tools/bdisk_sim" "--set" "bogus=1")
+set_tests_properties(cli_rejects_unknown_key PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_rejects_invalid_config "/root/repo/build/tools/bdisk_sim" "--set" "pull_bw=2.0")
+set_tests_properties(cli_rejects_invalid_config PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
