@@ -27,15 +27,38 @@ void BM_EventQueueScheduleAndPop(benchmark::State& state) {
   }
   double t = 1e6;
   for (auto _ : state) {
-    sim::SimTime when;
-    sim::EventQueue::Callback cb;
-    queue.Pop(&when, &cb);
+    sim::EventQueue::Fired fired;
+    queue.Pop(&fired);
     queue.Schedule(t, [] {});
     t += 0.5;
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_EventQueueScheduleAndPop)->Arg(16)->Arg(256)->Arg(4096);
+
+// The slot-loop fast path: a periodic timer popped and re-armed against a
+// backdrop of `depth` pending one-shots, without touching the heap.
+void BM_EventQueuePeriodicTick(benchmark::State& state) {
+  const std::size_t depth = static_cast<std::size_t>(state.range(0));
+  sim::EventQueue queue;
+  sim::Rng rng(1);
+  for (std::size_t i = 0; i < depth; ++i) {
+    // Far in the future so the periodic always wins the comparison.
+    queue.Schedule(1e9 + rng.NextDouble() * 1e6, [] {});
+  }
+  struct NopHandler : sim::EventHandler {
+    void OnEvent() override {}
+  } handler;
+  queue.SchedulePeriodic(1.0, 1.0, &handler);
+  for (auto _ : state) {
+    sim::EventQueue::Fired fired;
+    queue.Pop(&fired);
+    fired.fn();
+    queue.Rearm(fired.periodic);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EventQueuePeriodicTick)->Arg(16)->Arg(4096);
 
 void BM_RngNext(benchmark::State& state) {
   sim::Rng rng(7);

@@ -24,6 +24,26 @@ workload::AccessPattern MakeMcPattern(const workload::AccessPattern& canonical,
   return canonical.WithNoise(config.noise, noise_rng);
 }
 
+// The one construction path for the push program. System's constructor and
+// the standalone ProgramForConfig both come through here, so the two can
+// never drift; `layout_out` (optional) receives the page-to-disk layout.
+broadcast::BroadcastProgram BuildProgramFromPattern(
+    const workload::AccessPattern& canonical, const SystemConfig& config,
+    broadcast::PushLayout* layout_out) {
+  std::vector<broadcast::PageId> schedule;
+  if (config.mode != DeliveryMode::kPurePull) {
+    broadcast::PushLayout layout = broadcast::BuildPushLayout(
+        canonical.probs(), config.disks, config.EffectiveOffset(),
+        config.chop_count);
+    schedule = broadcast::BuildSchedule(layout.disk_pages,
+                                        config.disks.rel_freqs,
+                                        config.chunking);
+    if (layout_out != nullptr) *layout_out = std::move(layout);
+  }
+  return broadcast::BroadcastProgram(std::move(schedule),
+                                     config.server_db_size);
+}
+
 }  // namespace
 
 workload::AccessPattern CanonicalPatternForConfig(const SystemConfig& config) {
@@ -36,17 +56,8 @@ workload::AccessPattern McPatternForConfig(const SystemConfig& config) {
 }
 
 broadcast::BroadcastProgram ProgramForConfig(const SystemConfig& config) {
-  std::vector<broadcast::PageId> schedule;
-  if (config.mode != DeliveryMode::kPurePull) {
-    const broadcast::PushLayout layout = broadcast::BuildPushLayout(
-        CanonicalPatternForConfig(config).probs(), config.disks,
-        config.EffectiveOffset(), config.chop_count);
-    schedule = broadcast::BuildSchedule(layout.disk_pages,
-                                        config.disks.rel_freqs,
-                                        config.chunking);
-  }
-  return broadcast::BroadcastProgram(std::move(schedule),
-                                     config.server_db_size);
+  return BuildProgramFromPattern(CanonicalPatternForConfig(config), config,
+                                 nullptr);
 }
 
 std::vector<broadcast::PageId> TopValuedPages(
@@ -54,18 +65,21 @@ std::vector<broadcast::PageId> TopValuedPages(
   BDISK_CHECK_MSG(k <= values.size(), "k exceeds the database size");
   std::vector<broadcast::PageId> pages(values.size());
   std::iota(pages.begin(), pages.end(), 0U);
-  std::stable_sort(pages.begin(), pages.end(),
-                   [&values](broadcast::PageId a, broadcast::PageId b) {
-                     return values[a] > values[b];
-                   });
+  // O(n log k): only the top k need ordering. The explicit index tie-break
+  // makes the comparator a total order, so the result is the exact prefix
+  // a stable full sort on `values[a] > values[b]` would produce.
+  std::partial_sort(pages.begin(), pages.begin() + k, pages.end(),
+                    [&values](broadcast::PageId a, broadcast::PageId b) {
+                      if (values[a] != values[b]) return values[a] > values[b];
+                      return a < b;
+                    });
   pages.resize(k);
   return pages;
 }
 
 System::System(const SystemConfig& config)
     : config_(config),
-      canonical_pattern_(workload::AccessPattern::Zipf(config.server_db_size,
-                                                       config.zipf_theta)),
+      canonical_pattern_(CanonicalPatternForConfig(config)),
       mc_pattern_(MakeMcPattern(canonical_pattern_, config)) {
   const std::string error = config.Validate();
   BDISK_CHECK_MSG(error.empty(), error.c_str());
@@ -78,17 +92,8 @@ System::System(const SystemConfig& config)
   // --- Broadcast program ------------------------------------------------
   // The server builds the program from the aggregate (VC) pattern; the MC's
   // possibly-noisy view plays no part in it (§3.2).
-  std::vector<broadcast::PageId> schedule;
-  if (config.mode != DeliveryMode::kPurePull) {
-    layout_ = broadcast::BuildPushLayout(canonical_pattern_.probs(),
-                                         config.disks,
-                                         config.EffectiveOffset(),
-                                         config.chop_count);
-    schedule = broadcast::BuildSchedule(
-        layout_.disk_pages, config.disks.rel_freqs, config.chunking);
-  }
-  broadcast::BroadcastProgram program(std::move(schedule),
-                                      config.server_db_size);
+  broadcast::BroadcastProgram program =
+      BuildProgramFromPattern(canonical_pattern_, config, &layout_);
 
   // --- Server -----------------------------------------------------------
   server_ = std::make_unique<server::BroadcastServer>(

@@ -23,7 +23,10 @@ BroadcastServer::BroadcastServer(sim::Simulator* simulator,
                   "never broadcast anything");
   if (!program_.Empty()) cursor_.emplace(&program_);
   ChooseNextSlot();
-  simulator_->ScheduleAfter(1.0, [this] { OnSlotBoundary(); });
+  // One page per broadcast unit, forever: the next boundary is always
+  // known, so the slot loop rides the periodic fast path instead of
+  // re-entering the event heap every slot.
+  simulator_->SchedulePeriodic(1.0, this);
 }
 
 void BroadcastServer::AddListener(BroadcastListener* listener) {
@@ -71,8 +74,7 @@ void BroadcastServer::OnSlotBoundary() {
       listener->OnBroadcast(in_flight_page_, in_flight_kind_, now);
     }
   }
-  ChooseNextSlot();
-  simulator_->ScheduleAfter(1.0, [this] { OnSlotBoundary(); });
+  ChooseNextSlot();  // The periodic slot timer re-arms itself.
 }
 
 void BroadcastServer::ChooseNextSlot() {

@@ -39,6 +39,11 @@ class BroadcastListener {
 /// The broadcast server: one page per broadcast unit, interleaving the
 /// periodic Broadcast Disk program with responses to backchannel pulls.
 ///
+/// The slot loop is the simulation's dominant event class (one event per
+/// broadcast unit, forever), so it runs on the simulator's periodic-timer
+/// fast path: the server registers itself once as the slot handler and
+/// each boundary costs no heap push/pop and no allocation.
+///
 /// Slot semantics: the server picks the content of slot [t, t+1) at time t
 /// (using the queue state at t) and the page is *delivered* to listeners at
 /// t+1, when its transmission completes. Response times therefore include
@@ -50,7 +55,7 @@ class BroadcastListener {
 /// slot back to the program, so `pull_bw` is an upper bound on pull
 /// bandwidth. With no program at all (Pure-Pull) an empty queue idles the
 /// slot.
-class BroadcastServer {
+class BroadcastServer : public sim::EventHandler {
  public:
   /// `program` may be empty (Pure-Pull). `pull_bw` in [0,1] is the PullBW
   /// fraction. `queue_capacity` is ServerQSize. The server schedules its
@@ -107,6 +112,9 @@ class BroadcastServer {
   std::uint64_t IdleSlots() const { return idle_slots_; }
 
  private:
+  /// EventHandler: the periodic slot timer fired.
+  void OnEvent() override { OnSlotBoundary(); }
+
   void OnSlotBoundary();
   void ChooseNextSlot();
 

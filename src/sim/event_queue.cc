@@ -1,53 +1,257 @@
 #include "sim/event_queue.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
-#include <utility>
 
 #include "sim/check.h"
 
 namespace bdisk::sim {
 
-EventId EventQueue::Schedule(SimTime when, Callback callback) {
-  BDISK_CHECK_MSG(std::isfinite(when), "event time must be finite");
-  const EventId id = next_id_++;
-  heap_.push_back(Entry{when, id, std::move(callback)});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
-  pending_.insert(id);
+namespace {
+
+// Slot-index width inside the low 64 key bits: up to ~1M concurrently live
+// events, leaving 44 bits of sequence number (~1.7e13 events per run).
+constexpr unsigned kSlotBits = 20;
+constexpr std::uint32_t kMaxSlots = (1u << kSlotBits) - 1;
+
+// Builds the 128-bit heap key ordering events by (when, seq, slot).
+// Nonnegative finite doubles order identically to their bit patterns, so
+// an integer compare of keys is the full tie-broken event ordering.
+inline unsigned __int128 MakeKey(SimTime when, std::uint64_t seq,
+                                 std::uint32_t slot) {
+  const auto when_bits = std::bit_cast<std::uint64_t>(when);
+  const std::uint64_t low = (seq << kSlotBits) | slot;
+  return (static_cast<unsigned __int128>(when_bits) << 64) | low;
+}
+
+inline SimTime WhenOf(unsigned __int128 key) {
+  return std::bit_cast<SimTime>(static_cast<std::uint64_t>(key >> 64));
+}
+
+inline std::uint64_t SeqOf(unsigned __int128 key) {
+  return static_cast<std::uint64_t>(key) >> kSlotBits;
+}
+
+inline std::uint32_t HeapSlotOf(unsigned __int128 key) {
+  return static_cast<std::uint32_t>(key) & kMaxSlots;
+}
+
+}  // namespace
+
+// A single integer compare keeps the hot (serial, latency-bound) sift
+// comparisons branchless and short.
+bool EventQueue::Before(const HeapEntry& a, const HeapEntry& b) {
+  return a.key < b.key;  // Earlier (when, seq) fires first.
+}
+
+void EventQueue::HeapPush(const HeapEntry& entry) {
+  std::size_t i = heap_.size();
+  heap_.push_back(entry);
+  // Hole-based sift-up: parents slide down into the hole, the new entry is
+  // written exactly once.
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kHeapArity;
+    if (!Before(entry, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = entry;
+}
+
+void EventQueue::HeapPopFront() {
+  const HeapEntry last = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n == 0) return;
+  // Bottom-up sift (Wegener): walk the hole down along min-children to a
+  // leaf without comparing against `last`, then bubble `last` up. The
+  // displaced element comes from the bottom of the heap, so the bubble-up
+  // almost always stops immediately — this trades the per-level compare
+  // against `last` for ~one compare total.
+  std::size_t hole = 0;
+  for (;;) {
+    const std::size_t fc = kHeapArity * hole + 1;
+    std::size_t best;
+    if (fc + kHeapArity <= n) {
+      // Full group: a branch-free tournament. (when, packed) is a total
+      // order — no ties — so any strict-min tournament picks the same
+      // child, and conditional selects beat data-dependent branches on
+      // effectively random event times.
+      const std::size_t a = Before(heap_[fc + 1], heap_[fc]) ? fc + 1 : fc;
+      const std::size_t b =
+          Before(heap_[fc + 3], heap_[fc + 2]) ? fc + 3 : fc + 2;
+      // One of these two is the next hole; fetch its children early.
+      __builtin_prefetch(heap_.data() + kHeapArity * a + 1);
+      __builtin_prefetch(heap_.data() + kHeapArity * b + 1);
+      best = Before(heap_[b], heap_[a]) ? b : a;
+    } else if (fc < n) {
+      best = fc;
+      for (std::size_t c = fc + 1; c < n; ++c) {
+        if (Before(heap_[c], heap_[best])) best = c;
+      }
+    } else {
+      break;
+    }
+    heap_[hole] = heap_[best];
+    hole = best;
+  }
+  while (hole > 0) {
+    const std::size_t parent = (hole - 1) / kHeapArity;
+    if (!Before(last, heap_[parent])) break;
+    heap_[hole] = heap_[parent];
+    hole = parent;
+  }
+  heap_[hole] = last;
+}
+
+EventId EventQueue::Schedule(SimTime when, EventFn fn) {
+  BDISK_CHECK_MSG(std::isfinite(when) && when >= 0.0,
+                  "event time must be finite and nonnegative");
+  BDISK_CHECK_MSG(static_cast<bool>(fn), "event needs an action");
+  std::uint32_t slot;
+  if (free_head_ != kNilSlot) {
+    slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+  } else {
+    BDISK_CHECK_MSG(slots_.size() < kMaxSlots, "event slab exhausted");
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  const std::uint64_t seq = next_seq_++;
+  BDISK_DCHECK(seq < (1ULL << (64 - kSlotBits)));
+  Slot& s = slots_[slot];
+  s.fn = fn;
+  s.live_seq = seq;
+  s.next_free = kNilSlot;
+  HeapPush(HeapEntry{MakeKey(when, seq, slot)});
+  ++live_events_;
+  return MakeId(slot, s.generation);
+}
+
+PeriodicId EventQueue::SchedulePeriodic(SimTime first, SimTime interval,
+                                        EventHandler* handler) {
+  BDISK_CHECK_MSG(std::isfinite(first) && first >= 0.0,
+                  "first fire time must be finite and nonnegative");
+  BDISK_CHECK_MSG(std::isfinite(interval) && interval > 0.0,
+                  "periodic interval must be positive and finite");
+  BDISK_CHECK_MSG(handler != nullptr, "periodic timer needs a handler");
+  const auto id = static_cast<PeriodicId>(periodic_.size());
+  BDISK_CHECK_MSG(id < kNotPeriodic, "too many periodic timers");
+  periodic_.push_back(Periodic{first, interval, next_seq_++, handler, true});
+  ++live_periodic_;
   return id;
 }
 
 void EventQueue::Cancel(EventId id) {
-  // An id absent from pending_ already fired or was already cancelled; the
-  // heap entry (if any) is skipped lazily in SkipCancelled().
-  pending_.erase(id);
+  const std::uint32_t slot = SlotOf(id);
+  // A generation mismatch means the id already fired or was already
+  // cancelled; the heap entry (if any) is skipped lazily in SkipStale().
+  if (slot >= slots_.size() || slots_[slot].generation != GenerationOf(id)) {
+    return;
+  }
+  FreeSlot(slot);
+  --live_events_;
 }
 
-void EventQueue::SkipCancelled() {
-  while (!heap_.empty() && pending_.count(heap_.front().id) == 0) {
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    heap_.pop_back();
+void EventQueue::CancelPeriodic(PeriodicId id) {
+  BDISK_CHECK_MSG(id < periodic_.size(), "unknown periodic timer");
+  if (periodic_[id].live) {
+    periodic_[id].live = false;
+    --live_periodic_;
   }
 }
 
-SimTime EventQueue::NextTime() {
-  SkipCancelled();
-  return heap_.empty() ? kTimeNever : heap_.front().when;
+void EventQueue::FreeSlot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  // Bumping the generation retires every outstanding id in O(1); zeroing
+  // live_seq retires the heap entry. Skip generation 0 on wraparound so
+  // ids never collide with kInvalidEventId. The stale fn payload is left
+  // in place — EventFn is trivially destructible and the next occupant
+  // overwrites it.
+  if (++s.generation == 0) s.generation = 1;
+  s.live_seq = 0;
+  s.next_free = free_head_;
+  free_head_ = slot;
 }
 
-void EventQueue::Pop(SimTime* when, Callback* callback) {
-  SkipCancelled();
-  BDISK_CHECK_MSG(!heap_.empty(), "Pop() on an empty EventQueue");
-  *when = heap_.front().when;
-  pending_.erase(heap_.front().id);
-  std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  *callback = std::move(heap_.back().callback);
-  heap_.pop_back();
+bool EventQueue::IsStale(const HeapEntry& entry) const {
+  return slots_[HeapSlotOf(entry.key)].live_seq != SeqOf(entry.key);
+}
+
+void EventQueue::SkipStale() {
+  while (!heap_.empty() && IsStale(heap_.front())) HeapPopFront();
+}
+
+int EventQueue::EarliestPeriodic() const {
+  int best = -1;
+  for (std::size_t i = 0; i < periodic_.size(); ++i) {
+    const Periodic& p = periodic_[i];
+    if (!p.live) continue;
+    if (best < 0 || p.next < periodic_[best].next ||
+        (p.next == periodic_[best].next && p.seq < periodic_[best].seq)) {
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+SimTime EventQueue::NextTime() {
+  SkipStale();
+  SimTime next = heap_.empty() ? kTimeNever : WhenOf(heap_.front().key);
+  const int p = EarliestPeriodic();
+  if (p >= 0 && periodic_[p].next < next) next = periodic_[p].next;
+  return next;
+}
+
+bool EventQueue::Pop(Fired* fired) {
+  SkipStale();
+  const int p = EarliestPeriodic();
+  const bool have_heap = !heap_.empty();
+  if (!have_heap && p < 0) return false;
+  // FIFO among ties: the event with the smaller (when, seq) fires first,
+  // whether it lives in the heap or in the periodic table.
+  // A periodic key with slot bits 0 compares against heap keys exactly as
+  // (when, seq) would: seqs are unique, so the slot bits never decide.
+  const bool periodic_wins =
+      p >= 0 && (!have_heap ||
+                 MakeKey(periodic_[p].next, periodic_[p].seq, 0) <
+                     heap_.front().key);
+  if (periodic_wins) {
+    fired->when = periodic_[p].next;
+    fired->fn = EventFn(periodic_[p].handler);
+    fired->periodic = static_cast<PeriodicId>(p);
+    return true;
+  }
+  const HeapEntry& top = heap_.front();
+  const std::uint32_t slot = HeapSlotOf(top.key);
+  fired->when = WhenOf(top.key);
+  fired->fn = slots_[slot].fn;
+  fired->periodic = kNotPeriodic;
+  FreeSlot(slot);
+  --live_events_;
+  HeapPopFront();
+  return true;
+}
+
+void EventQueue::Rearm(PeriodicId id) {
+  BDISK_CHECK_MSG(id < periodic_.size(), "unknown periodic timer");
+  Periodic& p = periodic_[id];
+  if (!p.live) return;  // Cancelled while its action ran.
+  p.next += p.interval;
+  // Drawing the sequence number here — after the action ran — gives the
+  // next occurrence exactly the FIFO position a hand-rescheduled event
+  // would get, so same-time tie-breaks are bit-identical to the heap path.
+  p.seq = next_seq_++;
 }
 
 void EventQueue::Clear() {
   heap_.clear();
-  pending_.clear();
+  slots_.clear();
+  periodic_.clear();
+  free_head_ = kNilSlot;
+  live_events_ = 0;
+  live_periodic_ = 0;
 }
 
 }  // namespace bdisk::sim

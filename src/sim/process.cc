@@ -4,12 +4,14 @@ namespace bdisk::sim {
 
 Process::~Process() { CancelWakeup(); }
 
+void Process::OnEvent() {
+  wakeup_id_ = kInvalidEventId;
+  OnWakeup();
+}
+
 void Process::ScheduleWakeup(SimTime delay) {
   CancelWakeup();
-  wakeup_id_ = simulator_->ScheduleAfter(delay, [this] {
-    wakeup_id_ = kInvalidEventId;
-    OnWakeup();
-  });
+  wakeup_id_ = simulator_->ScheduleAfter(delay, this);
 }
 
 void Process::CancelWakeup() {

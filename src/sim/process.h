@@ -9,11 +9,14 @@ namespace bdisk::sim {
 /// Base class for simulation components driven by a single pending timer
 /// (a "process" in CSIM terms, expressed as a state machine).
 ///
-/// A Process has at most one outstanding wakeup at a time; scheduling a new
-/// one cancels the old. Subclasses implement OnWakeup() and may also react
-/// to external stimuli (e.g. a page arriving on the broadcast) between
-/// wakeups. The Process must outlive the Simulator run it participates in.
-class Process {
+/// A Process is its own EventHandler: scheduling a wakeup stores one
+/// pointer in the event queue, so the request–think loops that dominate the
+/// simulation never allocate. A Process has at most one outstanding wakeup
+/// at a time; scheduling a new one cancels the old. Subclasses implement
+/// OnWakeup() and may also react to external stimuli (e.g. a page arriving
+/// on the broadcast) between wakeups. The Process must outlive the
+/// Simulator run it participates in.
+class Process : public EventHandler {
  public:
   explicit Process(Simulator* simulator) : simulator_(simulator) {}
   virtual ~Process();
@@ -41,6 +44,9 @@ class Process {
   virtual void OnWakeup() = 0;
 
  private:
+  /// EventHandler: the pending wakeup fired.
+  void OnEvent() final;
+
   Simulator* simulator_;
   EventId wakeup_id_ = kInvalidEventId;
 };

@@ -1,20 +1,22 @@
 #include "sim/simulator.h"
 
-#include <utility>
-
 #include "sim/check.h"
 
 namespace bdisk::sim {
 
-EventId Simulator::ScheduleAt(SimTime when, EventQueue::Callback callback) {
+EventId Simulator::ScheduleAt(SimTime when, EventFn fn) {
   BDISK_CHECK_MSG(when >= now_, "cannot schedule an event in the past");
-  return queue_.Schedule(when, std::move(callback));
+  return queue_.Schedule(when, fn);
 }
 
-EventId Simulator::ScheduleAfter(SimTime delay,
-                                 EventQueue::Callback callback) {
+EventId Simulator::ScheduleAfter(SimTime delay, EventFn fn) {
   BDISK_CHECK_MSG(delay >= 0.0, "negative delay");
-  return queue_.Schedule(now_ + delay, std::move(callback));
+  return queue_.Schedule(now_ + delay, fn);
+}
+
+PeriodicId Simulator::SchedulePeriodic(SimTime interval,
+                                       EventHandler* handler) {
+  return queue_.SchedulePeriodic(now_ + interval, interval, handler);
 }
 
 void Simulator::Run() {
@@ -34,14 +36,16 @@ void Simulator::RunUntil(SimTime deadline) {
 }
 
 bool Simulator::Step() {
-  if (queue_.Empty()) return false;
-  SimTime when = 0.0;
-  EventQueue::Callback callback;
-  queue_.Pop(&when, &callback);
-  BDISK_DCHECK(when >= now_);
-  now_ = when;
+  EventQueue::Fired fired;
+  if (!queue_.Pop(&fired)) return false;
+  BDISK_DCHECK(fired.when >= now_);
+  now_ = fired.when;
   ++events_executed_;
-  callback();
+  fired.fn();
+  // Re-arming after the action ran draws the next occurrence's FIFO
+  // sequence number at the same point a hand-rescheduling handler would,
+  // keeping same-time tie-breaks identical to the heap path.
+  if (fired.periodic != EventQueue::kNotPeriodic) queue_.Rearm(fired.periodic);
   return true;
 }
 

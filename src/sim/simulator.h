@@ -11,8 +11,11 @@ namespace bdisk::sim {
 /// The discrete-event simulation engine.
 ///
 /// A Simulator owns the logical clock and the event queue. Model components
-/// schedule callbacks at absolute or relative times; Run*() drains events in
-/// time order (FIFO among ties), advancing the clock to each event's time.
+/// schedule actions — an EventHandler or a small inline callable — at
+/// absolute or relative times; Run*() drains events in time order (FIFO
+/// among ties), advancing the clock to each event's time. Scheduling never
+/// heap-allocates: actions are flat two-word values and event bookkeeping
+/// lives in reusable slabs (see EventQueue).
 ///
 /// This is the substrate standing in for CSIM in the original study: the
 /// paper's model needs only timed wakeups (broadcast slots, think-time
@@ -29,11 +32,21 @@ class Simulator {
   /// Total number of events executed so far.
   std::uint64_t EventsExecuted() const { return events_executed_; }
 
-  /// Schedules `callback` at absolute time `when` (must be >= Now()).
-  EventId ScheduleAt(SimTime when, EventQueue::Callback callback);
+  /// Schedules `fn` at absolute time `when` (must be >= Now()).
+  EventId ScheduleAt(SimTime when, EventFn fn);
 
-  /// Schedules `callback` after `delay` (must be >= 0) broadcast units.
-  EventId ScheduleAfter(SimTime delay, EventQueue::Callback callback);
+  /// Schedules `fn` after `delay` (must be >= 0) broadcast units.
+  EventId ScheduleAfter(SimTime delay, EventFn fn);
+
+  /// Registers a periodic timer firing `handler->OnEvent()` every
+  /// `interval` units, first at Now() + interval. The fast path for
+  /// fixed-cadence event sources (the broadcast slot loop): occurrences
+  /// never round-trip through the event heap. The handler is not owned and
+  /// must outlive the timer (or cancel it first).
+  PeriodicId SchedulePeriodic(SimTime interval, EventHandler* handler);
+
+  /// Stops a periodic timer; safe to call from inside its own OnEvent().
+  void CancelPeriodic(PeriodicId id) { queue_.CancelPeriodic(id); }
 
   /// Cancels a pending event; no-op if it already fired.
   void Cancel(EventId id) { queue_.Cancel(id); }
@@ -41,7 +54,8 @@ class Simulator {
   /// True iff `id` has been scheduled but has not fired nor been cancelled.
   bool IsPending(EventId id) const { return queue_.IsPending(id); }
 
-  /// Runs until the event queue is empty or Stop() is called.
+  /// Runs until the event queue is empty or Stop() is called. Note that a
+  /// live periodic timer keeps the queue non-empty forever.
   void Run();
 
   /// Runs until the clock would pass `deadline`, the queue empties, or
@@ -55,7 +69,7 @@ class Simulator {
   /// event completes. Safe to call from inside event callbacks.
   void Stop() { stop_requested_ = true; }
 
-  /// Number of events currently pending.
+  /// Number of events currently pending (periodic timers count once).
   std::size_t PendingEvents() const { return queue_.Size(); }
 
  private:

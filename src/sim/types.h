@@ -14,11 +14,15 @@ using SimTime = double;
 /// Sentinel for "never" / "no such event".
 inline constexpr SimTime kTimeNever = std::numeric_limits<SimTime>::infinity();
 
-/// Monotonic identifier assigned to scheduled events; used both for stable
-/// FIFO tie-breaking of simultaneous events and for O(1) cancellation.
+/// Identifier assigned to scheduled events, used for O(1) cancellation.
+/// Generation-tagged: the low 32 bits index a slab slot, the high 32 bits
+/// hold the slot's generation at scheduling time, so a recycled slot never
+/// revives a stale id. FIFO tie-breaking of simultaneous events uses a
+/// separate monotonic sequence number internal to the queue.
 using EventId = std::uint64_t;
 
-/// Sentinel returned for events that were never scheduled.
+/// Sentinel returned for events that were never scheduled. Generations
+/// start at 1, so no real id is ever 0.
 inline constexpr EventId kInvalidEventId = 0;
 
 }  // namespace bdisk::sim

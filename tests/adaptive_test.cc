@@ -1,6 +1,8 @@
 // Unit tests for the adaptive controllers (paper §6 extension) plus
 // end-to-end behaviour through core::System.
 
+#include <functional>
+
 #include <gtest/gtest.h>
 
 #include "adaptive/client_controller.h"
@@ -27,9 +29,9 @@ TEST(ServerControllerTest, LowersPullBwUnderDrops) {
   // Flood the queue so most submissions drop.
   std::function<void()> flood = [&] {
     for (broadcast::PageId p = 2; p < 40; ++p) server.SubmitRequest(p);
-    sim.ScheduleAfter(1.0, flood);
+    sim.ScheduleAfter(1.0, [&flood] { flood(); });
   };
-  sim.ScheduleAt(0.0, flood);
+  sim.ScheduleAt(0.0, [&flood] { flood(); });
   sim.RunUntil(100.0);
   EXPECT_LT(server.pull_bw(), 0.5);
   EXPECT_GT(controller.Adjustments(), 0U);

@@ -1,5 +1,6 @@
 #include "server/broadcast_server.h"
 
+#include <functional>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -137,9 +138,9 @@ TEST(BroadcastServerTest, PullBwFractionControlsServiceShare) {
       server.SubmitRequest(next);
       next = 4 + (next - 4 + 1) % 90;
     }
-    sim.ScheduleAfter(1.0, refill);
+    sim.ScheduleAfter(1.0, [&refill] { refill(); });
   };
-  sim.ScheduleAt(0.0, refill);
+  sim.ScheduleAt(0.0, [&refill] { refill(); });
   sim.RunUntil(10000.0);
   const double pull_frac =
       static_cast<double>(server.PullSlots()) /

@@ -3,6 +3,7 @@
 // reference models.
 
 #include <deque>
+#include <functional>
 #include <map>
 #include <set>
 
@@ -20,8 +21,11 @@ namespace {
 
 TEST(EventQueueFuzzTest, MatchesReferenceMultimapModel) {
   sim::EventQueue queue;
-  // Reference: (time, id) -> alive?; ordering is (time, id).
-  std::map<std::pair<double, sim::EventId>, bool> model;
+  // Reference: (time, schedule order) -> id. Ids are generation-tagged and
+  // no longer monotonic, so FIFO order among ties is tracked with a
+  // test-local counter, not the id itself.
+  std::map<std::pair<double, std::uint64_t>, sim::EventId> model;
+  std::uint64_t schedule_counter = 0;
   sim::Rng rng(2024);
 
   for (int step = 0; step < 20000; ++step) {
@@ -29,21 +33,26 @@ TEST(EventQueueFuzzTest, MatchesReferenceMultimapModel) {
     if (op < 5) {  // Schedule.
       const double when = rng.NextDouble() * 1000.0;
       const sim::EventId id = queue.Schedule(when, [] {});
-      model[{when, id}] = true;
+      EXPECT_TRUE(queue.IsPending(id));
+      model[{when, schedule_counter++}] = id;
     } else if (op < 7 && !model.empty()) {  // Cancel a random known event.
       auto it = model.begin();
       std::advance(it, rng.NextBounded(model.size()));
-      queue.Cancel(it->first.second);
+      queue.Cancel(it->second);
+      EXPECT_FALSE(queue.IsPending(it->second));
       model.erase(it);
     } else if (op == 7) {  // Cancel ids that are guaranteed not live.
       queue.Cancel(sim::kInvalidEventId);
-      queue.Cancel((1ULL << 40) + rng.NextBounded(1000));  // Never issued.
+      // Generation 0xFFFFFFFF is unreachable in 20k steps, and slot
+      // indices past the slab high-water mark are out of range.
+      queue.Cancel(0xFFFFFFFF00000000ULL | rng.NextBounded(1000));
+      queue.Cancel((1ULL << 32) | (0xFFFFF000ULL + rng.NextBounded(1000)));
     } else if (!queue.Empty()) {  // Pop.
-      sim::SimTime when;
-      sim::EventQueue::Callback cb;
-      queue.Pop(&when, &cb);
+      sim::EventQueue::Fired fired;
+      ASSERT_TRUE(queue.Pop(&fired));
       ASSERT_FALSE(model.empty());
-      EXPECT_EQ(when, model.begin()->first.first);
+      EXPECT_EQ(fired.when, model.begin()->first.first);
+      EXPECT_FALSE(queue.IsPending(model.begin()->second));
       model.erase(model.begin());
     }
     ASSERT_EQ(queue.Size(), model.size()) << "step " << step;
@@ -59,18 +68,16 @@ TEST(EventQueueFuzzTest, DrainsSortedAfterChurn) {
   for (int i = 0; i < 5000; ++i) {
     queue.Schedule(rng.NextDouble() * 100.0, [] {});
     if (i % 3 == 0 && !queue.Empty()) {
-      sim::SimTime when;
-      sim::EventQueue::Callback cb;
-      queue.Pop(&when, &cb);
+      sim::EventQueue::Fired fired;
+      queue.Pop(&fired);
     }
   }
   double prev = -1.0;
   while (!queue.Empty()) {
-    sim::SimTime when;
-    sim::EventQueue::Callback cb;
-    queue.Pop(&when, &cb);
-    ASSERT_GE(when, prev);
-    prev = when;
+    sim::EventQueue::Fired fired;
+    ASSERT_TRUE(queue.Pop(&fired));
+    ASSERT_GE(fired.when, prev);
+    prev = fired.when;
   }
 }
 
@@ -121,14 +128,17 @@ TEST(SimulatorFuzzTest, NestedSchedulingNeverGoesBackwards) {
     last_seen = sim.Now();
     ++fired;
     if (fired < 5000) {
-      // Randomly fan out 0-2 future events.
+      // Randomly fan out 0-2 future events (via a one-pointer trampoline:
+      // the chaos closure itself exceeds EventFn's inline budget).
       const std::uint64_t fan = rng.NextBounded(3);
       for (std::uint64_t i = 0; i < fan; ++i) {
-        sim.ScheduleAfter(rng.NextDouble() * 10.0, chaos);
+        sim.ScheduleAfter(rng.NextDouble() * 10.0, [&chaos] { chaos(); });
       }
     }
   };
-  for (int i = 0; i < 10; ++i) sim.ScheduleAt(rng.NextDouble(), chaos);
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleAt(rng.NextDouble(), [&chaos] { chaos(); });
+  }
   sim.RunUntil(1e9);
   EXPECT_GT(fired, 10);
 }

@@ -3,6 +3,8 @@
 // here first — deliberately brittle, to force such changes to be conscious
 // (update the constants and note why in the commit).
 
+#include <cstdint>
+
 #include <gtest/gtest.h>
 
 #include "core/system.h"
@@ -56,6 +58,80 @@ TEST(GoldenTest, SmallSystemSteadyStateIsBitStable) {
   EXPECT_EQ(a.requests_dropped, b.requests_dropped);
   EXPECT_EQ(a.mc_accesses, b.mc_accesses);
   EXPECT_EQ(a.sim_time_end, b.sim_time_end);
+}
+
+// Exact end-to-end outputs for all three delivery modes, captured from the
+// pre-rewrite std::function/unordered_set event kernel. The zero-allocation
+// kernel (intrusive handlers, generation-tagged ids, periodic slot timer)
+// must reproduce every stream bit-for-bit: same event order, same RNG
+// draws, same event count. Constants are hexfloats so the pin is exact.
+struct ModeGolden {
+  core::DeliveryMode mode;
+  double mean_response;
+  double variance;
+  std::uint64_t count;
+  std::uint64_t mc_accesses;
+  std::uint64_t mc_pulls_sent;
+  std::uint64_t requests_submitted;
+  std::uint64_t requests_coalesced;
+  std::uint64_t requests_dropped;
+  double push_slot_frac;
+  double pull_slot_frac;
+  double idle_slot_frac;
+  double sim_time_end;
+  std::uint64_t events_executed;
+};
+
+TEST(GoldenTest, SteadyStateStreamsMatchPreKernelSwapPins) {
+  const ModeGolden kGolden[] = {
+      {core::DeliveryMode::kPurePush, 0x1.60189374bc6a7p+4,
+       0x1.16371dfac03a6p+10, 1500, 1610, 0, 0, 0, 0, 0x1p+0, 0x0p+0, 0x0p+0,
+       0x1.5928p+15, 45788},
+      {core::DeliveryMode::kPurePull, 0x1.0d3b645a1cabcp+5,
+       0x1.7e557cbee20e3p+12, 2000, 2110, 1040, 205450, 27590, 95163, 0x0p+0,
+       0x1.fffe6a3590dfep-1, 0x1.95ca6f2026bc8p-17, 0x1.4301p+16, 498008},
+      {core::DeliveryMode::kIpp, 0x1.d8dd2f1a9fbeap+4, 0x1.5c78959bf4953p+11,
+       1500, 1610, 643, 109094, 16095, 64963, 0x1.fe10bbb49d06cp-2,
+       0x1.00f7a225b17cap-1, 0x0p+0, 0x1.b442p+15, 336183},
+  };
+
+  for (const ModeGolden& g : kGolden) {
+    SCOPED_TRACE(core::DeliveryModeName(g.mode));
+    core::SystemConfig config;
+    config.mode = g.mode;
+    config.server_db_size = 100;
+    config.disks = broadcast::DiskConfig{{10, 40, 50}, {3, 2, 1}};
+    config.cache_size = 10;
+    config.server_queue_size = 10;
+    config.mc_think_time = 5.0;
+    config.think_time_ratio = 25.0;
+    config.pull_bw = 0.5;
+    config.thres_perc = 0.1;
+    config.seed = 424242;
+
+    core::SteadyStateProtocol protocol;
+    protocol.post_fill_accesses = 100;
+    protocol.min_measured_accesses = 1000;
+    protocol.max_measured_accesses = 2000;
+    protocol.batch_size = 500;
+    protocol.tolerance = 0.1;
+
+    core::System system(config);
+    const core::RunResult r = system.RunSteadyState(protocol);
+    EXPECT_EQ(r.mean_response, g.mean_response);
+    EXPECT_EQ(r.response_stats.Variance(), g.variance);
+    EXPECT_EQ(r.response_stats.Count(), g.count);
+    EXPECT_EQ(r.mc_accesses, g.mc_accesses);
+    EXPECT_EQ(r.mc_pulls_sent, g.mc_pulls_sent);
+    EXPECT_EQ(r.requests_submitted, g.requests_submitted);
+    EXPECT_EQ(r.requests_coalesced, g.requests_coalesced);
+    EXPECT_EQ(r.requests_dropped, g.requests_dropped);
+    EXPECT_EQ(r.push_slot_frac, g.push_slot_frac);
+    EXPECT_EQ(r.pull_slot_frac, g.pull_slot_frac);
+    EXPECT_EQ(r.idle_slot_frac, g.idle_slot_frac);
+    EXPECT_EQ(r.sim_time_end, g.sim_time_end);
+    EXPECT_EQ(system.simulator().EventsExecuted(), g.events_executed);
+  }
 }
 
 TEST(GoldenTest, ProgramForConfigMatchesSystemProgram) {
