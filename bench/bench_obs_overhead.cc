@@ -1,0 +1,97 @@
+// Measures the cost of the observability layer on the end-to-end slot
+// loop: the same System run with and without a MetricsRegistry and
+// TraceSink attached. The budget (DESIGN.md, Observability) is < 3%
+// overhead for the metrics hooks; compare BM_EndToEndSlots_Detached
+// against BM_EndToEndSlots_Metrics. Results are recorded in
+// BENCH_obs.json alongside BENCH_kernel.json.
+
+#include <benchmark/benchmark.h>
+
+#include "core/system.h"
+#include "obs/metrics.h"
+#include "obs/trace_sink.h"
+
+namespace {
+
+using namespace bdisk;
+
+core::SystemConfig BenchConfig(double think_time_ratio) {
+  core::SystemConfig config;
+  config.think_time_ratio = think_time_ratio;
+  return config;
+}
+
+// Baseline: observability fully detached. All hook pointers stay null, so
+// the hot path pays one branch per hook site and nothing else.
+void BM_EndToEndSlots_Detached(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::System system(BenchConfig(static_cast<double>(state.range(0))));
+    system.mc().Start();
+    if (system.vc() != nullptr) system.vc()->Start();
+    state.ResumeTiming();
+    system.simulator().RunUntil(20000.0);
+    benchmark::DoNotOptimize(system.server().TotalSlots());
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+  state.SetLabel("items = broadcast units");
+}
+BENCHMARK(BM_EndToEndSlots_Detached)
+    ->Arg(10)
+    ->Arg(250)
+    ->Unit(benchmark::kMillisecond);
+
+// Metrics attached: every counter/gauge/time-series hook live, response
+// histogram fed, slot-mix window sampled. This is the configuration the
+// < 3% budget applies to.
+void BM_EndToEndSlots_Metrics(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::System system(BenchConfig(static_cast<double>(state.range(0))));
+    obs::MetricsRegistry registry;
+    system.AttachMetrics(&registry);
+    system.mc().Start();
+    if (system.vc() != nullptr) system.vc()->Start();
+    state.ResumeTiming();
+    system.simulator().RunUntil(20000.0);
+    benchmark::DoNotOptimize(system.server().TotalSlots());
+    state.PauseTiming();
+    system.SnapshotMetrics(&registry);
+    benchmark::DoNotOptimize(registry.counters().size());
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+  state.SetLabel("items = broadcast units");
+}
+BENCHMARK(BM_EndToEndSlots_Metrics)
+    ->Arg(10)
+    ->Arg(250)
+    ->Unit(benchmark::kMillisecond);
+
+// Metrics and trace both attached: every span record goes into the ring
+// buffer too. Tracing is an opt-in debugging aid, so it sits outside the
+// 3% budget, but we track its cost here to keep it honest.
+void BM_EndToEndSlots_MetricsAndTrace(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::System system(BenchConfig(static_cast<double>(state.range(0))));
+    obs::MetricsRegistry registry;
+    obs::TraceSink sink(1 << 16);
+    system.AttachMetrics(&registry);
+    system.AttachTrace(&sink);
+    system.mc().Start();
+    if (system.vc() != nullptr) system.vc()->Start();
+    state.ResumeTiming();
+    system.simulator().RunUntil(20000.0);
+    benchmark::DoNotOptimize(system.server().TotalSlots());
+    benchmark::DoNotOptimize(sink.TotalEvents());
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+  state.SetLabel("items = broadcast units");
+}
+BENCHMARK(BM_EndToEndSlots_MetricsAndTrace)
+    ->Arg(10)
+    ->Arg(250)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -36,6 +36,9 @@ std::optional<PageId> Cache::Insert(PageId page) {
   if (size_ == capacity_) {
     const PageId victim = policy_->ChooseVictim();
     BDISK_DCHECK(resident_[victim]);
+    if (eviction_value_stats_ != nullptr) {
+      eviction_value_stats_->Add(policy_->ValueOf(victim));
+    }
     policy_->OnEvict(victim);
     resident_[victim] = false;
     --size_;

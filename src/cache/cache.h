@@ -8,6 +8,7 @@
 
 #include "broadcast/broadcast_program.h"
 #include "cache/replacement_policy.h"
+#include "sim/stats.h"
 
 namespace bdisk::cache {
 
@@ -61,6 +62,14 @@ class Cache {
   /// The active replacement policy.
   const ReplacementPolicy& policy() const { return *policy_; }
 
+  /// Observability hook (not owned; null detaches): every policy eviction
+  /// records the victim's policy value (ReplacementPolicy::ValueOf) into
+  /// `stats` — the value the cache gave up. One pointer check per eviction
+  /// when detached.
+  void SetEvictionValueStats(sim::RunningStats* stats) {
+    eviction_value_stats_ = stats;
+  }
+
  private:
   std::uint32_t capacity_;
   std::uint32_t size_ = 0;
@@ -70,6 +79,7 @@ class Cache {
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
   std::uint64_t removals_ = 0;
+  sim::RunningStats* eviction_value_stats_ = nullptr;
 };
 
 /// Identifier of a replacement policy, for configuration.

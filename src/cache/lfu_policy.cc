@@ -40,4 +40,9 @@ PageId LfuPolicy::ChooseVictim() const {
   return std::get<2>(*residents_.begin());
 }
 
+double LfuPolicy::ValueOf(PageId page) const {
+  const auto it = state_.find(page);
+  return it == state_.end() ? 0.0 : static_cast<double>(it->second.count);
+}
+
 }  // namespace bdisk::cache

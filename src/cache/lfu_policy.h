@@ -27,6 +27,7 @@ class LfuPolicy : public ReplacementPolicy {
   void OnAccess(PageId page) override;
   void OnEvict(PageId page) override;
   PageId ChooseVictim() const override;
+  double ValueOf(PageId page) const override;
   std::string Name() const override { return "LFU"; }
 
  private:

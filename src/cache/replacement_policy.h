@@ -33,6 +33,13 @@ class ReplacementPolicy {
   /// page is resident.
   virtual PageId ChooseVictim() const = 0;
 
+  /// Policy-specific retention value of `page` (PIX: p/x, P: p, LFU:
+  /// observed reference count). Observability uses this to record the
+  /// value distribution at eviction time — how much value the policy gives
+  /// up per eviction. Policies with no scalar value (LRU orders by recency
+  /// only) keep the default 0.
+  virtual double ValueOf(PageId /*page*/) const { return 0.0; }
+
   /// Human-readable policy name ("PIX", "P", "LRU", "LFU").
   virtual std::string Name() const = 0;
 };

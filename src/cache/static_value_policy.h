@@ -27,6 +27,7 @@ class StaticValuePolicy : public ReplacementPolicy {
   void OnAccess(PageId /*page*/) override {}
   void OnEvict(PageId page) override;
   PageId ChooseVictim() const override;
+  double ValueOf(PageId page) const override { return values_[page]; }
   std::string Name() const override { return name_; }
 
   /// The value assigned to `page`.

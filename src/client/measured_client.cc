@@ -19,6 +19,7 @@ MeasuredClient::MeasuredClient(
       options_(options),
       filter_(options.thres_perc, server->program().Length()),
       rng_(rng),
+      response_histogram_(0.0, 4.0 * server->program().DbSize(), 1024),
       probs_(pattern.probs()) {
   BDISK_CHECK_MSG(server != nullptr, "client needs a server");
   BDISK_CHECK_MSG(options.think_time > 0.0, "think time must be positive");
@@ -45,6 +46,12 @@ void MeasuredClient::SetThresPerc(double thres_perc) {
   filter_ = ThresholdFilter(thres_perc, server_->program().Length());
 }
 
+void MeasuredClient::EnableMetrics(obs::MetricsRegistry* registry) {
+  BDISK_CHECK_MSG(registry != nullptr, "EnableMetrics needs a registry");
+  cache_->SetEvictionValueStats(
+      registry->GetStats("client.mc.cache.evict_value"));
+}
+
 void MeasuredClient::OnWakeup() {
   switch (state_) {
     case State::kThinking:
@@ -55,7 +62,11 @@ void MeasuredClient::OnWakeup() {
       // dropped (we get no feedback); resend and re-arm.
       BDISK_DCHECK(waiting_unscheduled_ && options_.retry_interval > 0.0);
       if (options_.use_backchannel) {
-        server_->SubmitRequest(waiting_page_);
+        if (sink_ != nullptr) {
+          sink_->Record(Now(), obs::SpanEvent::kRetry, obs::kMeasuredClientId,
+                        waiting_page_);
+        }
+        server_->SubmitRequest(waiting_page_, obs::kMeasuredClientId);
         ++retries_sent_;
       }
       ScheduleWakeup(options_.retry_interval);
@@ -68,9 +79,21 @@ void MeasuredClient::OnWakeup() {
 void MeasuredClient::MakeRequest() {
   const PageId page = generator_.Next(rng_);
   ++total_accesses_;
+  if (sink_ != nullptr) {
+    sink_->Record(Now(), obs::SpanEvent::kRequest, obs::kMeasuredClientId,
+                  page);
+  }
   if (cache_->Access(page)) {
+    if (sink_ != nullptr) {
+      sink_->Record(Now(), obs::SpanEvent::kCacheHit, obs::kMeasuredClientId,
+                    page);
+    }
     CompleteAccess(0.0);
     return;
+  }
+  if (sink_ != nullptr) {
+    sink_->Record(Now(), obs::SpanEvent::kCacheMiss, obs::kMeasuredClientId,
+                  page);
   }
   state_ = State::kWaiting;
   waiting_page_ = page;
@@ -83,7 +106,7 @@ void MeasuredClient::MakeRequest() {
                   "push-only client blocked on a page that is never pushed");
   predicted_push_wait_ = 0.0;
   if (options_.use_backchannel && filter_.ShouldPull(distance)) {
-    server_->SubmitRequest(page);
+    server_->SubmitRequest(page, obs::kMeasuredClientId);
     ++pull_requests_sent_;
     if (!waiting_unscheduled_) {
       // +1: the transmission slot. Push slots are a lower bound on real
@@ -91,6 +114,10 @@ void MeasuredClient::MakeRequest() {
       // slightly optimistic saturation signal — which is the safe side.
       predicted_push_wait_ = static_cast<double>(distance) + 1.0;
     }
+  } else if (options_.use_backchannel && sink_ != nullptr) {
+    sink_->Record(Now(), obs::SpanEvent::kSubmitFiltered,
+                  obs::kMeasuredClientId, page,
+                  static_cast<double>(distance));
   }
   if (waiting_unscheduled_ && options_.retry_interval > 0.0) {
     ScheduleWakeup(options_.retry_interval);
@@ -98,7 +125,10 @@ void MeasuredClient::MakeRequest() {
 }
 
 void MeasuredClient::CompleteAccess(double response_time) {
-  if (recording_) response_times_.Add(response_time);
+  if (recording_) {
+    response_times_.Add(response_time);
+    response_histogram_.Add(response_time);
+  }
   state_ = State::kThinking;
   waiting_page_ = broadcast::kNoPage;
   ScheduleWakeup(options_.think_time);
@@ -125,6 +155,10 @@ void MeasuredClient::OnBroadcast(PageId page, server::SlotKind /*kind*/,
     }
     InsertIntoCache(page, now);
     CancelWakeup();  // Disarm any pending retry timer.
+    if (sink_ != nullptr) {
+      sink_->Record(now, obs::SpanEvent::kDelivery, obs::kMeasuredClientId,
+                    page, now - request_time_);
+    }
     CompleteAccess(now - request_time_);
     return;
   }
@@ -133,8 +167,12 @@ void MeasuredClient::OnBroadcast(PageId page, server::SlotKind /*kind*/,
 
 void MeasuredClient::OnInvalidate(PageId page, sim::SimTime now) {
   ++invalidations_seen_;
-  if (cache_->Remove(page) && warmup_tracker_) {
-    warmup_tracker_->OnEvict(page, now);
+  if (cache_->Remove(page)) {
+    if (sink_ != nullptr) {
+      sink_->Record(now, obs::SpanEvent::kInvalidate, obs::kMeasuredClientId,
+                    page);
+    }
+    if (warmup_tracker_) warmup_tracker_->OnEvict(page, now);
   }
 }
 

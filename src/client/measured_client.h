@@ -10,6 +10,8 @@
 #include "cache/cache.h"
 #include "client/threshold_filter.h"
 #include "client/warmup_tracker.h"
+#include "obs/metrics.h"
+#include "obs/trace_sink.h"
 #include "server/broadcast_server.h"
 #include "server/update_generator.h"
 #include "sim/process.h"
@@ -107,7 +109,22 @@ class MeasuredClient : public sim::Process,
   double PullWaitRatio() const { return pull_wait_ratio_; }
 
   /// Clears the recorded response-time statistics (not lifetime counters).
-  void ResetStats() { response_times_.Reset(); }
+  void ResetStats() {
+    response_times_.Reset();
+    response_histogram_.Reset();
+  }
+
+  /// Attaches the system-wide structured trace (not owned; null detaches).
+  /// Every access is recorded as request / hit-or-miss / filtered / retry /
+  /// delivery records under obs::kMeasuredClientId.
+  void SetTraceSink(obs::TraceSink* sink) { sink_ = sink; }
+
+  /// Attaches a metrics registry (not owned): wires the cache's
+  /// eviction-value stream into "client.mc.cache.evict_value". Lifetime
+  /// counters and the response histogram are snapshotted at collect time
+  /// instead (see core::System::SnapshotMetrics), so nothing else changes
+  /// on the hot path.
+  void EnableMetrics(obs::MetricsRegistry* registry);
 
   // BroadcastListener:
   void OnBroadcast(PageId page, server::SlotKind kind,
@@ -119,6 +136,14 @@ class MeasuredClient : public sim::Process,
 
   /// Recorded response times (only accesses completed while recording).
   const sim::RunningStats& response_times() const { return response_times_; }
+
+  /// Bucketed distribution of the same recorded response times — the
+  /// source of RunResult's p50/p90/p95/p99. Always on: Add() is two array
+  /// writes, negligible against an event dispatch, and keeping it
+  /// unconditional means percentiles are available without any registry.
+  const obs::LatencyHistogram& response_histogram() const {
+    return response_histogram_;
+  }
 
   /// Lifetime access counters.
   std::uint64_t TotalAccesses() const { return total_accesses_; }
@@ -169,6 +194,11 @@ class MeasuredClient : public sim::Process,
 
   bool recording_ = false;
   sim::RunningStats response_times_;
+  // [0, 4 DbSize) spans everything short of pathological saturation: the
+  // worst scheduled wait is one major cycle (< 3 DbSize for the paper's
+  // flattest disk) and overflow is still counted and visible in exports.
+  obs::LatencyHistogram response_histogram_;
+  obs::TraceSink* sink_ = nullptr;
   std::uint64_t total_accesses_ = 0;
   std::uint64_t pull_requests_sent_ = 0;
   std::uint64_t retries_sent_ = 0;

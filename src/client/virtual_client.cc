@@ -52,7 +52,7 @@ void VirtualClient::OnWakeup() {
     ++filtered_;
     if (steady) warm_cached_[page] = ideal_warm_[page];  // Re-fetched.
   } else {
-    server_->SubmitRequest(page);
+    server_->SubmitRequest(page, obs::kVirtualClientId);
     ++submitted_;
     if (steady) warm_cached_[page] = ideal_warm_[page];  // Re-fetched.
   }

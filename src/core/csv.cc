@@ -22,16 +22,19 @@ std::string Quote(const std::string& field) {
 
 std::string SweepToCsv(const std::vector<SweepOutcome>& outcomes) {
   std::string out =
-      "curve,x,mean_response,drop_rate,hit_rate,pulls_sent,"
+      "curve,x,mean_response,response_p50,response_p90,response_p95,"
+      "response_p99,response_max,drop_rate,hit_rate,pulls_sent,"
       "requests_submitted,requests_dropped,push_frac,pull_frac,idle_frac,"
       "converged\n";
   char line[512];
   for (const SweepOutcome& outcome : outcomes) {
     const RunResult& r = outcome.result;
     std::snprintf(line, sizeof(line),
-                  ",%g,%.6g,%.6g,%.6g,%llu,%llu,%llu,%.6g,%.6g,%.6g,%d\n",
-                  outcome.point.x, r.mean_response, r.drop_rate,
-                  r.mc_hit_rate,
+                  ",%g,%.6g,%.6g,%.6g,%.6g,%.6g,%.6g,%.6g,%.6g,%llu,%llu,"
+                  "%llu,%.6g,%.6g,%.6g,%d\n",
+                  outcome.point.x, r.mean_response, r.response_p50,
+                  r.response_p90, r.response_p95, r.response_p99,
+                  r.response_max, r.drop_rate, r.mc_hit_rate,
                   static_cast<unsigned long long>(r.mc_pulls_sent),
                   static_cast<unsigned long long>(r.requests_submitted),
                   static_cast<unsigned long long>(r.requests_dropped),

@@ -9,7 +9,8 @@
 namespace bdisk::core {
 
 /// Renders sweep outcomes as CSV (one row per point) for external plotting
-/// tools. Columns: curve, x, mean_response, drop_rate, hit_rate,
+/// tools. Columns: curve, x, mean_response, response_p50, response_p90,
+/// response_p95, response_p99, response_max, drop_rate, hit_rate,
 /// pulls_sent, requests_submitted, requests_dropped, push_frac, pull_frac,
 /// idle_frac, converged.
 std::string SweepToCsv(const std::vector<SweepOutcome>& outcomes);

@@ -16,6 +16,24 @@ struct WarmupPoint {
   sim::SimTime time;  // kTimeNever when never reached within the run.
 };
 
+/// Runtime profile of the simulation kernel over one run. All sources are
+/// always-on (plain counter bumps in the event loop), so these fields are
+/// populated whether or not a metrics registry is attached.
+struct KernelProfile {
+  /// Events dispatched by the simulator.
+  std::uint64_t events_executed = 0;
+  /// Deepest the event heap ever got (periodic timers bypass the heap, so
+  /// this measures the *aperiodic* load: client wakeups, controllers).
+  std::uint64_t heap_high_water = 0;
+  /// Periodic-timer re-arms served by the heapless fast path.
+  std::uint64_t periodic_rearms = 0;
+  /// Host wall-clock seconds spent inside RunUntil.
+  double wall_seconds = 0.0;
+  /// Throughput rates; 0 when wall_seconds is too small to measure.
+  double events_per_wall_second = 0.0;
+  double sim_units_per_wall_second = 0.0;
+};
+
 /// Everything measured in one simulation run.
 struct RunResult {
   /// Mean response time over measured MC accesses, in broadcast units —
@@ -24,6 +42,16 @@ struct RunResult {
   /// Full response-time statistics for the measured window.
   sim::RunningStats response_stats;
 
+  /// Response-time distribution over the same measured window, from the
+  /// MC's always-on bucketed histogram. Percentiles interpolate within the
+  /// containing bucket (error bounded by one bucket width ≈ DbSize/256
+  /// broadcast units); the max is exact. All 0 when nothing was measured.
+  double response_p50 = 0.0;
+  double response_p90 = 0.0;
+  double response_p95 = 0.0;
+  double response_p99 = 0.0;
+  double response_max = 0.0;
+
   /// MC counters over the entire run (warm-up + measurement).
   std::uint64_t mc_accesses = 0;
   double mc_hit_rate = 0.0;
@@ -31,6 +59,14 @@ struct RunResult {
   std::uint64_t mc_retries_sent = 0;
   std::uint64_t mc_prefetches = 0;
   std::uint64_t mc_invalidations = 0;
+  std::uint64_t mc_cache_evictions = 0;
+  std::uint64_t mc_cache_removals = 0;
+
+  /// VC counters over the entire run (all 0 without a virtual client).
+  std::uint64_t vc_requests_generated = 0;
+  std::uint64_t vc_cache_hits = 0;
+  std::uint64_t vc_filtered = 0;
+  std::uint64_t vc_submitted = 0;
 
   /// Volatile-data extension: server-side updates generated.
   std::uint64_t updates_generated = 0;
@@ -42,6 +78,8 @@ struct RunResult {
   std::uint64_t requests_dropped = 0;
   /// Fraction of submitted pull requests dropped at a full queue.
   double drop_rate = 0.0;
+  /// Deepest the pull queue ever got (distinct queued pages).
+  std::uint32_t queue_depth_high_water = 0;
 
   /// Frontchannel slot usage fractions.
   double push_slot_frac = 0.0;
@@ -53,6 +91,9 @@ struct RunResult {
 
   /// Warm-up trajectory (populated by warm-up runs).
   std::vector<WarmupPoint> warmup;
+
+  /// Kernel runtime profile (event counts, heap depth, wall-clock rates).
+  KernelProfile kernel;
 
   /// Bookkeeping.
   sim::SimTime sim_time_end = 0.0;

@@ -1,6 +1,7 @@
 #include "core/system.h"
 
 #include <algorithm>
+#include <chrono>
 #include <numeric>
 #include <utility>
 
@@ -172,10 +173,90 @@ System::System(const SystemConfig& config)
   }
 }
 
+void System::AttachMetrics(obs::MetricsRegistry* registry) {
+  BDISK_CHECK_MSG(!ran_, "attach observability before running");
+  BDISK_CHECK_MSG(registry != nullptr, "AttachMetrics needs a registry");
+  server_->EnableMetrics(registry);
+  mc_->EnableMetrics(registry);
+}
+
+void System::AttachTrace(obs::TraceSink* sink) {
+  BDISK_CHECK_MSG(!ran_, "attach observability before running");
+  server_->SetTraceSink(sink);
+  mc_->SetTraceSink(sink);
+}
+
+void System::SnapshotMetrics(obs::MetricsRegistry* registry) const {
+  BDISK_CHECK_MSG(registry != nullptr, "SnapshotMetrics needs a registry");
+  const auto counter = [registry](const char* name, std::uint64_t v) {
+    registry->GetCounter(name)->Set(v);
+  };
+  const auto gauge = [registry](const char* name, double v) {
+    registry->GetGauge(name)->Set(v);
+  };
+
+  counter("server.slots_total", server_->TotalSlots());
+  counter("server.slots_push", server_->PushSlots());
+  counter("server.slots_pull", server_->PullSlots());
+  counter("server.slots_idle", server_->IdleSlots());
+  const server::PullQueue& queue = server_->queue();
+  counter("server.queue.submitted", queue.SubmittedCount());
+  counter("server.queue.accepted", queue.AcceptedCount());
+  counter("server.queue.coalesced", queue.CoalescedCount());
+  counter("server.queue.dropped", queue.DroppedCount());
+  gauge("server.queue.depth_high_water", queue.DepthHighWater());
+  gauge("server.queue.drop_rate", queue.DropRate());
+  gauge("server.pull_bw", server_->pull_bw());
+
+  counter("client.mc.accesses", mc_->TotalAccesses());
+  counter("client.mc.cache.hits", mc_->cache().Hits());
+  counter("client.mc.cache.misses", mc_->cache().Misses());
+  counter("client.mc.cache.evictions", mc_->cache().Evictions());
+  counter("client.mc.cache.removals", mc_->cache().Removals());
+  counter("client.mc.pulls_sent", mc_->PullRequestsSent());
+  counter("client.mc.retries_sent", mc_->RetriesSent());
+  counter("client.mc.prefetches", mc_->Prefetches());
+  counter("client.mc.invalidations_seen", mc_->InvalidationsSeen());
+  gauge("client.mc.pull_wait_ratio", mc_->PullWaitRatio());
+  registry->ExportHistogram("client.mc.response", mc_->response_histogram());
+  if (vc_) {
+    counter("client.vc.requests_generated", vc_->RequestsGenerated());
+    counter("client.vc.cache_hits", vc_->CacheHits());
+    counter("client.vc.filtered", vc_->FilteredByThreshold());
+    counter("client.vc.submitted", vc_->RequestsSubmitted());
+  }
+  if (update_generator_) {
+    counter("server.updates_generated", update_generator_->UpdateCount());
+  }
+
+  counter("kernel.events_executed", simulator_.EventsExecuted());
+  counter("kernel.periodic_rearms", simulator_.PeriodicRearms());
+  gauge("kernel.heap_high_water",
+        static_cast<double>(simulator_.HeapHighWater()));
+  gauge("kernel.wall_seconds", wall_seconds_);
+  gauge("kernel.sim_time_end", simulator_.Now());
+}
+
+void System::TimedRun(sim::SimTime max_sim_time) {
+  const auto start = std::chrono::steady_clock::now();
+  simulator_.RunUntil(max_sim_time);
+  wall_seconds_ = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+}
+
 RunResult System::CollectResult(bool converged) const {
   RunResult result;
   result.response_stats = mc_->response_times();
   result.mean_response = result.response_stats.Mean();
+  const obs::LatencyHistogram& rh = mc_->response_histogram();
+  if (rh.Count() > 0) {
+    result.response_p50 = rh.Percentile(0.50);
+    result.response_p90 = rh.Percentile(0.90);
+    result.response_p95 = rh.Percentile(0.95);
+    result.response_p99 = rh.Percentile(0.99);
+    result.response_max = rh.Max();
+  }
   result.mc_accesses = mc_->TotalAccesses();
   result.mc_hit_rate =
       mc_->TotalAccesses() == 0
@@ -186,6 +267,14 @@ RunResult System::CollectResult(bool converged) const {
   result.mc_retries_sent = mc_->RetriesSent();
   result.mc_prefetches = mc_->Prefetches();
   result.mc_invalidations = mc_->InvalidationsSeen();
+  result.mc_cache_evictions = mc_->cache().Evictions();
+  result.mc_cache_removals = mc_->cache().Removals();
+  if (vc_) {
+    result.vc_requests_generated = vc_->RequestsGenerated();
+    result.vc_cache_hits = vc_->CacheHits();
+    result.vc_filtered = vc_->FilteredByThreshold();
+    result.vc_submitted = vc_->RequestsSubmitted();
+  }
   if (update_generator_) {
     result.updates_generated = update_generator_->UpdateCount();
   }
@@ -196,6 +285,7 @@ RunResult System::CollectResult(bool converged) const {
   result.requests_coalesced = queue.CoalescedCount();
   result.requests_dropped = queue.DroppedCount();
   result.drop_rate = queue.DropRate();
+  result.queue_depth_high_water = queue.DepthHighWater();
 
   const double slots = static_cast<double>(server_->TotalSlots());
   if (slots > 0) {
@@ -204,6 +294,17 @@ RunResult System::CollectResult(bool converged) const {
     result.idle_slot_frac = static_cast<double>(server_->IdleSlots()) / slots;
   }
   result.major_cycle_len = server_->program().Length();
+
+  result.kernel.events_executed = simulator_.EventsExecuted();
+  result.kernel.heap_high_water = simulator_.HeapHighWater();
+  result.kernel.periodic_rearms = simulator_.PeriodicRearms();
+  result.kernel.wall_seconds = wall_seconds_;
+  if (wall_seconds_ > 1e-9) {
+    result.kernel.events_per_wall_second =
+        static_cast<double>(simulator_.EventsExecuted()) / wall_seconds_;
+    result.kernel.sim_units_per_wall_second = simulator_.Now() / wall_seconds_;
+  }
+
   result.sim_time_end = simulator_.Now();
   result.converged = converged;
   return result;
@@ -252,7 +353,7 @@ RunResult System::RunSteadyState(const SteadyStateProtocol& protocol) {
   if (update_generator_) update_generator_->Start();
   if (server_controller_) server_controller_->Start();
   if (client_controller_) client_controller_->Start();
-  simulator_.RunUntil(protocol.max_sim_time);
+  TimedRun(protocol.max_sim_time);
   return CollectResult(converged);
 }
 
@@ -276,7 +377,7 @@ RunResult System::RunWarmup(const WarmupProtocol& protocol) {
   if (update_generator_) update_generator_->Start();
   if (server_controller_) server_controller_->Start();
   if (client_controller_) client_controller_->Start();
-  simulator_.RunUntil(protocol.max_sim_time);
+  TimedRun(protocol.max_sim_time);
 
   RunResult result = CollectResult(reached);
   result.warmup.reserve(protocol.fractions.size());

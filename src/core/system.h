@@ -13,6 +13,8 @@
 #include "client/virtual_client.h"
 #include "core/config.h"
 #include "core/metrics.h"
+#include "obs/metrics.h"
+#include "obs/trace_sink.h"
 #include "server/broadcast_server.h"
 #include "sim/simulator.h"
 #include "workload/access_pattern.h"
@@ -65,6 +67,24 @@ class System {
   /// warm-up trajectory).
   RunResult RunWarmup(const WarmupProtocol& protocol = {});
 
+  /// Attaches `registry` (not owned; must outlive the run) to every
+  /// instrumented component: the server publishes windowed slot-mix and
+  /// queue-depth time-series, the MC's cache streams eviction values.
+  /// Call before Run*. Consumes no randomness and schedules no events, so
+  /// the simulated trajectory is bit-identical with or without it.
+  void AttachMetrics(obs::MetricsRegistry* registry);
+
+  /// Attaches the structured trace `sink` (not owned) to the server and
+  /// the measured client. Call before Run*. Same bit-identity guarantee as
+  /// AttachMetrics.
+  void AttachTrace(obs::TraceSink* sink);
+
+  /// Copies every lifetime counter and the MC response histogram into
+  /// `registry`, so ToJson() yields one self-contained snapshot. Counters
+  /// are cheap to keep always-on in their components; snapshotting at
+  /// collect time is what keeps the hot path free of registry traffic.
+  void SnapshotMetrics(obs::MetricsRegistry* registry) const;
+
   /// The configuration this system was built from.
   const SystemConfig& config() const { return config_; }
 
@@ -106,6 +126,7 @@ class System {
 
  private:
   RunResult CollectResult(bool converged) const;
+  void TimedRun(sim::SimTime max_sim_time);
 
   SystemConfig config_;
   sim::Simulator simulator_;
@@ -119,6 +140,7 @@ class System {
   std::unique_ptr<adaptive::ClientController> client_controller_;
   std::unique_ptr<server::UpdateGenerator> update_generator_;
   bool ran_ = false;
+  double wall_seconds_ = 0.0;
 };
 
 /// The `k` pages with the highest `values` (ties: lower page id first) —

@@ -1,0 +1,125 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace bdisk::obs {
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::Separate() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // The key already wrote its comma.
+  }
+  if (!has_element_.empty()) {
+    if (has_element_.back()) out_ += ',';
+    has_element_.back() = true;
+  }
+}
+
+void JsonWriter::BeginObject() {
+  Separate();
+  out_ += '{';
+  has_element_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  if (!has_element_.empty()) has_element_.pop_back();
+  out_ += '}';
+}
+
+void JsonWriter::BeginArray() {
+  Separate();
+  out_ += '[';
+  has_element_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  if (!has_element_.empty()) has_element_.pop_back();
+  out_ += ']';
+}
+
+void JsonWriter::Key(const std::string& key) {
+  if (!has_element_.empty()) {
+    if (has_element_.back()) out_ += ',';
+    has_element_.back() = true;
+  }
+  out_ += '"';
+  out_ += JsonEscape(key);
+  out_ += "\":";
+  pending_key_ = true;
+}
+
+void JsonWriter::Value(double v) {
+  Separate();
+  if (!std::isfinite(v)) {
+    out_ += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out_ += buf;
+}
+
+void JsonWriter::Value(std::uint64_t v) {
+  Separate();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::Value(std::int64_t v) {
+  Separate();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::Value(bool v) {
+  Separate();
+  out_ += v ? "true" : "false";
+}
+
+void JsonWriter::Value(const std::string& v) {
+  Separate();
+  out_ += '"';
+  out_ += JsonEscape(v);
+  out_ += '"';
+}
+
+void JsonWriter::Value(const char* v) { Value(std::string(v)); }
+
+void JsonWriter::Null() {
+  Separate();
+  out_ += "null";
+}
+
+}  // namespace bdisk::obs

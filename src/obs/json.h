@@ -1,0 +1,58 @@
+#ifndef BDISK_OBS_JSON_H_
+#define BDISK_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bdisk::obs {
+
+/// Escapes a string for inclusion inside a JSON string literal (quotes,
+/// backslashes, control characters). Returns the escaped body only, without
+/// surrounding quotes.
+std::string JsonEscape(const std::string& text);
+
+/// Minimal streaming JSON writer for metrics snapshots and trace export.
+///
+/// Append-only: the caller opens objects/arrays, emits keys and values, and
+/// closes scopes in order. The writer tracks comma placement; it does not
+/// validate nesting beyond a depth stack, so misuse produces malformed JSON
+/// rather than a crash. Doubles are emitted with %.17g (round-trippable);
+/// non-finite doubles become null (JSON has no Infinity/NaN).
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Emits `"key":` inside an object; the next Begin*/Value call attaches
+  /// its value.
+  void Key(const std::string& key);
+
+  void Value(double v);
+  void Value(std::uint64_t v);
+  void Value(std::int64_t v);
+  void Value(bool v);
+  void Value(const std::string& v);
+  void Value(const char* v);
+  void Null();
+
+  /// The document built so far.
+  const std::string& str() const { return out_; }
+
+ private:
+  // Writes the separating comma if this scope already holds a value.
+  void Separate();
+
+  std::string out_;
+  // true once the current scope (object/array) has at least one element.
+  std::vector<bool> has_element_;
+  bool pending_key_ = false;
+};
+
+}  // namespace bdisk::obs
+
+#endif  // BDISK_OBS_JSON_H_

@@ -1,0 +1,49 @@
+#include "obs/progress.h"
+
+#include "sim/check.h"
+
+namespace bdisk::obs {
+
+ProgressReporter::ProgressReporter(sim::Simulator* simulator,
+                                   sim::SimTime interval, std::FILE* out)
+    : simulator_(simulator), interval_(interval), out_(out) {
+  BDISK_CHECK_MSG(simulator != nullptr, "progress reporter needs a simulator");
+  BDISK_CHECK_MSG(interval > 0.0, "progress interval must be positive");
+}
+
+void ProgressReporter::Start() {
+  wall_start_ = std::chrono::steady_clock::now();
+  last_wall_ = wall_start_;
+  last_events_ = simulator_->EventsExecuted();
+  simulator_->ScheduleAfter(interval_, sim::EventFn(this));
+}
+
+void ProgressReporter::OnEvent() {
+  const auto now_wall = std::chrono::steady_clock::now();
+  const double dt =
+      std::chrono::duration<double>(now_wall - last_wall_).count();
+  const std::uint64_t events = simulator_->EventsExecuted();
+  const double rate =
+      dt > 0.0 ? static_cast<double>(events - last_events_) / dt : 0.0;
+
+  std::fprintf(out_, "[bdisk] t=%.0f events=%llu events/s=%.3g",
+               simulator_->Now(),
+               static_cast<unsigned long long>(events), rate);
+  if (fraction_) {
+    const double f = fraction_();
+    std::fprintf(out_, " done=%.1f%%", 100.0 * f);
+    if (f > 0.0 && f < 1.0) {
+      const double elapsed =
+          std::chrono::duration<double>(now_wall - wall_start_).count();
+      std::fprintf(out_, " eta=%.0fs", elapsed * (1.0 - f) / f);
+    }
+  }
+  std::fputc('\n', out_);
+  std::fflush(out_);
+
+  last_wall_ = now_wall;
+  last_events_ = events;
+  simulator_->ScheduleAfter(interval_, sim::EventFn(this));
+}
+
+}  // namespace bdisk::obs

@@ -1,0 +1,52 @@
+#ifndef BDISK_OBS_PROGRESS_H_
+#define BDISK_OBS_PROGRESS_H_
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+
+#include "sim/simulator.h"
+#include "sim/types.h"
+
+namespace bdisk::obs {
+
+/// A periodic stderr heartbeat for long runs: simulated time, events
+/// executed, wall-clock event rate, and — when a completion-fraction
+/// callback is supplied — percent done and an ETA extrapolated from the
+/// wall-clock spent so far.
+///
+/// The reporter schedules itself on the simulator (every `interval`
+/// simulated units), so enabling it changes the event stream; use it for
+/// interactive runs, never under golden pins. It is an EventHandler, not a
+/// Process: one pointer in the event queue, no allocation per heartbeat.
+class ProgressReporter : public sim::EventHandler {
+ public:
+  /// Heartbeats every `interval` simulated broadcast units to `out`
+  /// (default stderr).
+  ProgressReporter(sim::Simulator* simulator, sim::SimTime interval,
+                   std::FILE* out = stderr);
+
+  /// Optional: reports completion in [0,1]; enables "done%" and ETA.
+  void SetFractionCallback(std::function<double()> fraction) {
+    fraction_ = std::move(fraction);
+  }
+
+  /// Schedules the first heartbeat (one interval from now) and starts the
+  /// wall clock.
+  void Start();
+
+ private:
+  void OnEvent() override;
+
+  sim::Simulator* simulator_;
+  sim::SimTime interval_;
+  std::FILE* out_;
+  std::function<double()> fraction_;
+  std::chrono::steady_clock::time_point wall_start_;
+  std::chrono::steady_clock::time_point last_wall_;
+  std::uint64_t last_events_ = 0;
+};
+
+}  // namespace bdisk::obs
+
+#endif  // BDISK_OBS_PROGRESS_H_

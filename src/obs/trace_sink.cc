@@ -1,0 +1,123 @@
+#include "obs/trace_sink.h"
+
+#include <cstdio>
+
+#include "sim/check.h"
+
+namespace bdisk::obs {
+
+const char* SpanEventName(SpanEvent event) {
+  switch (event) {
+    case SpanEvent::kRequest:
+      return "request";
+    case SpanEvent::kCacheHit:
+      return "cache_hit";
+    case SpanEvent::kCacheMiss:
+      return "cache_miss";
+    case SpanEvent::kSubmitAccepted:
+      return "submit_accepted";
+    case SpanEvent::kSubmitCoalesced:
+      return "submit_coalesced";
+    case SpanEvent::kSubmitDropped:
+      return "submit_dropped";
+    case SpanEvent::kSubmitFiltered:
+      return "submit_filtered";
+    case SpanEvent::kRetry:
+      return "retry";
+    case SpanEvent::kSlotPush:
+      return "slot_push";
+    case SpanEvent::kSlotPull:
+      return "slot_pull";
+    case SpanEvent::kSlotIdle:
+      return "slot_idle";
+    case SpanEvent::kDelivery:
+      return "delivery";
+    case SpanEvent::kInvalidate:
+      return "invalidate";
+    case SpanEvent::kMaxValue:
+      break;
+  }
+  return "?";
+}
+
+TraceSink::TraceSink(std::size_t capacity) : capacity_(capacity) {
+  BDISK_CHECK_MSG(capacity >= 1, "trace capacity must be positive");
+  ring_.reserve(capacity);
+}
+
+void TraceSink::Record(sim::SimTime time, SpanEvent event,
+                       std::uint32_t client, std::uint32_t page,
+                       double value) {
+  BDISK_DCHECK(event < SpanEvent::kMaxValue);
+  ++counts_[static_cast<std::size_t>(event)];
+  ++total_;
+  const SpanRecord record{time, event, client, page, value};
+  if (ring_.size() < capacity_) {
+    ring_.push_back(record);
+  } else {
+    ring_[next_] = record;
+  }
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<SpanRecord> TraceSink::Events() const {
+  std::vector<SpanRecord> ordered;
+  ordered.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    ordered = ring_;
+  } else {
+    // Ring is full: next_ points at the oldest entry.
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+      ordered.push_back(ring_[(next_ + i) % capacity_]);
+    }
+  }
+  return ordered;
+}
+
+std::uint64_t TraceSink::Count(SpanEvent event) const {
+  BDISK_DCHECK(event < SpanEvent::kMaxValue);
+  return counts_[static_cast<std::size_t>(event)];
+}
+
+namespace {
+
+long long SignedId(std::uint32_t id) {
+  return id == kNoClient ? -1LL : static_cast<long long>(id);
+}
+
+}  // namespace
+
+std::string TraceSink::ToJsonl() const {
+  std::string out;
+  char line[160];
+  for (const SpanRecord& r : Events()) {
+    std::snprintf(line, sizeof(line),
+                  "{\"t\":%.3f,\"ev\":\"%s\",\"client\":%lld,"
+                  "\"page\":%lld,\"v\":%g}\n",
+                  r.time, SpanEventName(r.event), SignedId(r.client),
+                  SignedId(r.page), r.value);
+    out += line;
+  }
+  return out;
+}
+
+std::string TraceSink::ToCsv() const {
+  std::string out = "time,event,client,page,value\n";
+  char line[128];
+  for (const SpanRecord& r : Events()) {
+    std::snprintf(line, sizeof(line), "%.3f,%s,%lld,%lld,%g\n", r.time,
+                  SpanEventName(r.event), SignedId(r.client),
+                  SignedId(r.page), r.value);
+    out += line;
+  }
+  return out;
+}
+
+void TraceSink::Clear() {
+  ring_.clear();
+  next_ = 0;
+  total_ = 0;
+  counts_.fill(0);
+}
+
+}  // namespace bdisk::obs

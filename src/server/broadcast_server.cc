@@ -42,7 +42,17 @@ void BroadcastServer::SetPullBw(double pull_bw) {
   pull_bw_ = pull_bw;
 }
 
-SubmitResult BroadcastServer::SubmitRequest(PageId page) {
+void BroadcastServer::EnableMetrics(obs::MetricsRegistry* registry) {
+  BDISK_CHECK_MSG(registry != nullptr, "EnableMetrics needs a registry");
+  ts_push_frac_ = registry->GetTimeSeries("server.push_frac");
+  ts_pull_frac_ = registry->GetTimeSeries("server.pull_frac");
+  ts_idle_frac_ = registry->GetTimeSeries("server.idle_frac");
+  ts_queue_depth_ = registry->GetTimeSeries("server.queue_depth");
+  window_slots_ = window_push_ = window_pull_ = window_idle_ = 0;
+}
+
+SubmitResult BroadcastServer::SubmitRequest(PageId page,
+                                            std::uint32_t client) {
   BDISK_DCHECK(page < program_.DbSize());
   const SubmitResult result = queue_.Submit(page);
   if (trace_ != nullptr) {
@@ -53,6 +63,16 @@ SubmitResult BroadcastServer::SubmitRequest(PageId page) {
                    ? sim::TraceEventKind::kRequestCoalesced
                    : sim::TraceEventKind::kRequestDropped);
     trace_->Record(simulator_->Now(), kind, page);
+  }
+  if (sink_ != nullptr) {
+    const obs::SpanEvent ev =
+        result == SubmitResult::kAccepted
+            ? obs::SpanEvent::kSubmitAccepted
+            : (result == SubmitResult::kCoalesced
+                   ? obs::SpanEvent::kSubmitCoalesced
+                   : obs::SpanEvent::kSubmitDropped);
+    sink_->Record(simulator_->Now(), ev, client, page,
+                  static_cast<double>(queue_.Size()));
   }
   return result;
 }
@@ -109,6 +129,40 @@ void BroadcastServer::ChooseNextSlot() {
                    : sim::TraceEventKind::kSlotIdle);
     trace_->Record(simulator_->Now(), kind, in_flight_page_);
   }
+  if (sink_ != nullptr) {
+    const obs::SpanEvent ev =
+        in_flight_kind_ == SlotKind::kPull
+            ? obs::SpanEvent::kSlotPull
+            : (in_flight_kind_ == SlotKind::kPush
+                   ? obs::SpanEvent::kSlotPush
+                   : obs::SpanEvent::kSlotIdle);
+    sink_->Record(simulator_->Now(), ev, obs::kNoClient,
+                  in_flight_page_ == broadcast::kNoPage ? obs::kNoTracePage
+                                                        : in_flight_page_);
+  }
+  if (ts_push_frac_ != nullptr) SampleSlotWindow();
+}
+
+void BroadcastServer::SampleSlotWindow() {
+  switch (in_flight_kind_) {
+    case SlotKind::kPush:
+      ++window_push_;
+      break;
+    case SlotKind::kPull:
+      ++window_pull_;
+      break;
+    case SlotKind::kIdle:
+      ++window_idle_;
+      break;
+  }
+  if (++window_slots_ < kMetricsWindowSlots) return;
+  const sim::SimTime now = simulator_->Now();
+  const double n = static_cast<double>(window_slots_);
+  ts_push_frac_->Add(now, window_push_ / n);
+  ts_pull_frac_->Add(now, window_pull_ / n);
+  ts_idle_frac_->Add(now, window_idle_ / n);
+  ts_queue_depth_->Add(now, static_cast<double>(queue_.Size()));
+  window_slots_ = window_push_ = window_pull_ = window_idle_ = 0;
 }
 
 }  // namespace bdisk::server

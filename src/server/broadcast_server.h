@@ -9,6 +9,8 @@
 #include "broadcast/broadcast_program.h"
 #include "broadcast/page.h"
 #include "broadcast/schedule_cursor.h"
+#include "obs/metrics.h"
+#include "obs/trace_sink.h"
 #include "server/pull_queue.h"
 #include "sim/rng.h"
 #include "sim/simulator.h"
@@ -85,10 +87,24 @@ class BroadcastServer : public sim::EventHandler {
     trace_ = recorder;
   }
 
-  /// Submits a backchannel pull request. The return value is for
+  /// Attaches the system-wide structured trace (not owned; null detaches).
+  /// Records every slot decision (at decision time t; delivery is at t+1)
+  /// and every submit outcome, tagged with the submitting client.
+  void SetTraceSink(obs::TraceSink* sink) { sink_ = sink; }
+
+  /// Attaches a metrics registry (not owned). Resolves the server's
+  /// time-series once — slot-mix fractions and queue depth, sampled every
+  /// kMetricsWindowSlots slots — so the slot loop pays one pointer check
+  /// when detached and plain integer bumps when attached. Consumes no
+  /// randomness and schedules no events either way.
+  void EnableMetrics(obs::MetricsRegistry* registry);
+
+  /// Submits a backchannel pull request on behalf of `client` (a trace
+  /// identity; obs::kNoClient when anonymous). The return value is for
   /// instrumentation only — per the model, clients get no feedback and must
   /// not branch on it.
-  SubmitResult SubmitRequest(PageId page);
+  SubmitResult SubmitRequest(PageId page,
+                             std::uint32_t client = obs::kNoClient);
 
   /// The periodic program (empty for Pure-Pull).
   const broadcast::BroadcastProgram& program() const { return program_; }
@@ -111,12 +127,16 @@ class BroadcastServer : public sim::EventHandler {
   std::uint64_t PullSlots() const { return pull_slots_; }
   std::uint64_t IdleSlots() const { return idle_slots_; }
 
+  /// Slot-mix sampling window for EnableMetrics time-series.
+  static constexpr std::uint32_t kMetricsWindowSlots = 256;
+
  private:
   /// EventHandler: the periodic slot timer fired.
   void OnEvent() override { OnSlotBoundary(); }
 
   void OnSlotBoundary();
   void ChooseNextSlot();
+  void SampleSlotWindow();
 
   sim::Simulator* simulator_;
   broadcast::BroadcastProgram program_;
@@ -126,6 +146,7 @@ class BroadcastServer : public sim::EventHandler {
   sim::Rng rng_;
   std::vector<BroadcastListener*> listeners_;
   sim::TraceRecorder* trace_ = nullptr;
+  obs::TraceSink* sink_ = nullptr;
 
   PageId in_flight_page_ = broadcast::kNoPage;
   SlotKind in_flight_kind_ = SlotKind::kIdle;
@@ -134,6 +155,17 @@ class BroadcastServer : public sim::EventHandler {
   std::uint64_t push_slots_ = 0;
   std::uint64_t pull_slots_ = 0;
   std::uint64_t idle_slots_ = 0;
+
+  // EnableMetrics state: time-series resolved once (null = detached) plus
+  // the current sampling window's slot-kind counts.
+  sim::TimeSeries* ts_push_frac_ = nullptr;
+  sim::TimeSeries* ts_pull_frac_ = nullptr;
+  sim::TimeSeries* ts_idle_frac_ = nullptr;
+  sim::TimeSeries* ts_queue_depth_ = nullptr;
+  std::uint32_t window_slots_ = 0;
+  std::uint32_t window_push_ = 0;
+  std::uint32_t window_pull_ = 0;
+  std::uint32_t window_idle_ = 0;
 };
 
 }  // namespace bdisk::server

@@ -23,6 +23,9 @@ SubmitResult PullQueue::Submit(PageId page) {
   fifo_.push_back(page);
   queued_[page] = true;
   ++accepted_;
+  if (fifo_.size() > depth_high_water_) {
+    depth_high_water_ = static_cast<std::uint32_t>(fifo_.size());
+  }
   return SubmitResult::kAccepted;
 }
 

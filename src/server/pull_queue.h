@@ -53,6 +53,10 @@ class PullQueue {
   std::uint64_t CoalescedCount() const { return coalesced_; }
   std::uint64_t DroppedCount() const { return dropped_; }
 
+  /// Deepest the queue has ever been (distinct queued pages) — how close
+  /// the backchannel came to saturating even when nothing was dropped.
+  std::uint32_t DepthHighWater() const { return depth_high_water_; }
+
   /// Fraction of submitted requests thrown away because the queue was full.
   /// (Coalesced requests are *served* by the earlier entry, so they do not
   /// count as drops.) Returns 0 when nothing was submitted.
@@ -66,6 +70,7 @@ class PullQueue {
   std::uint64_t accepted_ = 0;
   std::uint64_t coalesced_ = 0;
   std::uint64_t dropped_ = 0;
+  std::uint32_t depth_high_water_ = 0;
 };
 
 }  // namespace bdisk::server

@@ -48,6 +48,7 @@ bool EventQueue::Before(const HeapEntry& a, const HeapEntry& b) {
 void EventQueue::HeapPush(const HeapEntry& entry) {
   std::size_t i = heap_.size();
   heap_.push_back(entry);
+  if (heap_.size() > heap_high_water_) heap_high_water_ = heap_.size();
   // Hole-based sift-up: parents slide down into the hole, the new entry is
   // written exactly once.
   while (i > 0) {
@@ -238,6 +239,7 @@ void EventQueue::Rearm(PeriodicId id) {
   BDISK_CHECK_MSG(id < periodic_.size(), "unknown periodic timer");
   Periodic& p = periodic_[id];
   if (!p.live) return;  // Cancelled while its action ran.
+  ++periodic_rearms_;
   p.next += p.interval;
   // Drawing the sequence number here — after the action ran — gives the
   // next occurrence exactly the FIFO position a hand-rescheduled event

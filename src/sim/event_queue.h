@@ -170,6 +170,14 @@ class EventQueue {
   /// Time of the earliest live event, or kTimeNever when empty.
   SimTime NextTime();
 
+  /// Kernel profiling: the deepest the heap has ever been (stale entries
+  /// included — this bounds sift cost and memory, which is what matters).
+  std::size_t HeapHighWater() const { return heap_high_water_; }
+
+  /// Kernel profiling: lifetime count of periodic-timer re-arms — the
+  /// occurrences that rode the fast path instead of the heap.
+  std::uint64_t PeriodicRearms() const { return periodic_rearms_; }
+
   /// Removes and returns the earliest live event (FIFO among ties).
   /// Returns false when Empty(). If the popped event is periodic, the
   /// caller must invoke Rearm(fired->periodic) after running fired->fn —
@@ -259,6 +267,8 @@ class EventQueue {
   std::uint64_t next_seq_ = 1;
   std::size_t live_events_ = 0;    // Scheduled one-shots, not fired/cancelled.
   std::size_t live_periodic_ = 0;  // Registered, uncancelled periodic timers.
+  std::size_t heap_high_water_ = 0;   // Deepest heap size ever reached.
+  std::uint64_t periodic_rearms_ = 0;  // Fast-path re-arms (profiling).
 };
 
 }  // namespace bdisk::sim

@@ -32,6 +32,12 @@ class Simulator {
   /// Total number of events executed so far.
   std::uint64_t EventsExecuted() const { return events_executed_; }
 
+  /// Kernel profiling: deepest the event heap has ever been, and how many
+  /// periodic-timer occurrences rode the heap-free fast path. Always
+  /// tracked (the cost is one compare per push / one increment per re-arm).
+  std::size_t HeapHighWater() const { return queue_.HeapHighWater(); }
+  std::uint64_t PeriodicRearms() const { return queue_.PeriodicRearms(); }
+
   /// Schedules `fn` at absolute time `when` (must be >= Now()).
   EventId ScheduleAt(SimTime when, EventFn fn);
 

@@ -36,8 +36,14 @@ struct TraceEvent {
 ///
 /// Keeps the most recent `capacity` events in a ring (older events are
 /// overwritten, counted in DroppedEvents()) plus exact per-kind lifetime
-/// counts. Intended for debugging simulations and asserting fine-grained
-/// behaviour in tests; attach via BroadcastServer::SetTraceRecorder.
+/// counts. Ring-overwrite semantics: once TotalEvents() exceeds the
+/// capacity, each Record() silently replaces the oldest retained event, so
+/// at all times DroppedEvents() + Events().size() == TotalEvents() and
+/// Events() returns the most recent `capacity` events in time order.
+/// Per-kind Count()s are lifetime counts and include overwritten events.
+/// Intended for debugging simulations and asserting fine-grained behaviour
+/// in tests; attach via BroadcastServer::SetTraceRecorder. For system-wide
+/// spans across client/cache/server see obs::TraceSink.
 class TraceRecorder {
  public:
   /// `capacity` >= 1 bounds memory; default keeps the last 64Ki events.
@@ -56,7 +62,9 @@ class TraceRecorder {
   std::uint64_t TotalEvents() const { return total_; }
   std::uint64_t DroppedEvents() const;
 
-  /// Renders retained events as CSV: time,kind,page.
+  /// Renders retained events as CSV with a header row
+  /// ("time,kind,page"). Only the retained window is exported: events lost
+  /// to ring overwrite (DroppedEvents()) are absent from the output.
   std::string ToCsv() const;
 
   /// Forgets retained events and counters.

@@ -44,6 +44,35 @@ TEST(HistogramTest, MedianOfUniformFill) {
   EXPECT_NEAR(h.Quantile(0.1), 10.0, 1.5);
 }
 
+TEST(HistogramTest, QuantileInterpolatesExactlyAtBucketEdges) {
+  // Two occupied buckets separated by an empty one: quantiles that land on
+  // a cumulative-count boundary must sit exactly on the bucket edge, and
+  // interior quantiles interpolate linearly within the bucket.
+  Histogram h(0.0, 10.0, 5);  // Cells of width 2.
+  for (int i = 0; i < 10; ++i) h.Add(1.0);  // Bucket [0, 2).
+  for (int i = 0; i < 10; ++i) h.Add(5.0);  // Bucket [4, 6).
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.25), 1.0);  // Middle of the first bucket.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 2.0);   // Upper edge of the first.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.75), 5.0);  // Middle of the second bucket.
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 6.0);   // Upper edge of the second.
+}
+
+TEST(HistogramTest, QuantileWithUnderflowPinsToLo) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(-5.0);  // Underflow counts toward the cumulative total at lo.
+  h.Add(1.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 2.0);
+}
+
+TEST(HistogramTest, QuantileAllOverflowReturnsHi) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(50.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 10.0);
+}
+
 TEST(HistogramTest, QuantileEmptyReturnsLo) {
   Histogram h(0.0, 10.0, 5);
   EXPECT_EQ(h.Quantile(0.5), 0.0);

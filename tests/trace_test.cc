@@ -32,6 +32,22 @@ TEST(TraceRecorderTest, RingOverwritesOldest) {
   EXPECT_EQ(trace.DroppedEvents(), 2U);
 }
 
+TEST(TraceRecorderTest, DroppedPlusRetainedEqualsTotalUnderOverflow) {
+  // The documented ring invariant, checked at every step as the recorder
+  // crosses from "all retained" into overwrite territory.
+  TraceRecorder trace(4);
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    trace.Record(static_cast<double>(i), TraceEventKind::kSlotPush, i);
+    EXPECT_EQ(trace.DroppedEvents() + trace.Events().size(),
+              trace.TotalEvents());
+  }
+  EXPECT_EQ(trace.TotalEvents(), 20U);
+  EXPECT_EQ(trace.DroppedEvents(), 16U);
+  // Retained window is the most recent capacity-many events.
+  EXPECT_EQ(trace.Events().front().page, 16U);
+  EXPECT_EQ(trace.Events().back().page, 19U);
+}
+
 TEST(TraceRecorderTest, CountsSurviveOverwrite) {
   TraceRecorder trace(2);
   for (int i = 0; i < 10; ++i) {

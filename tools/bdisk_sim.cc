@@ -13,9 +13,11 @@
 // Config file syntax: `key = value` lines, `#` comments; keys documented
 // in src/core/config_io.h.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -26,6 +28,9 @@
 #include "core/experiment.h"
 #include "core/system.h"
 #include "core/table_printer.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/trace_sink.h"
 
 namespace {
 
@@ -39,9 +44,30 @@ void PrintUsage() {
       "state\n"
       "  --csv              emit CSV instead of a table\n"
       "  --quick            short measurement protocol\n"
+      "  --metrics-json F   write a metrics-registry snapshot (JSON) to F\n"
+      "  --trace F          write a structured trace to F (JSONL, or CSV\n"
+      "                     when F ends in .csv)\n"
+      "  --progress         periodic heartbeat on stderr (sim-time,\n"
+      "                     events/s, done%%, ETA)\n"
       "  --print-config     print the effective configuration and exit\n"
       "  --recommend        run the analytic advisor for this config\n"
-      "  --help             this message\n");
+      "  --help             this message\n"
+      "observability flags run a single point (no multi-point --sweep).\n");
+}
+
+bool WriteFileOrComplain(const std::string& path, const std::string& body) {
+  std::ofstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  file << body;
+  return true;
+}
+
+bool EndsWith(const std::string& text, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return text.size() >= n && text.compare(text.size() - n, n, suffix) == 0;
 }
 
 bool ParseDoubleList(const std::string& text, std::vector<double>* out) {
@@ -68,6 +94,9 @@ int main(int argc, char** argv) {
   bool quick = false;
   bool print_config = false;
   bool recommend = false;
+  std::string metrics_json_path;
+  std::string trace_path;
+  bool progress = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -116,6 +145,12 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--warmup") {
       warmup = true;
+    } else if (arg == "--metrics-json") {
+      metrics_json_path = next_value("--metrics-json");
+    } else if (arg == "--trace") {
+      trace_path = next_value("--trace");
+    } else if (arg == "--progress") {
+      progress = true;
     } else if (arg == "--csv") {
       csv = true;
     } else if (arg == "--quick") {
@@ -175,7 +210,67 @@ int main(int argc, char** argv) {
     point.warmup_run = warmup;
     points.push_back(point);
   }
-  const auto outcomes = core::RunSweep(points, steady, warm);
+
+  const bool observed =
+      !metrics_json_path.empty() || !trace_path.empty() || progress;
+  std::vector<core::SweepOutcome> outcomes;
+  if (!observed) {
+    outcomes = core::RunSweep(points, steady, warm);
+  } else {
+    // Observability wants one System it can attach to before the run, so
+    // the observed path runs a single point inline instead of sweeping.
+    if (points.size() != 1) {
+      std::fprintf(stderr,
+                   "--metrics-json/--trace/--progress need a single-point "
+                   "run; drop --sweep or give it one value\n");
+      return 2;
+    }
+    core::System system(points[0].config);
+    obs::MetricsRegistry registry;
+    obs::TraceSink sink;
+    if (!metrics_json_path.empty()) system.AttachMetrics(&registry);
+    if (!trace_path.empty()) system.AttachTrace(&sink);
+    std::optional<obs::ProgressReporter> reporter;
+    if (progress) {
+      reporter.emplace(&system.simulator(), /*interval=*/10000.0);
+      if (warmup) {
+        const double target = warm.target_fraction;
+        reporter->SetFractionCallback([&system, target] {
+          return std::min(1.0,
+                          system.mc().warmup_tracker()->Fraction() / target);
+        });
+      } else {
+        // Rough access budget: cache fill (~2x cache size on a skewed
+        // pattern) + post-fill skip + the measurement cap. Runs that
+        // converge early simply jump to done.
+        const double approx_total = static_cast<double>(
+            2ULL * points[0].config.cache_size + steady.post_fill_accesses +
+            steady.max_measured_accesses);
+        reporter->SetFractionCallback([&system, approx_total] {
+          return std::min(
+              1.0, static_cast<double>(system.mc().TotalAccesses()) /
+                       approx_total);
+        });
+      }
+      reporter->Start();
+    }
+    core::SweepOutcome outcome;
+    outcome.point = points[0];
+    outcome.result =
+        warmup ? system.RunWarmup(warm) : system.RunSteadyState(steady);
+    outcomes.push_back(outcome);
+    if (!metrics_json_path.empty()) {
+      system.SnapshotMetrics(&registry);
+      if (!WriteFileOrComplain(metrics_json_path, registry.ToJson())) {
+        return 1;
+      }
+    }
+    if (!trace_path.empty()) {
+      const std::string body =
+          EndsWith(trace_path, ".csv") ? sink.ToCsv() : sink.ToJsonl();
+      if (!WriteFileOrComplain(trace_path, body)) return 1;
+    }
+  }
 
   if (csv) {
     std::fputs((warmup ? core::WarmupToCsv(outcomes)
@@ -198,13 +293,17 @@ int main(int argc, char** argv) {
     }
     std::printf("%s", table.ToString().c_str());
   } else {
-    core::TablePrinter table({"TTR", "response", "hit rate", "drop rate",
-                              "push/pull/idle", "converged"});
+    core::TablePrinter table({"TTR", "response", "p50", "p95", "p99",
+                              "hit rate", "drop rate", "push/pull/idle",
+                              "converged"});
     for (const auto& outcome : outcomes) {
       const core::RunResult& r = outcome.result;
       table.AddRow(
           {core::TablePrinter::Fmt(outcome.point.x, 0),
            core::TablePrinter::Fmt(r.mean_response, 1),
+           core::TablePrinter::Fmt(r.response_p50, 1),
+           core::TablePrinter::Fmt(r.response_p95, 1),
+           core::TablePrinter::Fmt(r.response_p99, 1),
            core::TablePrinter::Pct(r.mc_hit_rate),
            core::TablePrinter::Pct(r.drop_rate),
            core::TablePrinter::Pct(r.push_slot_frac, 0) + "/" +

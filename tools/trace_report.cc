@@ -1,0 +1,280 @@
+// trace_report — analyzer for bdisk_sim --trace JSONL output.
+//
+// Reads a structured trace (one JSON object per line, as written by
+// obs::TraceSink::ToJsonl) and reports:
+//   * per-page latency breakdown (deliveries, mean/max wait) for the most
+//     requested pages,
+//   * reconstructed request → transmit → delivery spans, with a few
+//     examples laid out as timelines,
+//   * a slot-utilization timeline (push/pull/idle mix per time bin).
+//
+//   bdisk_sim --set mode=ipp --trace out.jsonl
+//   trace_report out.jsonl
+//
+// Exits 1 if the trace contains no reconstructible span (e.g. the file is
+// not a bdisk trace), 2 on usage errors.
+
+#include <algorithm>
+#include <array>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace {
+
+struct Record {
+  double t = 0.0;
+  std::string ev;
+  std::int64_t client = -1;
+  std::int64_t page = -1;
+  double value = 0.0;
+};
+
+bool ParseLine(const std::string& line, Record* out) {
+  char ev[32];
+  const int matched = std::sscanf(
+      line.c_str(),
+      " { \"t\" : %lf , \"ev\" : \"%31[^\"]\" , \"client\" : %" SCNd64
+      " , \"page\" : %" SCNd64 " , \"v\" : %lf }",
+      &out->t, ev, &out->client, &out->page, &out->value);
+  if (matched != 5) return false;
+  out->ev = ev;
+  return true;
+}
+
+struct PageStats {
+  std::uint64_t requests = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t deliveries = 0;
+  double wait_sum = 0.0;
+  double wait_max = 0.0;
+};
+
+// An in-progress pull: one client waiting on one page.
+struct PendingSpan {
+  double request_time = -1.0;
+  double submit_time = -1.0;
+  double slot_time = -1.0;  // Decision time of the slot that carried it.
+};
+
+struct Span {
+  std::int64_t client = -1;
+  std::int64_t page = -1;
+  PendingSpan times;
+  double delivery_time = 0.0;
+  double wait = 0.0;
+};
+
+void PrintUsage() {
+  std::printf(
+      "usage: trace_report FILE.jsonl [--top N] [--bins N] [--spans N]\n"
+      "  --top N    pages in the latency table (default 10)\n"
+      "  --bins N   slot-utilization time bins (default 20)\n"
+      "  --spans N  example spans to print (default 5)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::size_t top_n = 10;
+  std::size_t bins = 20;
+  std::size_t span_examples = 5;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return 0;
+    } else if (arg == "--top") {
+      top_n = static_cast<std::size_t>(std::atol(next_value("--top")));
+    } else if (arg == "--bins") {
+      bins = static_cast<std::size_t>(std::atol(next_value("--bins")));
+    } else if (arg == "--spans") {
+      span_examples =
+          static_cast<std::size_t>(std::atol(next_value("--spans")));
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      PrintUsage();
+      return 2;
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      std::fprintf(stderr, "multiple input files given\n");
+      return 2;
+    }
+  }
+  if (path.empty() || bins == 0) {
+    PrintUsage();
+    return 2;
+  }
+
+  std::ifstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 2;
+  }
+
+  std::map<std::int64_t, PageStats> pages;
+  // (client, page) -> in-progress span. Slot records carry client -1, so
+  // the slot that served a page is matched by page id afterwards.
+  std::map<std::pair<std::int64_t, std::int64_t>, PendingSpan> pending;
+  std::map<std::int64_t, double> last_slot_for_page;
+  std::vector<Span> spans;
+  struct SlotSample {
+    double t;
+    int kind;  // 0 push, 1 pull, 2 idle.
+  };
+  std::vector<SlotSample> slots;
+
+  std::uint64_t lines = 0, parsed = 0;
+  std::string line;
+  while (std::getline(file, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    Record r;
+    if (!ParseLine(line, &r)) continue;
+    ++parsed;
+
+    if (r.ev == "request") {
+      ++pages[r.page].requests;
+    } else if (r.ev == "cache_hit") {
+      ++pages[r.page].hits;
+    } else if (r.ev == "cache_miss") {
+      pending[{r.client, r.page}] = PendingSpan{r.t, -1.0, -1.0};
+    } else if (r.ev == "submit_accepted" || r.ev == "submit_coalesced") {
+      const auto it = pending.find({r.client, r.page});
+      if (it != pending.end() && it->second.submit_time < 0.0) {
+        it->second.submit_time = r.t;
+      }
+    } else if (r.ev == "slot_push" || r.ev == "slot_pull") {
+      last_slot_for_page[r.page] = r.t;
+      slots.push_back({r.t, r.ev == "slot_push" ? 0 : 1});
+    } else if (r.ev == "slot_idle") {
+      slots.push_back({r.t, 2});
+    } else if (r.ev == "delivery") {
+      PageStats& stats = pages[r.page];
+      ++stats.deliveries;
+      stats.wait_sum += r.value;
+      stats.wait_max = std::max(stats.wait_max, r.value);
+      const auto it = pending.find({r.client, r.page});
+      if (it != pending.end()) {
+        Span span;
+        span.client = r.client;
+        span.page = r.page;
+        span.times = it->second;
+        const auto slot = last_slot_for_page.find(r.page);
+        if (slot != last_slot_for_page.end() &&
+            slot->second >= span.times.request_time) {
+          span.times.slot_time = slot->second;
+        }
+        span.delivery_time = r.t;
+        span.wait = r.value;
+        spans.push_back(span);
+        pending.erase(it);
+      }
+    }
+  }
+
+  std::printf("trace: %s — %" PRIu64 " lines, %" PRIu64 " parsed\n",
+              path.c_str(), lines, parsed);
+
+  // --- Per-page latency breakdown ----------------------------------------
+  std::vector<std::pair<std::int64_t, PageStats>> ranked(pages.begin(),
+                                                         pages.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second.deliveries != b.second.deliveries) {
+      return a.second.deliveries > b.second.deliveries;
+    }
+    return a.first < b.first;
+  });
+  std::printf("\nper-page latency (top %zu by deliveries)\n",
+              std::min(top_n, ranked.size()));
+  std::printf("%8s %10s %8s %12s %10s %10s\n", "page", "requests", "hits",
+              "deliveries", "mean wait", "max wait");
+  for (std::size_t i = 0; i < ranked.size() && i < top_n; ++i) {
+    const PageStats& s = ranked[i].second;
+    std::printf("%8" PRId64 " %10" PRIu64 " %8" PRIu64 " %12" PRIu64
+                " %10.2f %10.2f\n",
+                ranked[i].first, s.requests, s.hits, s.deliveries,
+                s.deliveries == 0
+                    ? 0.0
+                    : s.wait_sum / static_cast<double>(s.deliveries),
+                s.wait_max);
+  }
+
+  // --- Reconstructed spans ------------------------------------------------
+  std::uint64_t with_transmit = 0;
+  for (const Span& s : spans) {
+    if (s.times.slot_time >= 0.0) ++with_transmit;
+  }
+  std::printf("\nspans reconstructed: %zu (with transmit slot: %" PRIu64
+              ")\n",
+              spans.size(), with_transmit);
+  for (std::size_t i = 0; i < spans.size() && i < span_examples; ++i) {
+    const Span& s = spans[i];
+    std::printf("  client %" PRId64 " page %" PRId64 ": request t=%.1f",
+                s.client, s.page, s.times.request_time);
+    if (s.times.submit_time >= 0.0) {
+      std::printf(" -> submit t=%.1f", s.times.submit_time);
+    }
+    if (s.times.slot_time >= 0.0) {
+      std::printf(" -> transmit t=%.1f", s.times.slot_time);
+    }
+    std::printf(" -> delivery t=%.1f (wait %.1f)\n", s.delivery_time,
+                s.wait);
+  }
+
+  // --- Slot-utilization timeline ------------------------------------------
+  if (!slots.empty()) {
+    double t_lo = slots.front().t, t_hi = slots.front().t;
+    for (const SlotSample& s : slots) {
+      t_lo = std::min(t_lo, s.t);
+      t_hi = std::max(t_hi, s.t);
+    }
+    const double width = (t_hi - t_lo) / static_cast<double>(bins);
+    std::vector<std::array<std::uint64_t, 3>> counts(
+        bins, std::array<std::uint64_t, 3>{});
+    for (const SlotSample& s : slots) {
+      std::size_t b = width <= 0.0 ? 0
+                                   : static_cast<std::size_t>(
+                                         (s.t - t_lo) / width);
+      if (b >= bins) b = bins - 1;
+      ++counts[b][static_cast<std::size_t>(s.kind)];
+    }
+    std::printf("\nslot utilization (%zu bins over t=[%.0f, %.0f])\n", bins,
+                t_lo, t_hi);
+    std::printf("%18s %8s %8s %8s\n", "bin", "push", "pull", "idle");
+    for (std::size_t b = 0; b < bins; ++b) {
+      const double total = static_cast<double>(counts[b][0] + counts[b][1] +
+                                               counts[b][2]);
+      if (total == 0.0) continue;
+      std::printf("[%7.0f,%7.0f) %7.1f%% %7.1f%% %7.1f%%\n",
+                  t_lo + width * static_cast<double>(b),
+                  t_lo + width * static_cast<double>(b + 1),
+                  100.0 * static_cast<double>(counts[b][0]) / total,
+                  100.0 * static_cast<double>(counts[b][1]) / total,
+                  100.0 * static_cast<double>(counts[b][2]) / total);
+    }
+  }
+
+  if (spans.empty()) {
+    std::fprintf(stderr,
+                 "no request->delivery span could be reconstructed\n");
+    return 1;
+  }
+  return 0;
+}
