@@ -32,7 +32,7 @@ int main() {
     }
   }
   const auto outcomes_a =
-      core::RunSweep(points_a, bench::BenchSteadyProtocol());
+      bench::RunSweep(points_a, bench::BenchSteadyProtocol());
   std::printf("Figure 3(a): IPP PullBW=50%%, SteadyStatePerc varied\n");
   bench::PrintResponseTable("ThinkTimeRatio", outcomes_a);
   std::printf(
@@ -55,7 +55,7 @@ int main() {
     }
   }
   const auto outcomes_b =
-      core::RunSweep(points_b, bench::BenchSteadyProtocol());
+      bench::RunSweep(points_b, bench::BenchSteadyProtocol());
   std::printf("Figure 3(b): IPP PullBW varied, SteadyStatePerc=95%%\n");
   bench::PrintResponseTable("ThinkTimeRatio", outcomes_b);
   std::printf(

@@ -29,7 +29,7 @@ int main() {
     }
     for (auto& point : points) point.warmup_run = true;
 
-    const auto outcomes = core::RunSweep(points, {},
+    const auto outcomes = bench::RunSweep(points, {},
                                          bench::BenchWarmupProtocol());
     std::printf("Figure 4(%c): ThinkTimeRatio = %.0f\n",
                 ttr == 25.0 ? 'a' : 'b', ttr);

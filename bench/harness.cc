@@ -12,6 +12,22 @@ bool QuickMode() {
   return quick != nullptr && quick[0] != '\0';
 }
 
+unsigned SweepThreads() {
+  const char* threads = std::getenv("BDISK_THREADS");
+  if (threads == nullptr || threads[0] == '\0') return 0;
+  char* end = nullptr;
+  const unsigned long parsed = std::strtoul(threads, &end, 10);
+  if (end == threads || *end != '\0') return 0;
+  return static_cast<unsigned>(parsed);
+}
+
+std::vector<core::SweepOutcome> RunSweep(
+    const std::vector<core::SweepPoint>& points,
+    const core::SteadyStateProtocol& steady,
+    const core::WarmupProtocol& warmup) {
+  return core::RunSweep(points, steady, warmup, SweepThreads());
+}
+
 core::SteadyStateProtocol BenchSteadyProtocol() {
   core::SteadyStateProtocol protocol;
   if (QuickMode()) {

@@ -18,6 +18,19 @@ core::WarmupProtocol BenchWarmupProtocol();
 /// True when BDISK_BENCH_QUICK is set.
 bool QuickMode();
 
+/// Worker threads for bench sweeps: the BDISK_THREADS environment variable
+/// parsed as a non-negative integer (unset, empty, or unparsable = 0 =
+/// hardware concurrency). Results are bit-identical either way; the knob
+/// only trades wall-clock for core use.
+unsigned SweepThreads();
+
+/// core::RunSweep with the thread count taken from BDISK_THREADS. Every
+/// figure bench funnels through this so the knob applies uniformly.
+std::vector<core::SweepOutcome> RunSweep(
+    const std::vector<core::SweepPoint>& points,
+    const core::SteadyStateProtocol& steady = {},
+    const core::WarmupProtocol& warmup = {});
+
 /// Prints the standard experiment banner: figure id, paper reference, and
 /// the Table 3 parameters that apply to every run.
 void PrintBanner(const std::string& figure, const std::string& description);

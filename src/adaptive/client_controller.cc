@@ -22,6 +22,10 @@ ClientController::ClientController(sim::Simulator* simulator,
 }
 
 void ClientController::OnWakeup() {
+  // Barrier (for uniformity with the server controller; the pull-wait
+  // ratio it reads is MC-owned, but a controller observing the system
+  // should never see a half-drained one).
+  simulator()->CatchUpLazySources();
   ++decisions_;
   const double ratio = client_->PullWaitRatio();
   double thres = client_->thres_perc();

@@ -22,6 +22,9 @@ ServerController::ServerController(sim::Simulator* simulator,
 }
 
 void ServerController::OnWakeup() {
+  // Barrier: the windowed submit/drop counters below must include every
+  // fused virtual-client arrival up to this decision point.
+  simulator()->CatchUpLazySources();
   const server::PullQueue& queue = server_->queue();
   const std::uint64_t submitted = queue.SubmittedCount() - last_submitted_;
   const std::uint64_t dropped = queue.DroppedCount() - last_dropped_;

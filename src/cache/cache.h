@@ -8,6 +8,7 @@
 
 #include "broadcast/broadcast_program.h"
 #include "cache/replacement_policy.h"
+#include "sim/byte_mask.h"
 #include "sim/stats.h"
 
 namespace bdisk::cache {
@@ -40,8 +41,9 @@ class Cache {
   /// from policy evictions.
   bool Remove(PageId page);
 
-  /// Resident bitmask indexed by page id (for prefetch scans and tests).
-  const std::vector<bool>& resident_mask() const { return resident_; }
+  /// Resident mask indexed by page id (for prefetch scans and tests).
+  /// Byte-backed (see sim/byte_mask.h); reads the same as vector<bool>.
+  const sim::ByteMask& resident_mask() const { return resident_; }
 
   /// Number of resident pages.
   std::uint32_t Size() const { return size_; }
@@ -73,7 +75,7 @@ class Cache {
  private:
   std::uint32_t capacity_;
   std::uint32_t size_ = 0;
-  std::vector<bool> resident_;
+  sim::ByteMask resident_;
   std::unique_ptr<ReplacementPolicy> policy_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;

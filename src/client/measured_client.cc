@@ -53,6 +53,10 @@ void MeasuredClient::EnableMetrics(obs::MetricsRegistry* registry) {
 }
 
 void MeasuredClient::OnWakeup() {
+  // Barrier: both branches submit to the shared pull queue (and record
+  // trace events at Now()); fused virtual-client arrivals up to now must
+  // land first.
+  simulator()->CatchUpLazySources();
   switch (state_) {
     case State::kThinking:
       MakeRequest();
@@ -204,7 +208,7 @@ void MeasuredClient::ConsiderPrefetch(PageId page, sim::SimTime now) {
   // (pull only), so they get t = 2 cycles and rarely lose their slot.
   double pt_min = std::numeric_limits<double>::infinity();
   PageId victim = broadcast::kNoPage;
-  const std::vector<bool>& mask = cache_->resident_mask();
+  const sim::ByteMask& mask = cache_->resident_mask();
   for (PageId r = 0; r < mask.size(); ++r) {
     if (!mask[r]) continue;
     const std::uint32_t distance = server_->DistanceToNextPush(r);

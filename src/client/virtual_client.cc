@@ -9,7 +9,7 @@ VirtualClient::VirtualClient(sim::Simulator* simulator,
                              const workload::AccessPattern& pattern,
                              const std::vector<PageId>& warm_pages,
                              const VirtualClientOptions& options, sim::Rng rng)
-    : sim::Process(simulator),
+    : simulator_(simulator),
       server_(server),
       generator_(pattern),
       think_(workload::ThinkTime::Exponential(options.mc_think_time /
@@ -19,6 +19,7 @@ VirtualClient::VirtualClient(sim::Simulator* simulator,
       warm_cached_(pattern.DbSize(), false),
       ideal_warm_(pattern.DbSize(), false),
       rng_(rng) {
+  BDISK_CHECK_MSG(simulator != nullptr, "client needs a simulator");
   BDISK_CHECK_MSG(server != nullptr, "client needs a server");
   BDISK_CHECK_MSG(options.think_time_ratio > 0.0,
                   "ThinkTimeRatio must be positive");
@@ -34,13 +35,49 @@ VirtualClient::VirtualClient(sim::Simulator* simulator,
   }
 }
 
+VirtualClient::~VirtualClient() {
+  if (registered_) simulator_->UnregisterLazySource(this);
+  if (wakeup_ != sim::kInvalidEventId) simulator_->Cancel(wakeup_);
+}
+
+void VirtualClient::Start() {
+  // Both paths draw the first think interval here, so the RNG stream is
+  // consumed at the same point regardless of fusion.
+  const sim::SimTime first = think_.Next(rng_);
+  if (options_.fused) {
+    next_arrival_ = simulator_->Now() + first;
+    simulator_->RegisterLazySource(this);
+    registered_ = true;
+  } else {
+    wakeup_ = simulator_->ScheduleAfter(first, this);
+  }
+}
+
 void VirtualClient::OnInvalidate(PageId page, sim::SimTime /*now*/) {
+  // Barrier: arrivals strictly before the update must filter through the
+  // still-warm copy, so drain before clearing the flag.
+  simulator_->CatchUpLazySources();
   warm_cached_[page] = false;
 }
 
-void VirtualClient::Start() { ScheduleWakeup(think_.Next(rng_)); }
+std::uint64_t VirtualClient::CatchUp(sim::SimTime horizon) {
+  std::uint64_t processed = 0;
+  while (next_arrival_ <= horizon) {
+    const sim::SimTime at = next_arrival_;
+    ProcessArrival(at);
+    next_arrival_ = at + think_.Next(rng_);
+    ++processed;
+  }
+  return processed;
+}
 
-void VirtualClient::OnWakeup() {
+void VirtualClient::OnEvent() {
+  const sim::SimTime now = simulator_->Now();
+  ProcessArrival(now);
+  wakeup_ = simulator_->ScheduleAfter(think_.Next(rng_), this);
+}
+
+void VirtualClient::ProcessArrival(sim::SimTime now) {
   const PageId page = generator_.Next(rng_);
   ++generated_;
   // SteadyStatePerc coin: does this arrival come from a warmed-up client
@@ -52,11 +89,12 @@ void VirtualClient::OnWakeup() {
     ++filtered_;
     if (steady) warm_cached_[page] = ideal_warm_[page];  // Re-fetched.
   } else {
-    server_->SubmitRequest(page, obs::kVirtualClientId);
+    // SubmitRequestAt: a fused arrival is drained at a later barrier, but
+    // its trace record must carry its own arrival time.
+    server_->SubmitRequestAt(page, obs::kVirtualClientId, now);
     ++submitted_;
     if (steady) warm_cached_[page] = ideal_warm_[page];  // Re-fetched.
   }
-  ScheduleWakeup(think_.Next(rng_));
 }
 
 }  // namespace bdisk::client

@@ -7,8 +7,11 @@
 #include "client/threshold_filter.h"
 #include "server/broadcast_server.h"
 #include "server/update_generator.h"
-#include "sim/process.h"
+#include "sim/byte_mask.h"
+#include "sim/event_queue.h"
+#include "sim/lazy_source.h"
 #include "sim/rng.h"
+#include "sim/simulator.h"
 #include "workload/access_generator.h"
 #include "workload/access_pattern.h"
 #include "workload/think_time.h"
@@ -36,6 +39,14 @@ struct VirtualClientOptions {
 
   /// Cache size used to derive the warmed-cache contents.
   std::uint32_t cache_size = 100;
+
+  /// Fused (default): arrivals are batched through the simulator's
+  /// lazy-source drain instead of costing one heap event each. Unfused
+  /// reproduces the one-heap-event-per-arrival schedule exactly — kept as
+  /// an A/B escape hatch (SystemConfig::vc_fusion). Either way the
+  /// trajectory is bit-identical; see DESIGN.md, "The lazy-source
+  /// contract".
+  bool fused = true;
 };
 
 /// The Virtual Client (VC, §3.1): a single open-loop process standing in
@@ -50,7 +61,12 @@ struct VirtualClientOptions {
 /// filter. The VC never blocks: it models aggregate *load*, so arrivals are
 /// independent of service (this is what lets the server saturate and drop
 /// requests, as the paper reports).
-class VirtualClient : public sim::Process,
+///
+/// Never blocking is also what makes the VC a valid lazy source: its next
+/// arrival time depends only on its own RNG stream, and the state it reads
+/// (schedule cursor, warm flags) changes only at drain barriers.
+class VirtualClient : public sim::LazySource,
+                      public sim::EventHandler,
                       public server::InvalidationListener {
  public:
   /// `pattern` is the canonical (server-side) access pattern; `warm_pages`
@@ -61,13 +77,26 @@ class VirtualClient : public sim::Process,
                 const std::vector<PageId>& warm_pages,
                 const VirtualClientOptions& options, sim::Rng rng);
 
+  ~VirtualClient() override;
+
+  VirtualClient(const VirtualClient&) = delete;
+  VirtualClient& operator=(const VirtualClient&) = delete;
+
   /// Begins generating requests (first arrival after one think interval).
   void Start();
 
   /// Volatile-data extension: an update knocks the page out of the
   /// represented warm caches; the next steady-state access to it misses,
   /// reaches the server, and re-warms it (the population re-fetches).
+  /// A barrier: arrivals up to `now` still see the page as warm.
   void OnInvalidate(PageId page, sim::SimTime now) override;
+
+  /// LazySource: the pre-drawn time of the next arrival (kTimeNever before
+  /// Start()).
+  sim::SimTime NextArrivalTime() const override { return next_arrival_; }
+
+  /// LazySource: processes every arrival with timestamp <= `horizon`.
+  std::uint64_t CatchUp(sim::SimTime horizon) override;
 
   /// Lifetime counters.
   std::uint64_t RequestsGenerated() const { return generated_; }
@@ -75,18 +104,27 @@ class VirtualClient : public sim::Process,
   std::uint64_t FilteredByThreshold() const { return filtered_; }
   std::uint64_t RequestsSubmitted() const { return submitted_; }
 
- protected:
-  void OnWakeup() override;
-
  private:
+  /// EventHandler: one unfused heap wakeup (escape-hatch path).
+  void OnEvent() override;
+
+  /// One arrival at time `now`: draw the page, the steady-state coin, and
+  /// route through warm cache / threshold filter / backchannel.
+  void ProcessArrival(sim::SimTime now);
+
+  sim::Simulator* simulator_;
   server::BroadcastServer* server_;
   workload::AccessGenerator generator_;
   workload::ThinkTime think_;
   VirtualClientOptions options_;
   ThresholdFilter filter_;
-  std::vector<bool> warm_cached_;  // Currently valid warm copies.
-  std::vector<bool> ideal_warm_;   // The warm set itself (never changes).
+  sim::ByteMask warm_cached_;  // Currently valid warm copies.
+  sim::ByteMask ideal_warm_;   // The warm set itself (never changes).
   sim::Rng rng_;
+
+  sim::SimTime next_arrival_ = sim::kTimeNever;   // Fused path.
+  bool registered_ = false;                       // Fused path.
+  sim::EventId wakeup_ = sim::kInvalidEventId;    // Unfused path.
 
   std::uint64_t generated_ = 0;
   std::uint64_t cache_hits_ = 0;

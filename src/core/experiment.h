@@ -31,7 +31,11 @@ struct SweepOutcome {
 /// Runs every point (each an independent System) and returns outcomes in
 /// input order. Points run concurrently on up to `num_threads` OS threads
 /// (0 = hardware concurrency); simulations are deterministic per point
-/// regardless of scheduling.
+/// regardless of scheduling. Immutable per-config artifacts (pattern,
+/// program, value arrays) are built once per distinct ArtifactKey and
+/// shared across points. An invalid point (or any other failure on a
+/// worker) is rethrown on the calling thread — std::invalid_argument for
+/// a config that fails Validate() — instead of crashing the process.
 std::vector<SweepOutcome> RunSweep(const std::vector<SweepPoint>& points,
                                    const SteadyStateProtocol& steady = {},
                                    const WarmupProtocol& warmup = {},

@@ -27,6 +27,11 @@ struct KernelProfile {
   std::uint64_t heap_high_water = 0;
   /// Periodic-timer re-arms served by the heapless fast path.
   std::uint64_t periodic_rearms = 0;
+  /// Lazy-source arrivals processed in batch (each would have been one
+  /// heap event without fusion), and barrier drains that found work.
+  /// events_executed + lazy_arrivals_fused is invariant under fusion.
+  std::uint64_t lazy_arrivals_fused = 0;
+  std::uint64_t lazy_drains = 0;
   /// Host wall-clock seconds spent inside RunUntil.
   double wall_seconds = 0.0;
   /// Throughput rates; 0 when wall_seconds is too small to measure.

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <numeric>
+#include <sstream>
 #include <utility>
 
 #include "broadcast/program_builder.h"
@@ -61,6 +63,60 @@ broadcast::BroadcastProgram ProgramForConfig(const SystemConfig& config) {
                                  nullptr);
 }
 
+std::shared_ptr<const SystemArtifacts> BuildArtifacts(
+    const SystemConfig& config) {
+  auto artifacts =
+      std::make_shared<SystemArtifacts>(CanonicalPatternForConfig(config));
+  artifacts->program = std::make_shared<const broadcast::BroadcastProgram>(
+      BuildProgramFromPattern(artifacts->canonical_pattern, config,
+                              &artifacts->layout));
+  // PIX whenever a push program exists; P for Pure-Pull (§3.1).
+  artifacts->canonical_values =
+      artifacts->program->Empty()
+          ? cache::PValues(artifacts->canonical_pattern.probs())
+          : cache::PixValues(artifacts->canonical_pattern.probs(),
+                             *artifacts->program);
+  return artifacts;
+}
+
+std::string ArtifactKey(const SystemConfig& config) {
+  std::ostringstream key;
+  // %a prints the exact bits of the double, so two thetas compare equal in
+  // the key iff they produce the identical Zipf pattern.
+  char theta[64];
+  std::snprintf(theta, sizeof(theta), "%a", config.zipf_theta);
+  key << config.server_db_size << '|' << theta;
+  if (config.mode == DeliveryMode::kPurePull) {
+    // No push program: the disk shape, offset, chop, and chunking fields
+    // play no part, so Pure-Pull points share regardless of them.
+    key << "|pull";
+    return key.str();
+  }
+  key << '|' << config.EffectiveOffset() << '|' << config.chop_count << '|'
+      << static_cast<int>(config.chunking) << "|d";
+  for (const std::uint32_t s : config.disks.sizes) key << ',' << s;
+  key << "|f";
+  for (const std::uint32_t f : config.disks.rel_freqs) key << ',' << f;
+  return key.str();
+}
+
+std::shared_ptr<const SystemArtifacts> ArtifactCache::Get(
+    const SystemConfig& config) {
+  const std::string key = ArtifactKey(config);
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+  }
+  // Build outside the lock: misses are the expensive path and distinct
+  // keys should build concurrently. A racing duplicate build of the same
+  // key is harmless (identical artifacts; first insert wins).
+  std::shared_ptr<const SystemArtifacts> built = BuildArtifacts(config);
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] = cache_.emplace(key, std::move(built));
+  return it->second;
+}
+
 std::vector<broadcast::PageId> TopValuedPages(
     const std::vector<double>& values, std::uint32_t k) {
   BDISK_CHECK_MSG(k <= values.size(), "k exceeds the database size");
@@ -78,39 +134,42 @@ std::vector<broadcast::PageId> TopValuedPages(
   return pages;
 }
 
-System::System(const SystemConfig& config)
+System::System(const SystemConfig& config,
+               std::shared_ptr<const SystemArtifacts> artifacts)
     : config_(config),
-      canonical_pattern_(CanonicalPatternForConfig(config)),
-      mc_pattern_(MakeMcPattern(canonical_pattern_, config)) {
+      artifacts_(artifacts != nullptr ? std::move(artifacts)
+                                      : BuildArtifacts(config)),
+      mc_pattern_(MakeMcPattern(artifacts_->canonical_pattern, config)) {
   const std::string error = config.Validate();
   BDISK_CHECK_MSG(error.empty(), error.c_str());
+  BDISK_CHECK_MSG(
+      artifacts_->canonical_pattern.DbSize() == config.server_db_size,
+      "shared artifacts built from a different configuration");
 
   sim::Rng root(config.seed);
   sim::Rng server_rng = root.Split();
   sim::Rng mc_rng = root.Split();
   sim::Rng vc_rng = root.Split();
 
-  // --- Broadcast program ------------------------------------------------
-  // The server builds the program from the aggregate (VC) pattern; the MC's
-  // possibly-noisy view plays no part in it (§3.2).
-  broadcast::BroadcastProgram program =
-      BuildProgramFromPattern(canonical_pattern_, config, &layout_);
-
   // --- Server -----------------------------------------------------------
+  // The program comes from the aggregate (VC) pattern; the MC's possibly-
+  // noisy view plays no part in it (§3.2). Shared across Systems in a
+  // sweep — the server only reads it.
   server_ = std::make_unique<server::BroadcastServer>(
-      &simulator_, std::move(program), config.EffectivePullBw(),
+      &simulator_, artifacts_->program, config.EffectivePullBw(),
       config.server_queue_size, server_rng);
 
   // --- Value metrics ----------------------------------------------------
-  // PIX whenever a push program exists; P for Pure-Pull (§3.1).
+  // The canonical (VC-side) values are part of the shared artifacts; the
+  // MC's values differ only when its pattern is Noise-perturbed.
   const bool push_exists = !server_->program().Empty();
-  const std::vector<double> vc_values =
-      push_exists
-          ? cache::PixValues(canonical_pattern_.probs(), server_->program())
-          : cache::PValues(canonical_pattern_.probs());
+  const std::vector<double>& vc_values = artifacts_->canonical_values;
   const std::vector<double> mc_values =
-      push_exists ? cache::PixValues(mc_pattern_.probs(), server_->program())
-                  : cache::PValues(mc_pattern_.probs());
+      config.noise == 0.0
+          ? artifacts_->canonical_values
+          : (push_exists
+                 ? cache::PixValues(mc_pattern_.probs(), server_->program())
+                 : cache::PValues(mc_pattern_.probs()));
 
   // --- Measured client ---------------------------------------------------
   client::MeasuredClientOptions mc_options;
@@ -145,8 +204,9 @@ System::System(const SystemConfig& config)
     vc_options.thres_perc =
         (config.mode == DeliveryMode::kIpp) ? config.thres_perc : 0.0;
     vc_options.cache_size = config.cache_size;
+    vc_options.fused = config.vc_fusion;
     vc_ = std::make_unique<client::VirtualClient>(
-        &simulator_, server_.get(), canonical_pattern_,
+        &simulator_, server_.get(), artifacts_->canonical_pattern,
         TopValuedPages(vc_values, config.cache_size), vc_options, vc_rng);
   }
 
@@ -231,6 +291,8 @@ void System::SnapshotMetrics(obs::MetricsRegistry* registry) const {
 
   counter("kernel.events_executed", simulator_.EventsExecuted());
   counter("kernel.periodic_rearms", simulator_.PeriodicRearms());
+  counter("kernel.lazy_arrivals_fused", simulator_.LazyArrivalsFused());
+  counter("kernel.lazy_drains", simulator_.LazyDrains());
   gauge("kernel.heap_high_water",
         static_cast<double>(simulator_.HeapHighWater()));
   gauge("kernel.wall_seconds", wall_seconds_);
@@ -298,6 +360,8 @@ RunResult System::CollectResult(bool converged) const {
   result.kernel.events_executed = simulator_.EventsExecuted();
   result.kernel.heap_high_water = simulator_.HeapHighWater();
   result.kernel.periodic_rearms = simulator_.PeriodicRearms();
+  result.kernel.lazy_arrivals_fused = simulator_.LazyArrivalsFused();
+  result.kernel.lazy_drains = simulator_.LazyDrains();
   result.kernel.wall_seconds = wall_seconds_;
   if (wall_seconds_ > 1e-9) {
     result.kernel.events_per_wall_second =

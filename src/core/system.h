@@ -3,6 +3,10 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "adaptive/client_controller.h"
@@ -49,6 +53,45 @@ struct WarmupProtocol {
   sim::SimTime max_sim_time = 2.0e8;
 };
 
+/// Immutable artifacts derived purely from a SystemConfig: the canonical
+/// access pattern, the push layout and broadcast program, and the
+/// canonical value array (PIX when a push program exists, P otherwise).
+/// Building them is the O(DbSize·log) part of System construction, and
+/// none of it depends on the seed, so a sweep shares one copy across every
+/// point and replication whose key fields agree (see ArtifactKey).
+struct SystemArtifacts {
+  explicit SystemArtifacts(workload::AccessPattern pattern)
+      : canonical_pattern(std::move(pattern)) {}
+
+  workload::AccessPattern canonical_pattern;
+  broadcast::PushLayout layout;  // Empty for Pure-Pull.
+  std::shared_ptr<const broadcast::BroadcastProgram> program;
+  std::vector<double> canonical_values;
+};
+
+/// Builds the artifacts for `config` from scratch.
+std::shared_ptr<const SystemArtifacts> BuildArtifacts(
+    const SystemConfig& config);
+
+/// Serializes exactly the config fields the artifacts depend on. Two
+/// configs with equal keys produce identical artifacts; in particular the
+/// seed, think-time, cache-policy, and protocol fields are excluded, which
+/// is what lets replications (seed + i) share one set.
+std::string ArtifactKey(const SystemConfig& config);
+
+/// Thread-safe keyed cache of shared artifacts, used by RunSweep so sweep
+/// setup stops redoing identical pattern/program builds per point.
+class ArtifactCache {
+ public:
+  /// Returns the cached artifacts for `config`'s key, building on miss.
+  std::shared_ptr<const SystemArtifacts> Get(const SystemConfig& config);
+
+ private:
+  std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<const SystemArtifacts>>
+      cache_;
+};
+
 /// One fully wired simulated system: broadcast program, server, measured
 /// client, and virtual client, built from a SystemConfig.
 ///
@@ -58,7 +101,10 @@ struct WarmupProtocol {
 class System {
  public:
   /// Builds (and validates) the whole system. Aborts on invalid config.
-  explicit System(const SystemConfig& config);
+  /// `artifacts` (optional) supplies pre-built shared artifacts; they must
+  /// come from a config with the same ArtifactKey. Null builds them fresh.
+  explicit System(const SystemConfig& config,
+                  std::shared_ptr<const SystemArtifacts> artifacts = nullptr);
 
   /// Runs the steady-state protocol and returns the measurements.
   RunResult RunSteadyState(const SteadyStateProtocol& protocol = {});
@@ -95,11 +141,11 @@ class System {
 
   /// The page-to-disk layout (disk sizes after truncation etc.); only
   /// meaningful when a push program exists.
-  const broadcast::PushLayout& layout() const { return layout_; }
+  const broadcast::PushLayout& layout() const { return artifacts_->layout; }
 
   /// Aggregate (server-side) and measured-client access patterns.
   const workload::AccessPattern& canonical_pattern() const {
-    return canonical_pattern_;
+    return artifacts_->canonical_pattern;
   }
   const workload::AccessPattern& mc_pattern() const { return mc_pattern_; }
 
@@ -130,9 +176,8 @@ class System {
 
   SystemConfig config_;
   sim::Simulator simulator_;
-  workload::AccessPattern canonical_pattern_;
+  std::shared_ptr<const SystemArtifacts> artifacts_;
   workload::AccessPattern mc_pattern_;
-  broadcast::PushLayout layout_;
   std::unique_ptr<server::BroadcastServer> server_;
   std::unique_ptr<client::MeasuredClient> mc_;
   std::unique_ptr<client::VirtualClient> vc_;

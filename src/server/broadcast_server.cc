@@ -6,28 +6,38 @@
 
 namespace bdisk::server {
 
-BroadcastServer::BroadcastServer(sim::Simulator* simulator,
-                                 broadcast::BroadcastProgram program,
-                                 double pull_bw, std::uint32_t queue_capacity,
-                                 sim::Rng rng)
+BroadcastServer::BroadcastServer(
+    sim::Simulator* simulator,
+    std::shared_ptr<const broadcast::BroadcastProgram> program, double pull_bw,
+    std::uint32_t queue_capacity, sim::Rng rng)
     : simulator_(simulator),
       program_(std::move(program)),
       pull_bw_(pull_bw),
-      queue_(queue_capacity, program_.DbSize()),
+      queue_(queue_capacity, program_->DbSize()),
       rng_(rng) {
   BDISK_CHECK_MSG(simulator != nullptr, "server needs a simulator");
+  BDISK_CHECK_MSG(program_ != nullptr, "server needs a program");
   BDISK_CHECK_MSG(pull_bw >= 0.0 && pull_bw <= 1.0,
                   "PullBW must be a fraction in [0,1]");
-  BDISK_CHECK_MSG(!program_.Empty() || pull_bw > 0.0,
+  BDISK_CHECK_MSG(!program_->Empty() || pull_bw > 0.0,
                   "a server with no program and no pull bandwidth would "
                   "never broadcast anything");
-  if (!program_.Empty()) cursor_.emplace(&program_);
+  if (!program_->Empty()) cursor_.emplace(program_.get());
   ChooseNextSlot();
   // One page per broadcast unit, forever: the next boundary is always
   // known, so the slot loop rides the periodic fast path instead of
   // re-entering the event heap every slot.
   simulator_->SchedulePeriodic(1.0, this);
 }
+
+BroadcastServer::BroadcastServer(sim::Simulator* simulator,
+                                 broadcast::BroadcastProgram program,
+                                 double pull_bw, std::uint32_t queue_capacity,
+                                 sim::Rng rng)
+    : BroadcastServer(simulator,
+                      std::make_shared<const broadcast::BroadcastProgram>(
+                          std::move(program)),
+                      pull_bw, queue_capacity, rng) {}
 
 void BroadcastServer::AddListener(BroadcastListener* listener) {
   BDISK_CHECK_MSG(listener != nullptr, "null listener");
@@ -37,7 +47,7 @@ void BroadcastServer::AddListener(BroadcastListener* listener) {
 void BroadcastServer::SetPullBw(double pull_bw) {
   BDISK_CHECK_MSG(pull_bw >= 0.0 && pull_bw <= 1.0,
                   "PullBW must be a fraction in [0,1]");
-  BDISK_CHECK_MSG(!program_.Empty() || pull_bw > 0.0,
+  BDISK_CHECK_MSG(!program_->Empty() || pull_bw > 0.0,
                   "a server with no program needs pull bandwidth");
   pull_bw_ = pull_bw;
 }
@@ -53,7 +63,16 @@ void BroadcastServer::EnableMetrics(obs::MetricsRegistry* registry) {
 
 SubmitResult BroadcastServer::SubmitRequest(PageId page,
                                             std::uint32_t client) {
-  BDISK_DCHECK(page < program_.DbSize());
+  // Barrier: queue order, coalescing, and drops depend on what is already
+  // queued, so every fused arrival up to now must submit ahead of this one.
+  simulator_->CatchUpLazySources();
+  return SubmitRequestAt(page, client, simulator_->Now());
+}
+
+SubmitResult BroadcastServer::SubmitRequestAt(PageId page,
+                                              std::uint32_t client,
+                                              sim::SimTime at) {
+  BDISK_DCHECK(page < program_->DbSize());
   const SubmitResult result = queue_.Submit(page);
   if (trace_ != nullptr) {
     const sim::TraceEventKind kind =
@@ -62,7 +81,7 @@ SubmitResult BroadcastServer::SubmitRequest(PageId page,
             : (result == SubmitResult::kCoalesced
                    ? sim::TraceEventKind::kRequestCoalesced
                    : sim::TraceEventKind::kRequestDropped);
-    trace_->Record(simulator_->Now(), kind, page);
+    trace_->Record(at, kind, page);
   }
   if (sink_ != nullptr) {
     const obs::SpanEvent ev =
@@ -71,8 +90,7 @@ SubmitResult BroadcastServer::SubmitRequest(PageId page,
             : (result == SubmitResult::kCoalesced
                    ? obs::SpanEvent::kSubmitCoalesced
                    : obs::SpanEvent::kSubmitDropped);
-    sink_->Record(simulator_->Now(), ev, client, page,
-                  static_cast<double>(queue_.Size()));
+    sink_->Record(at, ev, client, page, static_cast<double>(queue_.Size()));
   }
   return result;
 }
@@ -87,6 +105,9 @@ std::uint32_t BroadcastServer::DistanceToNextPush(PageId page) const {
 }
 
 void BroadcastServer::OnSlotBoundary() {
+  // Barrier: the slot decision below reads the pull queue, and snoopers
+  // react to the delivery; both must see every fused arrival up to now.
+  simulator_->CatchUpLazySources();
   // Transmission of the in-flight slot completes now; deliver to snoopers.
   if (in_flight_page_ != broadcast::kNoPage) {
     const sim::SimTime now = simulator_->Now();

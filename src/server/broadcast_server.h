@@ -61,7 +61,13 @@ class BroadcastServer : public sim::EventHandler {
  public:
   /// `program` may be empty (Pure-Pull). `pull_bw` in [0,1] is the PullBW
   /// fraction. `queue_capacity` is ServerQSize. The server schedules its
-  /// own slot events on `simulator` starting at time Now()+1.
+  /// own slot events on `simulator` starting at time Now()+1. The shared
+  /// form lets many Systems in a sweep reference one immutable program.
+  BroadcastServer(sim::Simulator* simulator,
+                  std::shared_ptr<const broadcast::BroadcastProgram> program,
+                  double pull_bw, std::uint32_t queue_capacity, sim::Rng rng);
+
+  /// Convenience: takes the program by value and owns it.
   BroadcastServer(sim::Simulator* simulator,
                   broadcast::BroadcastProgram program, double pull_bw,
                   std::uint32_t queue_capacity, sim::Rng rng);
@@ -106,8 +112,16 @@ class BroadcastServer : public sim::EventHandler {
   SubmitResult SubmitRequest(PageId page,
                              std::uint32_t client = obs::kNoClient);
 
+  /// SubmitRequest with an explicit submission timestamp for trace
+  /// records. This is the entry point for fused (lazy-source) arrivals
+  /// drained at a barrier after their true arrival time: the queue outcome
+  /// is identical, but the trace must carry the arrival's own timestamp,
+  /// not the barrier's. Does not itself drain lazy sources.
+  SubmitResult SubmitRequestAt(PageId page, std::uint32_t client,
+                               sim::SimTime at);
+
   /// The periodic program (empty for Pure-Pull).
-  const broadcast::BroadcastProgram& program() const { return program_; }
+  const broadcast::BroadcastProgram& program() const { return *program_; }
 
   /// Current position in the push schedule (meaningless when the program is
   /// empty). Clients consult this for the threshold filter — the paper
@@ -139,7 +153,7 @@ class BroadcastServer : public sim::EventHandler {
   void SampleSlotWindow();
 
   sim::Simulator* simulator_;
-  broadcast::BroadcastProgram program_;
+  std::shared_ptr<const broadcast::BroadcastProgram> program_;
   std::optional<broadcast::ScheduleCursor> cursor_;  // Absent if no program.
   double pull_bw_;
   PullQueue queue_;

@@ -3,9 +3,9 @@
 
 #include <cstdint>
 #include <deque>
-#include <vector>
 
 #include "broadcast/page.h"
+#include "sim/byte_mask.h"
 
 namespace bdisk::server {
 
@@ -65,7 +65,7 @@ class PullQueue {
  private:
   std::uint32_t capacity_;
   std::deque<PageId> fifo_;
-  std::vector<bool> queued_;
+  sim::ByteMask queued_;  // Byte-backed: one load per coalescing check.
   std::uint64_t submitted_ = 0;
   std::uint64_t accepted_ = 0;
   std::uint64_t coalesced_ = 0;

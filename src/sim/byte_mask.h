@@ -1,0 +1,51 @@
+#ifndef BDISK_SIM_BYTE_MASK_H_
+#define BDISK_SIM_BYTE_MASK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bdisk::sim {
+
+/// A byte-backed boolean mask, API-compatible with the std::vector<bool>
+/// idioms the simulation hot paths use (operator[] reads, `mask[i] = flag`
+/// writes, size()).
+///
+/// vector<bool> packs eight flags per byte, so every membership test on the
+/// hot path (queue coalescing, cache residency, VC warm-set filtering) pays
+/// a shift+mask and the proxy defeats vectorization of scan loops. At
+/// simulation scale (one mask entry per database page) the 8x memory cost
+/// of whole bytes is trivial, and each access becomes a single load/store.
+class ByteMask {
+ public:
+  /// Write proxy so `mask[i] = flag` keeps working at existing call sites.
+  class Ref {
+   public:
+    Ref& operator=(bool value) {
+      *byte_ = value ? 1 : 0;
+      return *this;
+    }
+    operator bool() const { return *byte_ != 0; }
+
+   private:
+    friend class ByteMask;
+    explicit Ref(std::uint8_t* byte) : byte_(byte) {}
+    std::uint8_t* byte_;
+  };
+
+  ByteMask() = default;
+  explicit ByteMask(std::size_t size, bool value = false)
+      : bytes_(size, value ? 1 : 0) {}
+
+  bool operator[](std::size_t i) const { return bytes_[i] != 0; }
+  Ref operator[](std::size_t i) { return Ref(&bytes_[i]); }
+
+  std::size_t size() const { return bytes_.size(); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+}  // namespace bdisk::sim
+
+#endif  // BDISK_SIM_BYTE_MASK_H_

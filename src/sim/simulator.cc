@@ -1,5 +1,7 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
+
 #include "sim/check.h"
 
 namespace bdisk::sim {
@@ -19,10 +21,58 @@ PeriodicId Simulator::SchedulePeriodic(SimTime interval,
   return queue_.SchedulePeriodic(now_ + interval, interval, handler);
 }
 
+void Simulator::RegisterLazySource(LazySource* source) {
+  BDISK_CHECK_MSG(source != nullptr, "null lazy source");
+  lazy_sources_.push_back(source);
+}
+
+void Simulator::UnregisterLazySource(LazySource* source) {
+  lazy_sources_.erase(
+      std::remove(lazy_sources_.begin(), lazy_sources_.end(), source),
+      lazy_sources_.end());
+}
+
+void Simulator::CatchUpLazySources() {
+  // Reentrancy: a drained arrival's side effects (e.g. a queue submit) may
+  // reach another barrier. The outer drain already delivers arrivals in
+  // timestamp order, so the nested call has nothing left to add.
+  if (draining_ || lazy_sources_.empty()) return;
+  draining_ = true;
+  std::uint64_t processed = 0;
+  if (lazy_sources_.size() == 1) {
+    processed = lazy_sources_.front()->CatchUp(now_);
+  } else {
+    // Multiple sources: drain the earliest one only up to the runner-up's
+    // next arrival, repeatedly, so cross-source arrivals stay in global
+    // timestamp order (ties resolved by registration order).
+    for (;;) {
+      LazySource* earliest = nullptr;
+      SimTime first = kTimeNever;
+      SimTime second = kTimeNever;
+      for (LazySource* source : lazy_sources_) {
+        const SimTime next = source->NextArrivalTime();
+        if (next < first) {
+          second = first;
+          first = next;
+          earliest = source;
+        } else if (next < second) {
+          second = next;
+        }
+      }
+      if (earliest == nullptr || first > now_) break;
+      processed += earliest->CatchUp(std::min(now_, second));
+    }
+  }
+  lazy_arrivals_fused_ += processed;
+  if (processed > 0) ++lazy_drains_;
+  draining_ = false;
+}
+
 void Simulator::Run() {
   stop_requested_ = false;
   while (!stop_requested_ && Step()) {
   }
+  CatchUpLazySources();
 }
 
 void Simulator::RunUntil(SimTime deadline) {
@@ -33,6 +83,10 @@ void Simulator::RunUntil(SimTime deadline) {
     Step();
   }
   if (!stop_requested_ && now_ < deadline) now_ = deadline;
+  // Final barrier: lifetime counters are read right after a run returns.
+  // Arrivals up to the clock's resting point (the deadline, or the time of
+  // the event that called Stop()) are part of the run.
+  CatchUpLazySources();
 }
 
 bool Simulator::Step() {

@@ -2,8 +2,10 @@
 #define BDISK_SIM_SIMULATOR_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "sim/event_queue.h"
+#include "sim/lazy_source.h"
 #include "sim/types.h"
 
 namespace bdisk::sim {
@@ -54,6 +56,29 @@ class Simulator {
   /// Stops a periodic timer; safe to call from inside its own OnEvent().
   void CancelPeriodic(PeriodicId id) { queue_.CancelPeriodic(id); }
 
+  /// Registers a fused event source (not owned; unregister before it
+  /// dies). Its arrivals are processed in batch by CatchUpLazySources()
+  /// instead of riding the event heap. See sim/lazy_source.h for the
+  /// eligibility contract.
+  void RegisterLazySource(LazySource* source);
+
+  /// Unregisters `source`; no-op if it was never registered.
+  void UnregisterLazySource(LazySource* source);
+
+  /// Drains every registered lazy source up to Now(), interleaving
+  /// multiple sources in global timestamp order (ties: registration
+  /// order). Model components call this at each barrier where a lazy
+  /// source's effects become observable. Reentrant calls (a drain whose
+  /// side effects reach another barrier) are no-ops, which is safe: the
+  /// outer drain is already processing arrivals in timestamp order.
+  void CatchUpLazySources();
+
+  /// Fused-source profiling: arrivals processed via CatchUpLazySources()
+  /// (each would have been one heap event without fusion) and the number
+  /// of drain calls that processed at least one arrival.
+  std::uint64_t LazyArrivalsFused() const { return lazy_arrivals_fused_; }
+  std::uint64_t LazyDrains() const { return lazy_drains_; }
+
   /// Cancels a pending event; no-op if it already fired.
   void Cancel(EventId id) { queue_.Cancel(id); }
 
@@ -83,6 +108,11 @@ class Simulator {
   SimTime now_ = 0.0;
   std::uint64_t events_executed_ = 0;
   bool stop_requested_ = false;
+
+  std::vector<LazySource*> lazy_sources_;
+  bool draining_ = false;
+  std::uint64_t lazy_arrivals_fused_ = 0;
+  std::uint64_t lazy_drains_ = 0;
 };
 
 }  // namespace bdisk::sim

@@ -1,5 +1,7 @@
 #include "core/experiment.h"
 
+#include <stdexcept>
+
 #include <gtest/gtest.h>
 
 namespace bdisk::core {
@@ -68,6 +70,90 @@ TEST(ExperimentTest, ParallelMatchesSerial) {
   }
 }
 
+TEST(ExperimentTest, BadPointSurfacesAsExceptionNotCrash) {
+  // A worker hitting an invalid config must not std::terminate the
+  // process; the failure is rethrown on the calling thread.
+  std::vector<SweepPoint> points(3);
+  points[0].config = SmallConfig(5.0);
+  points[1].config = SmallConfig(5.0);
+  points[1].config.pull_bw = 2.0;  // Fails Validate().
+  points[2].config = SmallConfig(5.0);
+  for (const unsigned threads : {1U, 4U}) {
+    EXPECT_THROW(RunSweep(points, FastProtocol(), {}, threads),
+                 std::invalid_argument)
+        << "num_threads=" << threads;
+  }
+}
+
+// Satellite of the fusion PR: a small fig03-style grid (all three delivery
+// modes x two loads, Table-3 shape scaled to db=100) must produce
+// bit-identical outcomes whether the sweep runs on 1 thread or 4 — the
+// shared artifact cache and work-stealing order must not leak into
+// results.
+std::vector<SweepPoint> SmallFig03Grid() {
+  std::vector<SweepPoint> points;
+  const DeliveryMode modes[] = {DeliveryMode::kPurePush,
+                                DeliveryMode::kPurePull, DeliveryMode::kIpp};
+  for (const DeliveryMode mode : modes) {
+    for (const double ttr : {10.0, 50.0}) {
+      SweepPoint point;
+      point.curve = DeliveryModeName(mode);
+      point.x = ttr;
+      point.config = SmallConfig(ttr);
+      point.config.mode = mode;
+      points.push_back(point);
+    }
+  }
+  return points;
+}
+
+TEST(ExperimentTest, SweepIsBitIdenticalAcrossThreadCounts) {
+  const auto points = SmallFig03Grid();
+  const auto serial = RunSweep(points, FastProtocol(), {}, 1);
+  const auto parallel = RunSweep(points, FastProtocol(), {}, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE(serial[i].point.curve + " ttr=" +
+                 std::to_string(serial[i].point.x));
+    const RunResult& a = serial[i].result;
+    const RunResult& b = parallel[i].result;
+    EXPECT_EQ(a.mean_response, b.mean_response);
+    EXPECT_EQ(a.response_stats.Variance(), b.response_stats.Variance());
+    EXPECT_EQ(a.mc_accesses, b.mc_accesses);
+    EXPECT_EQ(a.requests_submitted, b.requests_submitted);
+    EXPECT_EQ(a.requests_dropped, b.requests_dropped);
+    EXPECT_EQ(a.push_slot_frac, b.push_slot_frac);
+    EXPECT_EQ(a.pull_slot_frac, b.pull_slot_frac);
+    EXPECT_EQ(a.sim_time_end, b.sim_time_end);
+    EXPECT_EQ(a.kernel.events_executed, b.kernel.events_executed);
+    EXPECT_EQ(a.kernel.lazy_arrivals_fused, b.kernel.lazy_arrivals_fused);
+  }
+}
+
+TEST(ExperimentTest, ArtifactCacheSharesAcrossSeedsAndLoads) {
+  ArtifactCache cache;
+  SystemConfig config = SmallConfig(10.0);
+  const auto base = cache.Get(config);
+  // Seed and load do not enter the artifacts.
+  SystemConfig other = config;
+  other.seed = config.seed + 17;
+  other.think_time_ratio = 250.0;
+  EXPECT_EQ(cache.Get(other), base);
+  // The database size does.
+  SystemConfig resized = config;
+  resized.server_db_size = 200;
+  resized.disks = broadcast::DiskConfig{{20, 80, 100}, {3, 2, 1}};
+  EXPECT_NE(cache.Get(resized), base);
+  // Pure-Pull has no program at all: distinct artifacts, shared among
+  // pull points regardless of disk shape.
+  SystemConfig pull = config;
+  pull.mode = DeliveryMode::kPurePull;
+  SystemConfig pull_other_disks = pull;
+  pull_other_disks.disks = broadcast::DiskConfig{{50, 30, 20}, {5, 3, 1}};
+  EXPECT_NE(cache.Get(pull), base);
+  EXPECT_EQ(cache.Get(pull_other_disks), cache.Get(pull));
+}
+
 TEST(ExperimentTest, ReplicationsAggregateAcrossSeeds) {
   const auto result = RunReplicated(SmallConfig(10.0), 4, FastProtocol());
   EXPECT_EQ(result.means.Count(), 4U);
@@ -90,6 +176,21 @@ TEST(ExperimentTest, ReplicationIsDeterministic) {
   const auto a = RunReplicated(SmallConfig(10.0), 3, FastProtocol());
   const auto b = RunReplicated(SmallConfig(10.0), 3, FastProtocol());
   EXPECT_EQ(a.means.Mean(), b.means.Mean());
+}
+
+TEST(ExperimentTest, ReplicationIntervalIsThreadCountInvariant) {
+  // The reported confidence interval is a published number; it must not
+  // wobble with the machine's core count.
+  const auto serial = RunReplicated(SmallConfig(10.0), 4, FastProtocol(), 1);
+  const auto parallel =
+      RunReplicated(SmallConfig(10.0), 4, FastProtocol(), 4);
+  EXPECT_EQ(serial.means.Mean(), parallel.means.Mean());
+  EXPECT_EQ(serial.ci95_half_width, parallel.ci95_half_width);
+  ASSERT_EQ(serial.replications.size(), parallel.replications.size());
+  for (std::size_t i = 0; i < serial.replications.size(); ++i) {
+    EXPECT_EQ(serial.replications[i].mean_response,
+              parallel.replications[i].mean_response);
+  }
 }
 
 TEST(ExperimentDeathTest, ReplicationNeedsAtLeastOne) {

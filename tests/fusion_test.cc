@@ -1,0 +1,202 @@
+// Virtual-client event fusion: the lazy-source drain must be invisible to
+// the simulated trajectory. These tests pin the kernel-level drain
+// semantics (timestamp-ordered merge, end-of-run barrier) and the
+// system-level guarantee: one config run fused vs. unfused produces the
+// identical RunResult trajectory, with only the heap-event accounting
+// moved into the fused-arrival counters.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "core/system.h"
+#include "sim/lazy_source.h"
+#include "sim/simulator.h"
+
+namespace bdisk {
+namespace {
+
+// A lazy source with a fixed arrival script; drained arrivals are appended
+// to a shared log so tests can check the global interleaving.
+class ScriptedSource : public sim::LazySource {
+ public:
+  ScriptedSource(int id, std::vector<sim::SimTime> times,
+                 std::vector<std::pair<int, sim::SimTime>>* log)
+      : id_(id), times_(std::move(times)), log_(log) {}
+
+  sim::SimTime NextArrivalTime() const override {
+    return next_ < times_.size() ? times_[next_] : sim::kTimeNever;
+  }
+
+  std::uint64_t CatchUp(sim::SimTime horizon) override {
+    std::uint64_t processed = 0;
+    while (next_ < times_.size() && times_[next_] <= horizon) {
+      log_->push_back({id_, times_[next_]});
+      ++next_;
+      ++processed;
+    }
+    return processed;
+  }
+
+ private:
+  int id_;
+  std::size_t next_ = 0;
+  std::vector<sim::SimTime> times_;
+  std::vector<std::pair<int, sim::SimTime>>* log_;
+};
+
+TEST(LazySourceTest, DrainStopsAtNow) {
+  sim::Simulator sim;
+  std::vector<std::pair<int, sim::SimTime>> log;
+  ScriptedSource source(0, {1.0, 2.0, 7.5}, &log);
+  sim.RegisterLazySource(&source);
+
+  sim.ScheduleAt(5.0, [&sim] { sim.CatchUpLazySources(); });
+  sim.RunUntil(5.0);
+  // The mid-run barrier drained up to 5.0; RunUntil's final barrier does
+  // not reach past the deadline.
+  ASSERT_EQ(log.size(), 2U);
+  EXPECT_EQ(log[0], (std::pair<int, sim::SimTime>{0, 1.0}));
+  EXPECT_EQ(log[1], (std::pair<int, sim::SimTime>{0, 2.0}));
+  EXPECT_EQ(sim.LazyArrivalsFused(), 2U);
+
+  sim.RunUntil(10.0);
+  ASSERT_EQ(log.size(), 3U);
+  EXPECT_EQ(log[2], (std::pair<int, sim::SimTime>{0, 7.5}));
+  EXPECT_EQ(sim.LazyArrivalsFused(), 3U);
+}
+
+TEST(LazySourceTest, MultipleSourcesDrainInGlobalTimestampOrder) {
+  sim::Simulator sim;
+  std::vector<std::pair<int, sim::SimTime>> log;
+  ScriptedSource a(0, {1.0, 4.0, 5.0, 9.0}, &log);
+  ScriptedSource b(1, {2.0, 3.0, 6.0}, &log);
+  sim.RegisterLazySource(&a);
+  sim.RegisterLazySource(&b);
+
+  sim.RunUntil(10.0);  // Final barrier drains everything.
+  const std::vector<std::pair<int, sim::SimTime>> expected = {
+      {0, 1.0}, {1, 2.0}, {1, 3.0}, {0, 4.0}, {0, 5.0}, {1, 6.0}, {0, 9.0}};
+  EXPECT_EQ(log, expected);
+  EXPECT_EQ(sim.LazyArrivalsFused(), 7U);
+  EXPECT_EQ(sim.LazyDrains(), 1U);
+}
+
+TEST(LazySourceTest, UnregisteredSourceIsNotDrained) {
+  sim::Simulator sim;
+  std::vector<std::pair<int, sim::SimTime>> log;
+  ScriptedSource source(0, {1.0}, &log);
+  sim.RegisterLazySource(&source);
+  sim.UnregisterLazySource(&source);
+  sim.RunUntil(5.0);
+  EXPECT_TRUE(log.empty());
+  EXPECT_EQ(sim.LazyArrivalsFused(), 0U);
+}
+
+// The system-level pin. Every trajectory field of RunResult must agree to
+// the bit between a fused and an unfused run of the same config; only the
+// kernel accounting may differ, and there the sum events_executed +
+// lazy_arrivals_fused is invariant (each fused arrival is exactly one
+// saved heap event).
+void ExpectFusionInvariant(core::SystemConfig config) {
+  core::SteadyStateProtocol protocol;
+  protocol.post_fill_accesses = 100;
+  protocol.min_measured_accesses = 500;
+  protocol.max_measured_accesses = 1500;
+  protocol.batch_size = 250;
+  protocol.tolerance = 0.1;
+
+  config.vc_fusion = true;
+  core::System fused_system(config);
+  const core::RunResult fused = fused_system.RunSteadyState(protocol);
+
+  config.vc_fusion = false;
+  core::System unfused_system(config);
+  const core::RunResult unfused = unfused_system.RunSteadyState(protocol);
+
+  EXPECT_EQ(fused.mean_response, unfused.mean_response);
+  EXPECT_EQ(fused.response_stats.Variance(),
+            unfused.response_stats.Variance());
+  EXPECT_EQ(fused.response_stats.Count(), unfused.response_stats.Count());
+  EXPECT_EQ(fused.response_p50, unfused.response_p50);
+  EXPECT_EQ(fused.response_p99, unfused.response_p99);
+  EXPECT_EQ(fused.mc_accesses, unfused.mc_accesses);
+  EXPECT_EQ(fused.mc_hit_rate, unfused.mc_hit_rate);
+  EXPECT_EQ(fused.mc_pulls_sent, unfused.mc_pulls_sent);
+  EXPECT_EQ(fused.mc_retries_sent, unfused.mc_retries_sent);
+  EXPECT_EQ(fused.mc_invalidations, unfused.mc_invalidations);
+  EXPECT_EQ(fused.vc_requests_generated, unfused.vc_requests_generated);
+  EXPECT_EQ(fused.vc_cache_hits, unfused.vc_cache_hits);
+  EXPECT_EQ(fused.vc_filtered, unfused.vc_filtered);
+  EXPECT_EQ(fused.vc_submitted, unfused.vc_submitted);
+  EXPECT_EQ(fused.updates_generated, unfused.updates_generated);
+  EXPECT_EQ(fused.requests_submitted, unfused.requests_submitted);
+  EXPECT_EQ(fused.requests_accepted, unfused.requests_accepted);
+  EXPECT_EQ(fused.requests_coalesced, unfused.requests_coalesced);
+  EXPECT_EQ(fused.requests_dropped, unfused.requests_dropped);
+  EXPECT_EQ(fused.queue_depth_high_water, unfused.queue_depth_high_water);
+  EXPECT_EQ(fused.push_slot_frac, unfused.push_slot_frac);
+  EXPECT_EQ(fused.pull_slot_frac, unfused.pull_slot_frac);
+  EXPECT_EQ(fused.idle_slot_frac, unfused.idle_slot_frac);
+  EXPECT_EQ(fused.sim_time_end, unfused.sim_time_end);
+  EXPECT_EQ(fused.converged, unfused.converged);
+
+  EXPECT_EQ(unfused.kernel.lazy_arrivals_fused, 0U);
+  EXPECT_EQ(fused.kernel.events_executed + fused.kernel.lazy_arrivals_fused,
+            unfused.kernel.events_executed);
+  // The config drives real VC load, so fusion actually moved something.
+  EXPECT_GT(fused.kernel.lazy_arrivals_fused, 0U);
+}
+
+core::SystemConfig SmallLoadedConfig(core::DeliveryMode mode) {
+  core::SystemConfig config;
+  config.mode = mode;
+  config.server_db_size = 100;
+  config.disks = broadcast::DiskConfig{{10, 40, 50}, {3, 2, 1}};
+  config.cache_size = 10;
+  config.server_queue_size = 10;
+  config.mc_think_time = 5.0;
+  config.think_time_ratio = 50.0;
+  config.pull_bw = 0.5;
+  config.thres_perc = 0.1;
+  config.seed = 20260806;
+  return config;
+}
+
+TEST(FusionTest, FusedMatchesUnfusedIpp) {
+  ExpectFusionInvariant(SmallLoadedConfig(core::DeliveryMode::kIpp));
+}
+
+TEST(FusionTest, FusedMatchesUnfusedPurePull) {
+  ExpectFusionInvariant(SmallLoadedConfig(core::DeliveryMode::kPurePull));
+}
+
+TEST(FusionTest, FusedMatchesUnfusedWithUpdates) {
+  // Invalidation barrier: arrivals before an update must see the old warm
+  // flag, arrivals after it the cleared one.
+  core::SystemConfig config = SmallLoadedConfig(core::DeliveryMode::kIpp);
+  config.update_rate = 0.2;
+  ExpectFusionInvariant(config);
+}
+
+TEST(FusionTest, FusedMatchesUnfusedWithAdaptiveControllers) {
+  // Controller barrier: the PullBW decision reads windowed queue counters.
+  core::SystemConfig config = SmallLoadedConfig(core::DeliveryMode::kIpp);
+  config.adaptive_pull_bw = true;
+  config.adaptive_threshold = true;
+  ExpectFusionInvariant(config);
+}
+
+TEST(FusionTest, FusedMatchesUnfusedWithNoiseAndPrefetch) {
+  // Exercises the MC-side barriers (prefetch scans, noisy value arrays).
+  core::SystemConfig config = SmallLoadedConfig(core::DeliveryMode::kIpp);
+  config.noise = 0.3;
+  config.mc_prefetch = true;
+  ExpectFusionInvariant(config);
+}
+
+}  // namespace
+}  // namespace bdisk

@@ -15,7 +15,9 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <fstream>
 #include <optional>
 #include <sstream>
@@ -40,6 +42,7 @@ void PrintUsage() {
       "  --config FILE      load key=value config file\n"
       "  --set KEY=VALUE    override one config key (repeatable)\n"
       "  --sweep T1,T2,...  run a ThinkTimeRatio sweep\n"
+      "  --threads N        worker threads for sweeps (0 = all cores)\n"
       "  --warmup           measure warm-up trajectory instead of steady "
       "state\n"
       "  --csv              emit CSV instead of a table\n"
@@ -89,6 +92,7 @@ int main(int argc, char** argv) {
 
   core::SystemConfig config;
   std::vector<double> sweep;
+  unsigned num_threads = 0;
   bool warmup = false;
   bool csv = false;
   bool quick = false;
@@ -143,6 +147,15 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--sweep expects a comma-separated list\n");
         return 2;
       }
+    } else if (arg == "--threads") {
+      const char* value = next_value("--threads");
+      char* end = nullptr;
+      const unsigned long parsed = std::strtoul(value, &end, 10);
+      if (end == value || *end != '\0') {
+        std::fprintf(stderr, "--threads expects a non-negative integer\n");
+        return 2;
+      }
+      num_threads = static_cast<unsigned>(parsed);
     } else if (arg == "--warmup") {
       warmup = true;
     } else if (arg == "--metrics-json") {
@@ -215,7 +228,12 @@ int main(int argc, char** argv) {
       !metrics_json_path.empty() || !trace_path.empty() || progress;
   std::vector<core::SweepOutcome> outcomes;
   if (!observed) {
-    outcomes = core::RunSweep(points, steady, warm);
+    try {
+      outcomes = core::RunSweep(points, steady, warm, num_threads);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "sweep failed: %s\n", e.what());
+      return 1;
+    }
   } else {
     // Observability wants one System it can attach to before the run, so
     // the observed path runs a single point inline instead of sweeping.
