@@ -8,8 +8,10 @@
 #include <benchmark/benchmark.h>
 
 #include "core/system.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace_sink.h"
+#include "obs/windowed_collector.h"
 
 namespace {
 
@@ -90,6 +92,75 @@ void BM_EndToEndSlots_MetricsAndTrace(benchmark::State& state) {
   state.SetLabel("items = broadcast units");
 }
 BENCHMARK(BM_EndToEndSlots_MetricsAndTrace)
+    ->Arg(10)
+    ->Arg(250)
+    ->Unit(benchmark::kMillisecond);
+
+// The attachable analysis tier: metrics, windowed telemetry, and an
+// armed-but-never-firing flight recorder — what `bdisk_sim --metrics-json
+// --windows --flight-recorder` runs when tracing is off. The acceptance
+// bound for this stack is < 5% over Detached.
+void BM_EndToEndSlots_Windows(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::System system(BenchConfig(static_cast<double>(state.range(0))));
+    obs::MetricsRegistry registry;
+    obs::WindowedCollector collector(100.0);
+    obs::FlightTriggers triggers;
+    triggers.queue_depth = 1e18;  // Armed, evaluated, never fires.
+    obs::FlightRecorder recorder(triggers, "bench-flight-");
+    system.AttachMetrics(&registry);
+    system.AttachWindowedCollector(&collector);
+    system.AttachFlightRecorder(&recorder);
+    system.mc().Start();
+    if (system.vc() != nullptr) system.vc()->Start();
+    state.ResumeTiming();
+    system.simulator().RunUntil(20000.0);
+    benchmark::DoNotOptimize(system.server().TotalSlots());
+    state.PauseTiming();
+    collector.Finish();
+    benchmark::DoNotOptimize(collector.WindowsCompleted());
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+  state.SetLabel("items = broadcast units");
+}
+BENCHMARK(BM_EndToEndSlots_Windows)
+    ->Arg(10)
+    ->Arg(250)
+    ->Unit(benchmark::kMillisecond);
+
+// Everything at once, trace ring included. Like tracing itself this sits
+// outside the 5% budget (the ring write per span event dominates), but we
+// track it so the cost of the debugging configuration stays visible.
+void BM_EndToEndSlots_FullTelemetry(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::System system(BenchConfig(static_cast<double>(state.range(0))));
+    obs::MetricsRegistry registry;
+    obs::TraceSink sink(1 << 16);
+    obs::WindowedCollector collector(100.0);
+    obs::FlightTriggers triggers;
+    triggers.queue_depth = 1e18;  // Armed, evaluated, never fires.
+    obs::FlightRecorder recorder(triggers, "bench-flight-");
+    system.AttachMetrics(&registry);
+    system.AttachTrace(&sink);
+    system.AttachWindowedCollector(&collector);
+    system.AttachFlightRecorder(&recorder);
+    system.mc().Start();
+    if (system.vc() != nullptr) system.vc()->Start();
+    state.ResumeTiming();
+    system.simulator().RunUntil(20000.0);
+    benchmark::DoNotOptimize(system.server().TotalSlots());
+    state.PauseTiming();
+    collector.Finish();
+    benchmark::DoNotOptimize(collector.WindowsCompleted());
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+  state.SetLabel("items = broadcast units");
+}
+BENCHMARK(BM_EndToEndSlots_FullTelemetry)
     ->Arg(10)
     ->Arg(250)
     ->Unit(benchmark::kMillisecond);

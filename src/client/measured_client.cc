@@ -133,6 +133,7 @@ void MeasuredClient::CompleteAccess(double response_time) {
     response_times_.Add(response_time);
     response_histogram_.Add(response_time);
   }
+  if (collector_ != nullptr) collector_->OnResponse(Now(), response_time);
   state_ = State::kThinking;
   waiting_page_ = broadcast::kNoPage;
   ScheduleWakeup(options_.think_time);

@@ -12,6 +12,7 @@
 #include "client/warmup_tracker.h"
 #include "obs/metrics.h"
 #include "obs/trace_sink.h"
+#include "obs/windowed_collector.h"
 #include "server/broadcast_server.h"
 #include "server/update_generator.h"
 #include "sim/process.h"
@@ -119,6 +120,13 @@ class MeasuredClient : public sim::Process,
   /// delivery records under obs::kMeasuredClientId.
   void SetTraceSink(obs::TraceSink* sink) { sink_ = sink; }
 
+  /// Attaches the windowed telemetry collector (not owned; null detaches).
+  /// Every completed access (cache hits included, at 0) feeds its response
+  /// time into the current window.
+  void SetWindowedCollector(obs::WindowedCollector* collector) {
+    collector_ = collector;
+  }
+
   /// Attaches a metrics registry (not owned): wires the cache's
   /// eviction-value stream into "client.mc.cache.evict_value". Lifetime
   /// counters and the response histogram are snapshotted at collect time
@@ -199,6 +207,7 @@ class MeasuredClient : public sim::Process,
   // flattest disk) and overflow is still counted and visible in exports.
   obs::LatencyHistogram response_histogram_;
   obs::TraceSink* sink_ = nullptr;
+  obs::WindowedCollector* collector_ = nullptr;
   std::uint64_t total_accesses_ = 0;
   std::uint64_t pull_requests_sent_ = 0;
   std::uint64_t retries_sent_ = 0;

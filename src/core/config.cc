@@ -1,5 +1,7 @@
 #include "core/config.h"
 
+#include "obs/flight_recorder.h"
+
 namespace bdisk::core {
 
 const char* DeliveryModeName(DeliveryMode mode) {
@@ -80,6 +82,13 @@ std::string SystemConfig::Validate() const {
   }
   if (mc_prefetch && mode == DeliveryMode::kPurePull) {
     return "prefetching reads the push broadcast; Pure-Pull has none";
+  }
+  if (obs_window <= 0.0) return "obs_window must be positive";
+  if (!flight_recorder.empty()) {
+    obs::FlightTriggers triggers;
+    const std::string error =
+        obs::ParseFlightTriggerSpec(flight_recorder, &triggers);
+    if (!error.empty()) return "flight_recorder: " + error;
   }
   return "";
 }

@@ -102,6 +102,15 @@ struct SystemConfig {
   /// broadcast. Requires a push program (not kPurePull).
   bool mc_prefetch = false;
 
+  // --- Observability (no effect on the simulated trajectory) ---
+  /// Windowed-telemetry window width in broadcast units
+  /// (obs::WindowedCollector); used when a collector is attached.
+  double obs_window = 100.0;
+  /// Flight-recorder trigger spec, e.g. "drop_rate>0.5,p99>2000,
+  /// queue_depth>90"; empty = disarmed. Validated against
+  /// obs::ParseFlightTriggerSpec.
+  std::string flight_recorder;
+
   // --- Dynamic adaptation (extension; paper §6 future work) ---
   /// Enable the server-side PullBW controller (kIpp only).
   bool adaptive_pull_bw = false;

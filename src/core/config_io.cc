@@ -6,6 +6,8 @@
 #include <sstream>
 #include <vector>
 
+#include "obs/flight_recorder.h"
+
 namespace bdisk::core {
 
 namespace {
@@ -132,6 +134,26 @@ std::string ApplyConfigOption(const std::string& raw_key,
     double parsed = 0;
     if (!ParseDouble(value, &parsed)) return bad_value();
     config->update_zipf_theta = parsed;
+    return "";
+  }
+  if (key == "obs_window") {
+    double parsed = 0;
+    if (!ParseDouble(value, &parsed)) return bad_value();
+    if (parsed <= 0.0) return "obs_window must be positive";
+    config->obs_window = parsed;
+    return "";
+  }
+  if (key == "flight_recorder") {
+    // Validate eagerly so a bad spec fails at parse time with the trigger
+    // grammar's own message, not at System construction.
+    if (!value.empty() && value != "off") {
+      obs::FlightTriggers triggers;
+      const std::string error = obs::ParseFlightTriggerSpec(value, &triggers);
+      if (!error.empty()) return "flight_recorder: " + error;
+      config->flight_recorder = value;
+    } else {
+      config->flight_recorder.clear();
+    }
     return "";
   }
 
@@ -275,6 +297,10 @@ std::string ConfigToText(const SystemConfig& config) {
       << (config.adaptive_pull_bw ? "true" : "false") << "\n";
   out << "adaptive_threshold = "
       << (config.adaptive_threshold ? "true" : "false") << "\n";
+  out << "obs_window = " << config.obs_window << "\n";
+  if (!config.flight_recorder.empty()) {
+    out << "flight_recorder = " << config.flight_recorder << "\n";
+  }
   return out.str();
 }
 

@@ -242,8 +242,33 @@ void System::AttachMetrics(obs::MetricsRegistry* registry) {
 
 void System::AttachTrace(obs::TraceSink* sink) {
   BDISK_CHECK_MSG(!ran_, "attach observability before running");
+  sink_ = sink;
   server_->SetTraceSink(sink);
   mc_->SetTraceSink(sink);
+}
+
+void System::AttachWindowedCollector(obs::WindowedCollector* collector) {
+  BDISK_CHECK_MSG(!ran_, "attach observability before running");
+  BDISK_CHECK_MSG(collector != nullptr,
+                  "AttachWindowedCollector needs a collector");
+  collector_ = collector;
+  server_->SetWindowedCollector(collector);
+  mc_->SetWindowedCollector(collector);
+}
+
+void System::AttachFlightRecorder(obs::FlightRecorder* recorder) {
+  BDISK_CHECK_MSG(!ran_, "attach observability before running");
+  BDISK_CHECK_MSG(recorder != nullptr,
+                  "AttachFlightRecorder needs a recorder");
+  BDISK_CHECK_MSG(collector_ != nullptr,
+                  "attach a windowed collector before the flight recorder");
+  collector_->SetFlightRecorder(recorder);
+  recorder->SetTraceSink(sink_);
+  recorder->SetSnapshot([this] {
+    obs::MetricsRegistry registry;
+    SnapshotMetrics(&registry);
+    return registry.ToJson();
+  });
 }
 
 void System::SnapshotMetrics(obs::MetricsRegistry* registry) const {
@@ -289,6 +314,8 @@ void System::SnapshotMetrics(obs::MetricsRegistry* registry) const {
     counter("server.updates_generated", update_generator_->UpdateCount());
   }
 
+  if (collector_ != nullptr) collector_->PublishTo(registry);
+
   counter("kernel.events_executed", simulator_.EventsExecuted());
   counter("kernel.periodic_rearms", simulator_.PeriodicRearms());
   counter("kernel.lazy_arrivals_fused", simulator_.LazyArrivalsFused());
@@ -305,6 +332,10 @@ void System::TimedRun(sim::SimTime max_sim_time) {
   wall_seconds_ = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - start)
                       .count();
+  // Close the collector's partial window so the tail of the run is visible
+  // in Windows() and snapshots (outside the timed region by a hair, but
+  // Finish() is O(1) either way).
+  if (collector_ != nullptr) collector_->Finish();
 }
 
 RunResult System::CollectResult(bool converged) const {

@@ -17,8 +17,10 @@
 #include "client/virtual_client.h"
 #include "core/config.h"
 #include "core/metrics.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace_sink.h"
+#include "obs/windowed_collector.h"
 #include "server/broadcast_server.h"
 #include "sim/simulator.h"
 #include "workload/access_pattern.h"
@@ -125,6 +127,20 @@ class System {
   /// AttachMetrics.
   void AttachTrace(obs::TraceSink* sink);
 
+  /// Attaches the windowed telemetry `collector` (not owned) to the server
+  /// (slot decisions, submit outcomes) and the measured client (completed
+  /// accesses). Call before Run*. The collector is flushed (partial window
+  /// closed) when the run ends. Same bit-identity guarantee as
+  /// AttachMetrics.
+  void AttachWindowedCollector(obs::WindowedCollector* collector);
+
+  /// Arms the anomaly flight `recorder` (not owned): completed telemetry
+  /// windows are evaluated against its triggers, and on fire the dump
+  /// carries a full SnapshotMetrics() document plus the trailing trace
+  /// window when a sink is attached. Requires AttachWindowedCollector
+  /// first; call AttachTrace before this to include the trace.
+  void AttachFlightRecorder(obs::FlightRecorder* recorder);
+
   /// Copies every lifetime counter and the MC response histogram into
   /// `registry`, so ToJson() yields one self-contained snapshot. Counters
   /// are cheap to keep always-on in their components; snapshotting at
@@ -184,6 +200,8 @@ class System {
   std::unique_ptr<adaptive::ServerController> server_controller_;
   std::unique_ptr<adaptive::ClientController> client_controller_;
   std::unique_ptr<server::UpdateGenerator> update_generator_;
+  obs::WindowedCollector* collector_ = nullptr;  // Not owned.
+  obs::TraceSink* sink_ = nullptr;               // Not owned.
   bool ran_ = false;
   double wall_seconds_ = 0.0;
 };

@@ -1,0 +1,205 @@
+#include "obs/flight_recorder.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace bdisk::obs {
+
+namespace {
+
+/// Splits `text` on `sep`, keeping empty pieces out.
+std::vector<std::string> SplitNonEmpty(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find(sep, start);
+    if (end == std::string::npos) end = text.size();
+    if (end > start) out.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+std::string Trimmed(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t')) --e;
+  return s.substr(b, e - b);
+}
+
+}  // namespace
+
+std::string ParseFlightTriggerSpec(const std::string& spec,
+                                   FlightTriggers* out) {
+  *out = FlightTriggers{};
+  const std::vector<std::string> parts = SplitNonEmpty(spec, ',');
+  if (parts.empty()) {
+    return "empty trigger spec (want e.g. \"drop_rate>0.5,p99>2000\")";
+  }
+  for (const std::string& raw : parts) {
+    const std::string part = Trimmed(raw);
+    const std::size_t gt = part.find('>');
+    if (gt == std::string::npos) {
+      return "trigger \"" + part + "\" is missing '>' (want name>threshold)";
+    }
+    const std::string name = Trimmed(part.substr(0, gt));
+    const std::string value_text = Trimmed(part.substr(gt + 1));
+    char* end = nullptr;
+    const double value = std::strtod(value_text.c_str(), &end);
+    if (value_text.empty() || end == nullptr || *end != '\0') {
+      return "trigger \"" + name + "\" has unparsable threshold \"" +
+             value_text + "\"";
+    }
+    if (value < 0.0) {
+      return "trigger \"" + name + "\" threshold must be >= 0";
+    }
+    double* slot = nullptr;
+    if (name == "drop_rate") {
+      slot = &out->drop_rate;
+    } else if (name == "p99") {
+      slot = &out->p99;
+    } else if (name == "queue_depth") {
+      slot = &out->queue_depth;
+    } else {
+      return "unknown trigger \"" + name +
+             "\" (know drop_rate, p99, queue_depth)";
+    }
+    if (*slot != FlightTriggers::kDisarmed) {
+      return "trigger \"" + name + "\" given twice";
+    }
+    *slot = value;
+  }
+  return "";
+}
+
+FlightRecorder::FlightRecorder(const FlightTriggers& triggers,
+                               std::string path_prefix)
+    : triggers_(triggers), path_prefix_(std::move(path_prefix)) {}
+
+void FlightRecorder::OnWindow(const WindowStats& window) {
+  ++windows_evaluated_;
+  if (fired_) return;
+  if (window.DropRate() > triggers_.drop_rate) {
+    Fire(window, "drop_rate", triggers_.drop_rate, window.DropRate());
+  } else if (window.response_p99 > triggers_.p99) {
+    Fire(window, "p99", triggers_.p99, window.response_p99);
+  } else if (static_cast<double>(window.queue_depth_max) >
+             triggers_.queue_depth) {
+    Fire(window, "queue_depth", triggers_.queue_depth,
+         static_cast<double>(window.queue_depth_max));
+  }
+}
+
+std::string FlightRecorder::BuildDump(const WindowStats& window,
+                                      const char* trigger, double threshold,
+                                      double value) const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema");
+  w.Value("bdisk-flight-v1");
+  w.Key("fired_at");
+  w.Value(window.end);
+  w.Key("trigger");
+  w.Value(trigger);
+  w.Key("threshold");
+  w.Value(threshold);
+  w.Key("value");
+  w.Value(value);
+  w.Key("window");
+  w.BeginObject();
+  w.Key("start");
+  w.Value(window.start);
+  w.Key("end");
+  w.Value(window.end);
+  w.Key("slots_push");
+  w.Value(window.slots_push);
+  w.Key("slots_pull");
+  w.Value(window.slots_pull);
+  w.Key("slots_idle");
+  w.Value(window.slots_idle);
+  w.Key("submits");
+  w.Value(window.submits);
+  w.Key("accepted");
+  w.Value(window.accepted);
+  w.Key("coalesced");
+  w.Value(window.coalesced);
+  w.Key("dropped");
+  w.Value(window.dropped);
+  w.Key("drop_rate");
+  w.Value(window.DropRate());
+  w.Key("queue_depth");
+  w.Value(static_cast<std::uint64_t>(window.queue_depth));
+  w.Key("queue_depth_max");
+  w.Value(static_cast<std::uint64_t>(window.queue_depth_max));
+  w.Key("responses");
+  w.Value(window.responses);
+  w.Key("response_mean");
+  w.Value(window.response_mean);
+  w.Key("response_p50");
+  w.Value(window.response_p50);
+  w.Key("response_p99");
+  w.Value(window.response_p99);
+  w.Key("response_max");
+  w.Value(window.response_max);
+  w.EndObject();
+  // JsonWriter has no raw-splice primitive; the snapshot callback returns a
+  // complete JSON document, so assemble the tail by hand.
+  w.Key("metrics");
+  std::string out = w.str();
+  if (snapshot_) {
+    out += snapshot_();
+  } else {
+    out += "null";
+  }
+  out += ",\"trace\":[";
+  if (sink_ != nullptr) {
+    char line[192];
+    bool first = true;
+    for (const SpanRecord& r : sink_->Events()) {
+      if (r.time < window.start) continue;  // Trailing window only.
+      const long long client =
+          r.client == kNoClient ? -1LL : static_cast<long long>(r.client);
+      const long long page =
+          r.page == kNoTracePage ? -1LL : static_cast<long long>(r.page);
+      std::snprintf(line, sizeof(line),
+                    "%s{\"t\":%.3f,\"ev\":\"%s\",\"client\":%lld,"
+                    "\"page\":%lld,\"v\":%g}",
+                    first ? "" : ",", r.time, SpanEventName(r.event), client,
+                    page, r.value);
+      out += line;
+      first = false;
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+void FlightRecorder::Fire(const WindowStats& window, const char* trigger,
+                          double threshold, double value) {
+  fired_ = true;
+  ++fire_count_;
+  char stamp[48];
+  std::snprintf(stamp, sizeof(stamp), "t%.0f.json", window.end);
+  const std::string path = path_prefix_ + stamp;
+  const std::string dump = BuildDump(window, trigger, threshold, value);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    last_error_ = "cannot open " + path + " for writing";
+    return;
+  }
+  const std::size_t written = std::fwrite(dump.data(), 1, dump.size(), f);
+  std::fclose(f);
+  if (written != dump.size()) {
+    last_error_ = "short write to " + path;
+    return;
+  }
+  dump_path_ = path;
+  last_error_.clear();
+}
+
+}  // namespace bdisk::obs

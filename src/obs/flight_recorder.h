@@ -1,0 +1,98 @@
+#ifndef BDISK_OBS_FLIGHT_RECORDER_H_
+#define BDISK_OBS_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+#include "obs/trace_sink.h"
+#include "obs/windowed_collector.h"
+
+namespace bdisk::obs {
+
+/// Thresholds that arm the flight recorder; a window whose statistic
+/// exceeds a threshold fires it. kDisarmed (infinity) means "never".
+struct FlightTriggers {
+  static constexpr double kDisarmed = std::numeric_limits<double>::infinity();
+
+  double drop_rate = kDisarmed;    // Window drop rate (dropped / submits).
+  double p99 = kDisarmed;          // Window response p99, broadcast units.
+  double queue_depth = kDisarmed;  // Window queue-depth high water.
+
+  bool Armed() const {
+    return drop_rate != kDisarmed || p99 != kDisarmed ||
+           queue_depth != kDisarmed;
+  }
+};
+
+/// Parses a trigger spec like "drop_rate>0.5,p99>2000,queue_depth>90" into
+/// `out`. Triggers not named stay disarmed. Returns "" on success, else a
+/// one-line description of what is wrong (unknown trigger name, missing
+/// '>', unparsable or negative threshold) — surfaced verbatim by config
+/// validation and the CLI.
+std::string ParseFlightTriggerSpec(const std::string& spec,
+                                   FlightTriggers* out);
+
+/// An anomaly flight recorder: watches completed telemetry windows and, on
+/// the first window that crosses a trigger, dumps the trailing trace window
+/// and a full metrics snapshot to a timestamped JSON file
+/// ("<prefix>t<sim-time>.json", schema "bdisk-flight-v1").
+///
+/// One-shot by design — the interesting state is what led up to the FIRST
+/// anomaly; later windows of a sustained overload would only overwrite it.
+/// Re-arm explicitly with Rearm() to capture another. Evaluation is pure
+/// observation: no randomness, no events, so an armed-but-silent recorder
+/// keeps the trajectory bit-identical.
+class FlightRecorder {
+ public:
+  FlightRecorder(const FlightTriggers& triggers, std::string path_prefix);
+
+  /// Trailing trace source for dumps (null = dump without trace).
+  void SetTraceSink(const TraceSink* sink) { sink_ = sink; }
+
+  /// Metrics-snapshot source for dumps: a callback returning a complete
+  /// "bdisk-metrics-v1" document (null = dump without metrics). A callback
+  /// rather than a registry pointer so the owner can assemble the snapshot
+  /// lazily, only when a trigger actually fires.
+  void SetSnapshot(std::function<std::string()> snapshot) {
+    snapshot_ = std::move(snapshot);
+  }
+
+  /// Evaluates one completed window (WindowedCollector calls this).
+  void OnWindow(const WindowStats& window);
+
+  /// Builds the dump document for `window` without touching the
+  /// filesystem (the file path on fire is derived from window.end).
+  std::string BuildDump(const WindowStats& window, const char* trigger,
+                        double threshold, double value) const;
+
+  void Rearm() { fired_ = false; }
+
+  bool Fired() const { return fired_; }
+  std::uint64_t WindowsEvaluated() const { return windows_evaluated_; }
+  std::uint64_t FireCount() const { return fire_count_; }
+
+  /// Path of the last dump written; empty if none (or if the write failed,
+  /// in which case LastError() says why).
+  const std::string& DumpPath() const { return dump_path_; }
+  const std::string& LastError() const { return last_error_; }
+
+ private:
+  void Fire(const WindowStats& window, const char* trigger, double threshold,
+            double value);
+
+  FlightTriggers triggers_;
+  std::string path_prefix_;
+  const TraceSink* sink_ = nullptr;
+  std::function<std::string()> snapshot_;
+  bool fired_ = false;
+  std::uint64_t windows_evaluated_ = 0;
+  std::uint64_t fire_count_ = 0;
+  std::string dump_path_;
+  std::string last_error_;
+};
+
+}  // namespace bdisk::obs
+
+#endif  // BDISK_OBS_FLIGHT_RECORDER_H_

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace bdisk::obs {
@@ -52,6 +53,38 @@ class JsonWriter {
   std::vector<bool> has_element_;
   bool pending_key_ = false;
 };
+
+/// A parsed JSON value (minimal DOM, mirror of what JsonWriter emits).
+/// Objects preserve insertion order; numbers are doubles (the writer never
+/// emits anything a double cannot hold exactly up to 2^53, and metric
+/// comparisons are numeric anyway).
+struct JsonValue {
+  enum class Kind : std::uint8_t {
+    kNull = 0,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+};
+
+/// Parses a complete JSON document. On failure returns false and, when
+/// `error` is non-null, a one-line message with the byte offset. Accepts
+/// exactly what JsonWriter produces (standard JSON; no comments, no
+/// trailing commas).
+bool ParseJson(const std::string& text, JsonValue* out,
+               std::string* error = nullptr);
 
 }  // namespace bdisk::obs
 

@@ -42,17 +42,18 @@ class LatencyHistogram {
  public:
   /// Buckets [lo, hi) into `buckets` equal cells (plus under/overflow).
   LatencyHistogram(double lo, double hi, std::size_t buckets)
-      : lo_(lo), hi_(hi), hist_(lo, hi, buckets) {}
+      : hist_(lo, hi, buckets) {}
 
   void Add(double x) {
     hist_.Add(x);
     stats_.Add(x);
   }
 
-  /// Forgets all observations; the bucket shape is kept. Lets phase-aware
-  /// collectors (warm-up vs measurement) restart cleanly.
+  /// Forgets all observations; the bucket shape is kept. Reuses the
+  /// existing bucket buffer, so resetting on a phase boundary (warm-up vs
+  /// measurement, or per telemetry window) never allocates.
   void Reset() {
-    hist_ = sim::Histogram(lo_, hi_, hist_.NumBuckets());
+    hist_.Reset();
     stats_.Reset();
   }
 
@@ -68,8 +69,6 @@ class LatencyHistogram {
   const sim::RunningStats& stats() const { return stats_; }
 
  private:
-  double lo_;
-  double hi_;
   sim::Histogram hist_;
   sim::RunningStats stats_;
 };

@@ -1,0 +1,268 @@
+#include "obs/span_assembler.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bdisk::obs {
+
+namespace {
+
+constexpr double kTimeEps = 1e-9;
+
+}  // namespace
+
+const char* SpanOutcomeName(SpanOutcome outcome) {
+  switch (outcome) {
+    case SpanOutcome::kCacheHit:
+      return "hit";
+    case SpanOutcome::kPullServed:
+      return "pull";
+    case SpanOutcome::kSnooped:
+      return "snoop";
+    case SpanOutcome::kPushServed:
+      return "push";
+    case SpanOutcome::kIncomplete:
+      return "incomplete";
+  }
+  return "?";
+}
+
+double RequestSpan::QueueWait() const {
+  if (outcome != SpanOutcome::kPullServed || slot_time < 0.0 ||
+      submit_time < 0.0) {
+    return 0.0;
+  }
+  return std::max(0.0, slot_time - submit_time);
+}
+
+double RequestSpan::BroadcastWait() const {
+  if ((outcome != SpanOutcome::kSnooped &&
+       outcome != SpanOutcome::kPushServed) ||
+      slot_time < 0.0 || request_time < 0.0) {
+    return 0.0;
+  }
+  return std::max(0.0, slot_time - request_time);
+}
+
+double RequestSpan::Transmit() const {
+  if (slot_time < 0.0 || delivery_time < 0.0) return 0.0;
+  // A request can arrive while its page is already on air (slot decision
+  // just before the request); the span only pays for the tail it actually
+  // waited through.
+  return std::max(0.0, delivery_time - std::max(slot_time, request_time));
+}
+
+double RequestSpan::Other() const {
+  return response - QueueWait() - BroadcastWait() - Transmit();
+}
+
+PhaseBreakdown Attribute(const std::vector<RequestSpan>& spans) {
+  PhaseBreakdown b;
+  double queue_wait = 0.0;
+  double broadcast_wait = 0.0;
+  double transmit = 0.0;
+  double other = 0.0;
+  double response = 0.0;
+  for (const RequestSpan& s : spans) {
+    if (!s.Complete()) {
+      ++b.incomplete;
+      continue;
+    }
+    if (s.truncated) {
+      ++b.truncated;
+      continue;
+    }
+    ++b.spans;
+    switch (s.outcome) {
+      case SpanOutcome::kCacheHit:
+        ++b.hits;
+        break;
+      case SpanOutcome::kPullServed:
+        ++b.pull_served;
+        break;
+      case SpanOutcome::kSnooped:
+        ++b.snooped;
+        break;
+      case SpanOutcome::kPushServed:
+        ++b.push_served;
+        break;
+      case SpanOutcome::kIncomplete:
+        break;
+    }
+    if (s.coalesced) ++b.coalesced;
+    b.drops += s.drops;
+    b.retries += s.retries;
+    queue_wait += s.QueueWait();
+    broadcast_wait += s.BroadcastWait();
+    transmit += s.Transmit();
+    other += s.Other();
+    response += s.response;
+  }
+  if (b.spans > 0) {
+    const auto n = static_cast<double>(b.spans);
+    b.mean_queue_wait = queue_wait / n;
+    b.mean_broadcast_wait = broadcast_wait / n;
+    b.mean_transmit = transmit / n;
+    b.mean_other = other / n;
+    b.mean_response = response / n;
+  }
+  return b;
+}
+
+RequestSpan* SpanAssembler::PendingOrTruncated(const SpanRecord& record) {
+  const std::uint64_t key = Key(record.client, record.page);
+  const auto it = pending_.find(key);
+  if (it != pending_.end()) return &it->second;
+  if (!input_truncated_) {
+    ++orphans_;
+    return nullptr;
+  }
+  // The span's head fell off the ring: open a headless, truncated span so
+  // its remaining records still join each other (but never a later span).
+  RequestSpan span;
+  span.client = record.client;
+  span.page = record.page;
+  span.truncated = true;
+  return &pending_.emplace(key, span).first->second;
+}
+
+void SpanAssembler::CloseOnDelivery(RequestSpan* span,
+                                    const SpanRecord& record) {
+  span->delivery_time = record.time;
+  span->response = record.value;
+  const auto slot = last_slot_.find(record.page);
+  // The delivering slot's decision is one unit before delivery, and the
+  // request may land mid-transmission — so the slot may precede the request
+  // by up to one unit. Anything earlier is a stale broadcast of the same
+  // page and must not be blamed.
+  const bool slot_ok =
+      slot != last_slot_.end() && slot->second.time < record.time &&
+      (span->truncated ||
+       slot->second.time >= span->request_time - 1.0 - kTimeEps);
+  if (slot_ok) {
+    span->slot_time = slot->second.time;
+    span->outcome = slot->second.pull
+                        ? (span->submitted ? SpanOutcome::kPullServed
+                                           : SpanOutcome::kSnooped)
+                        : SpanOutcome::kPushServed;
+  } else {
+    // Slot record lost (tiny ring): complete but unattributable.
+    span->truncated = true;
+    span->outcome = span->submitted ? SpanOutcome::kPullServed
+                                    : SpanOutcome::kPushServed;
+  }
+  completed_.push_back(*span);
+  pending_.erase(Key(record.client, record.page));
+}
+
+void SpanAssembler::Feed(const SpanRecord& record) {
+  switch (record.event) {
+    case SpanEvent::kSlotPush:
+    case SpanEvent::kSlotPull:
+      last_slot_[record.page] =
+          SlotInfo{record.time, record.event == SpanEvent::kSlotPull};
+      return;
+    case SpanEvent::kSlotIdle:
+      return;
+    case SpanEvent::kRequest: {
+      const std::uint64_t key = Key(record.client, record.page);
+      const auto it = pending_.find(key);
+      if (it != pending_.end()) {
+        // A fresh request for a key with an open span: the old span's tail
+        // was lost. Close it incomplete rather than mis-joining.
+        it->second.truncated = true;
+        completed_.push_back(it->second);
+        pending_.erase(it);
+      }
+      RequestSpan span;
+      span.client = record.client;
+      span.page = record.page;
+      span.request_time = record.time;
+      pending_.emplace(key, span);
+      return;
+    }
+    case SpanEvent::kCacheHit: {
+      RequestSpan* span = PendingOrTruncated(record);
+      if (span == nullptr) return;
+      span->outcome = SpanOutcome::kCacheHit;
+      span->delivery_time = record.time;
+      span->response = 0.0;
+      completed_.push_back(*span);
+      pending_.erase(Key(record.client, record.page));
+      return;
+    }
+    case SpanEvent::kCacheMiss: {
+      RequestSpan* span = PendingOrTruncated(record);
+      if (span != nullptr && span->request_time < 0.0) {
+        span->request_time = record.time;  // Best effort for headless spans.
+      }
+      return;
+    }
+    case SpanEvent::kSubmitFiltered: {
+      RequestSpan* span = PendingOrTruncated(record);
+      if (span != nullptr) span->filtered = true;
+      return;
+    }
+    case SpanEvent::kSubmitAccepted:
+    case SpanEvent::kSubmitCoalesced:
+    case SpanEvent::kSubmitDropped: {
+      const auto it = pending_.find(Key(record.client, record.page));
+      if (it == pending_.end()) {
+        // Load from a client that emits no request records (the virtual
+        // client): tallied, never joined.
+        ++unmatched_submits_;
+        return;
+      }
+      RequestSpan* span = &it->second;
+      if (!span->submitted) {
+        span->submitted = true;
+        span->submit_time = record.time;
+        span->coalesced = record.event == SpanEvent::kSubmitCoalesced;
+      }
+      if (record.event == SpanEvent::kSubmitDropped) ++span->drops;
+      return;
+    }
+    case SpanEvent::kRetry: {
+      RequestSpan* span = PendingOrTruncated(record);
+      if (span != nullptr) ++span->retries;
+      return;
+    }
+    case SpanEvent::kDelivery: {
+      RequestSpan* span = PendingOrTruncated(record);
+      if (span != nullptr) CloseOnDelivery(span, record);
+      return;
+    }
+    case SpanEvent::kInvalidate: {
+      // Invalidations hit cached copies, not necessarily open spans; only
+      // annotate a span that happens to be waiting on the page.
+      const auto it = pending_.find(Key(record.client, record.page));
+      if (it != pending_.end()) it->second.invalidated = true;
+      return;
+    }
+    case SpanEvent::kMaxValue:
+      return;
+  }
+}
+
+std::vector<RequestSpan> SpanAssembler::Finish() {
+  std::vector<RequestSpan> out = std::move(completed_);
+  std::vector<RequestSpan> open;
+  open.reserve(pending_.size());
+  for (auto& [key, span] : pending_) {
+    (void)key;
+    open.push_back(span);
+  }
+  std::sort(open.begin(), open.end(),
+            [](const RequestSpan& a, const RequestSpan& b) {
+              if (a.request_time != b.request_time) {
+                return a.request_time < b.request_time;
+              }
+              return a.client != b.client ? a.client < b.client
+                                          : a.page < b.page;
+            });
+  out.insert(out.end(), open.begin(), open.end());
+  pending_.clear();
+  return out;
+}
+
+}  // namespace bdisk::obs

@@ -1,0 +1,144 @@
+#ifndef BDISK_OBS_SPAN_ASSEMBLER_H_
+#define BDISK_OBS_SPAN_ASSEMBLER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/trace_sink.h"
+#include "sim/types.h"
+
+namespace bdisk::obs {
+
+/// How a request span ended.
+enum class SpanOutcome : std::uint8_t {
+  kCacheHit = 0,  // Served instantly from the client cache.
+  kPullServed,    // Delivered by a pull slot answering this client's submit.
+  kSnooped,       // Delivered by a pull slot another client pulled.
+  kPushServed,    // Delivered by a scheduled (push) slot.
+  kIncomplete,    // Still waiting when the trace ended.
+};
+
+const char* SpanOutcomeName(SpanOutcome outcome);
+
+/// One client access reconstructed from the flat trace, with its response
+/// time attributed to phases. Timeline invariants the simulator guarantees:
+/// the request, miss, filter decision, and first submit share one timestamp
+/// (MakeRequest is atomic in simulated time), the delivering slot's decision
+/// is one broadcast unit before delivery, and retries land between request
+/// and delivery. Fields are -1 when the phase never happened.
+struct RequestSpan {
+  std::uint32_t client = kNoClient;
+  std::uint32_t page = kNoTracePage;
+  SpanOutcome outcome = SpanOutcome::kIncomplete;
+
+  sim::SimTime request_time = -1.0;
+  sim::SimTime submit_time = -1.0;    // First backchannel attempt.
+  sim::SimTime slot_time = -1.0;      // Delivering slot's decision time.
+  sim::SimTime delivery_time = -1.0;  // Hits: equals request_time.
+  double response = 0.0;              // Authoritative (delivery record's v).
+
+  bool submitted = false;   // Some backchannel attempt reached the server.
+  bool coalesced = false;   // First live attempt merged with a queued pull.
+  bool filtered = false;    // Threshold filter suppressed the initial pull.
+  bool invalidated = false; // An invalidation hit this page mid-span.
+  std::uint32_t drops = 0;  // Attempts lost to a full backchannel queue.
+  std::uint32_t retries = 0;
+
+  /// Head (or tail) lost to ring truncation: the span is counted but its
+  /// phases are excluded from attribution, never guessed.
+  bool truncated = false;
+
+  bool Complete() const { return outcome != SpanOutcome::kIncomplete; }
+
+  /// Phase durations; each is 0 when the phase does not apply, and
+  /// QueueWait() + BroadcastWait() + Transmit() + Other() == response.
+  double QueueWait() const;      // submit -> delivering pull slot.
+  double BroadcastWait() const;  // request -> delivering push/snooped slot.
+  double Transmit() const;       // slot decision (or request, if the page
+                                 // was already on air) -> delivery.
+  double Other() const;          // Residual (0 in a well-formed trace).
+};
+
+/// Phase means over complete, non-truncated spans (cache hits included at
+/// zero), so the means sum to the mean response over exactly those spans.
+struct PhaseBreakdown {
+  std::uint64_t spans = 0;  // Complete, non-truncated (the denominator).
+  std::uint64_t hits = 0;
+  std::uint64_t pull_served = 0;
+  std::uint64_t snooped = 0;
+  std::uint64_t push_served = 0;
+  std::uint64_t truncated = 0;
+  std::uint64_t incomplete = 0;
+  std::uint64_t coalesced = 0;  // Spans whose first live submit coalesced.
+  std::uint64_t drops = 0;      // Total dropped submits across spans.
+  std::uint64_t retries = 0;
+  double mean_queue_wait = 0.0;
+  double mean_broadcast_wait = 0.0;
+  double mean_transmit = 0.0;
+  double mean_other = 0.0;
+  double mean_response = 0.0;  // == sum of the four phase means.
+};
+
+PhaseBreakdown Attribute(const std::vector<RequestSpan>& spans);
+
+/// Joins the flat, timestamp-ordered TraceSink stream back into per-request
+/// spans keyed by (client, page).
+///
+/// Only a `request` record opens a span; client-side records join the
+/// pending span for their key, and server-side submit records join only
+/// when such a span exists (otherwise they are load from an untraced
+/// client — the virtual client — and are tallied, not joined). Slot
+/// records are kept per page so a delivery can name its delivering slot.
+///
+/// Truncation: when the input is known to have lost its oldest records
+/// (`input_truncated`, i.e. TraceSink::DroppedEvents() > 0 or a clipped
+/// file), headless records open spans flagged `truncated` instead of being
+/// counted as anomalies. A truncated span is never mis-joined with a later
+/// request: a fresh `request` for the same key closes it first.
+class SpanAssembler {
+ public:
+  explicit SpanAssembler(bool input_truncated = false)
+      : input_truncated_(input_truncated) {}
+
+  void Feed(const SpanRecord& record);
+  void FeedAll(const std::vector<SpanRecord>& records) {
+    for (const SpanRecord& r : records) Feed(r);
+  }
+
+  /// Closes still-pending spans as kIncomplete and returns every span:
+  /// completed ones in completion order, then incomplete ones in request
+  /// order. The assembler is spent afterwards.
+  std::vector<RequestSpan> Finish();
+
+  /// Client-side records that matched no pending span in an untruncated
+  /// stream (should be 0; nonzero means the trace itself is inconsistent).
+  std::uint64_t OrphanRecords() const { return orphans_; }
+
+  /// Server-side submit records with no span to join (virtual-client load).
+  std::uint64_t UnmatchedSubmits() const { return unmatched_submits_; }
+
+ private:
+  struct SlotInfo {
+    sim::SimTime time = -1.0;
+    bool pull = false;
+  };
+
+  static std::uint64_t Key(std::uint32_t client, std::uint32_t page) {
+    return (static_cast<std::uint64_t>(client) << 32) | page;
+  }
+
+  RequestSpan* PendingOrTruncated(const SpanRecord& record);
+  void CloseOnDelivery(RequestSpan* span, const SpanRecord& record);
+
+  bool input_truncated_;
+  std::unordered_map<std::uint64_t, RequestSpan> pending_;
+  std::unordered_map<std::uint32_t, SlotInfo> last_slot_;
+  std::vector<RequestSpan> completed_;
+  std::uint64_t orphans_ = 0;
+  std::uint64_t unmatched_submits_ = 0;
+};
+
+}  // namespace bdisk::obs
+
+#endif  // BDISK_OBS_SPAN_ASSEMBLER_H_

@@ -40,6 +40,33 @@ const char* SpanEventName(SpanEvent event) {
   return "?";
 }
 
+SpanEvent SpanEventFromName(const std::string& name) {
+  for (std::size_t i = 0; i < static_cast<std::size_t>(SpanEvent::kMaxValue);
+       ++i) {
+    const auto event = static_cast<SpanEvent>(i);
+    if (name == SpanEventName(event)) return event;
+  }
+  return SpanEvent::kMaxValue;
+}
+
+bool ParseTraceJsonlLine(const std::string& line, SpanRecord* out) {
+  char name[32];
+  long long client = 0;
+  long long page = 0;
+  const int matched = std::sscanf(
+      line.c_str(),
+      " { \"t\" : %lf , \"ev\" : \"%31[^\"]\" , \"client\" : %lld , "
+      "\"page\" : %lld , \"v\" : %lf }",
+      &out->time, name, &client, &page, &out->value);
+  if (matched != 5) return false;
+  out->event = SpanEventFromName(name);
+  if (out->event == SpanEvent::kMaxValue) return false;
+  out->client =
+      client < 0 ? kNoClient : static_cast<std::uint32_t>(client);
+  out->page = page < 0 ? kNoTracePage : static_cast<std::uint32_t>(page);
+  return true;
+}
+
 TraceSink::TraceSink(std::size_t capacity) : capacity_(capacity) {
   BDISK_CHECK_MSG(capacity >= 1, "trace capacity must be positive");
   ring_.reserve(capacity);

@@ -43,6 +43,9 @@ enum class SpanEvent : std::uint8_t {
 /// Human-readable record kind name (stable, used in JSONL/CSV output).
 const char* SpanEventName(SpanEvent event);
 
+/// Inverse of SpanEventName; kMaxValue for an unknown name.
+SpanEvent SpanEventFromName(const std::string& name);
+
 /// One trace record. Slot records use the decision time: the page occupies
 /// the frontchannel over [time, time+1) and is delivered at time+1.
 struct SpanRecord {
@@ -52,6 +55,12 @@ struct SpanRecord {
   std::uint32_t page;    // kNoTracePage for idle slots.
   double value;          // Event-specific payload (delivery: response time).
 };
+
+/// Parses one ToJsonl() line back into a record (the -1 sentinels map back
+/// to kNoClient/kNoTracePage). Returns false on malformed input or an
+/// unknown event name. trace_report and the round-trip tests share this, so
+/// the exporter and the parser cannot drift.
+bool ParseTraceJsonlLine(const std::string& line, SpanRecord* out);
 
 /// A bounded, system-wide structured trace.
 ///

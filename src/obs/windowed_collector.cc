@@ -1,0 +1,108 @@
+#include "obs/windowed_collector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/flight_recorder.h"
+#include "sim/check.h"
+
+namespace bdisk::obs {
+
+namespace {
+
+double Frac(std::uint64_t part, std::uint64_t whole) {
+  return whole == 0 ? 0.0
+                    : static_cast<double>(part) / static_cast<double>(whole);
+}
+
+}  // namespace
+
+double WindowStats::PushFrac() const { return Frac(slots_push, Slots()); }
+double WindowStats::PullFrac() const { return Frac(slots_pull, Slots()); }
+double WindowStats::IdleFrac() const { return Frac(slots_idle, Slots()); }
+double WindowStats::DropRate() const { return Frac(dropped, submits); }
+
+WindowedCollector::WindowedCollector(double window, std::size_t capacity,
+                                     double response_hi)
+    : window_(window),
+      capacity_(capacity),
+      response_hist_(0.0, response_hi, 256) {
+  BDISK_CHECK_MSG(window > 0.0, "telemetry window width must be positive");
+  BDISK_CHECK_MSG(capacity >= 1, "telemetry window capacity must be >= 1");
+}
+
+void WindowedCollector::CloseCurrent() {
+  current_.responses = response_hist_.Count();
+  if (current_.responses > 0) {
+    current_.response_mean = response_hist_.Mean();
+    current_.response_p50 = response_hist_.Percentile(0.50);
+    current_.response_p99 = response_hist_.Percentile(0.99);
+    current_.response_max = response_hist_.Max();
+  }
+  ring_.push_back(current_);
+  ++windows_completed_;
+  if (ring_.size() > capacity_) {
+    ring_.pop_front();
+    ++windows_evicted_;
+  }
+  if (recorder_ != nullptr) recorder_->OnWindow(ring_.back());
+  response_hist_.Reset();  // In place — no allocation per window.
+}
+
+void WindowedCollector::RollSlow(sim::SimTime now) {
+  if (!open_) {
+    // Anchor the window grid at multiples of the width so window edges are
+    // config-derived, not dependent on when the first event lands.
+    const double base = std::floor(now / window_) * window_;
+    current_ = WindowStats{};
+    current_.start = base;
+    current_.end = base + window_;
+    open_ = true;
+    return;
+  }
+  while (now >= current_.end) {
+    const sim::SimTime next_start = current_.end;
+    CloseCurrent();
+    current_ = WindowStats{};
+    current_.start = next_start;
+    current_.end = next_start + window_;
+  }
+}
+
+void WindowedCollector::Finish() {
+  if (!open_) return;
+  CloseCurrent();
+  open_ = false;
+}
+
+std::vector<WindowStats> WindowedCollector::Windows() const {
+  return std::vector<WindowStats>(ring_.begin(), ring_.end());
+}
+
+void WindowedCollector::PublishTo(MetricsRegistry* registry) const {
+  registry->GetGauge("window.width")->Set(window_);
+  registry->GetGauge("window.count")
+      ->Set(static_cast<double>(ring_.size()));
+  registry->GetGauge("window.evicted")
+      ->Set(static_cast<double>(windows_evicted_));
+  sim::TimeSeries* queue_depth = registry->GetTimeSeries("window.queue_depth");
+  sim::TimeSeries* queue_max = registry->GetTimeSeries("window.queue_max");
+  sim::TimeSeries* drop_rate = registry->GetTimeSeries("window.drop_rate");
+  sim::TimeSeries* push_frac = registry->GetTimeSeries("window.push_frac");
+  sim::TimeSeries* pull_frac = registry->GetTimeSeries("window.pull_frac");
+  sim::TimeSeries* idle_frac = registry->GetTimeSeries("window.idle_frac");
+  sim::TimeSeries* p50 = registry->GetTimeSeries("window.response_p50");
+  sim::TimeSeries* p99 = registry->GetTimeSeries("window.response_p99");
+  for (const WindowStats& w : ring_) {
+    queue_depth->Add(w.start, w.queue_depth);
+    queue_max->Add(w.start, w.queue_depth_max);
+    drop_rate->Add(w.start, w.DropRate());
+    push_frac->Add(w.start, w.PushFrac());
+    pull_frac->Add(w.start, w.PullFrac());
+    idle_frac->Add(w.start, w.IdleFrac());
+    p50->Add(w.start, w.response_p50);
+    p99->Add(w.start, w.response_p99);
+  }
+}
+
+}  // namespace bdisk::obs

@@ -1,0 +1,158 @@
+#ifndef BDISK_OBS_WINDOWED_COLLECTOR_H_
+#define BDISK_OBS_WINDOWED_COLLECTOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "sim/types.h"
+
+namespace bdisk::obs {
+
+class FlightRecorder;
+
+/// What a slot decision carried (mirrors the server's MUX outcome without
+/// making obs depend on server types).
+enum class SlotSample : std::uint8_t { kPush = 0, kPull, kIdle };
+
+/// What happened to one backchannel submit.
+enum class SubmitSample : std::uint8_t { kAccepted = 0, kCoalesced, kDropped };
+
+/// Aggregates over one telemetry window [start, end).
+struct WindowStats {
+  sim::SimTime start = 0.0;
+  sim::SimTime end = 0.0;
+
+  std::uint64_t slots_push = 0;
+  std::uint64_t slots_pull = 0;
+  std::uint64_t slots_idle = 0;
+
+  std::uint64_t submits = 0;  // accepted + coalesced + dropped
+  std::uint64_t accepted = 0;
+  std::uint64_t coalesced = 0;
+  std::uint64_t dropped = 0;
+
+  std::uint32_t queue_depth = 0;      // Last observed in the window.
+  std::uint32_t queue_depth_max = 0;  // High-water within the window.
+
+  std::uint64_t responses = 0;  // Completed accesses (hits included).
+  double response_mean = 0.0;
+  double response_p50 = 0.0;
+  double response_p99 = 0.0;
+  double response_max = 0.0;
+
+  std::uint64_t Slots() const { return slots_push + slots_pull + slots_idle; }
+  double PushFrac() const;
+  double PullFrac() const;
+  double IdleFrac() const;
+  double DropRate() const;  // dropped / submits, 0 when no submits.
+};
+
+/// Bounded per-window time-series of queue depth, drop rate, slot split,
+/// and response percentiles, fed from the same instrumentation points as
+/// the registry (null-pointer-check attach discipline, DESIGN.md §6).
+///
+/// The collector is purely reactive: it never consumes randomness and never
+/// schedules events, so attaching it leaves the trajectory bit-identical.
+/// Windows advance only when fed — event times are non-decreasing because
+/// every emission site sits behind a lazy-source drain barrier — and the
+/// per-window response histogram is Reset() in place (no allocation) at
+/// each boundary. At most `capacity` completed windows are retained,
+/// oldest evicted first.
+class WindowedCollector {
+ public:
+  /// `window` is the width in broadcast units, `response_hi` the upper
+  /// bound of the per-window response histogram (percentile resolution).
+  explicit WindowedCollector(double window = 100.0,
+                             std::size_t capacity = 4096,
+                             double response_hi = 4096.0);
+
+  /// Forward completed windows to `recorder` for trigger evaluation
+  /// (null detaches).
+  void SetFlightRecorder(FlightRecorder* recorder) { recorder_ = recorder; }
+
+  /// Instrumentation feeds (call sites hold a null-checked raw pointer).
+  /// Inline on purpose: these run once per slot / submit / access, and the
+  /// common case is "window still open" — one compare, a few increments.
+  /// Window rollover takes the out-of-line slow path.
+  void OnSlot(sim::SimTime now, SlotSample kind, std::uint32_t queue_depth) {
+    Roll(now);
+    switch (kind) {
+      case SlotSample::kPush:
+        ++current_.slots_push;
+        break;
+      case SlotSample::kPull:
+        ++current_.slots_pull;
+        break;
+      case SlotSample::kIdle:
+        ++current_.slots_idle;
+        break;
+    }
+    current_.queue_depth = queue_depth;
+    if (queue_depth > current_.queue_depth_max) {
+      current_.queue_depth_max = queue_depth;
+    }
+  }
+  void OnSubmit(sim::SimTime at, SubmitSample outcome,
+                std::uint32_t queue_depth) {
+    Roll(at);
+    ++current_.submits;
+    switch (outcome) {
+      case SubmitSample::kAccepted:
+        ++current_.accepted;
+        break;
+      case SubmitSample::kCoalesced:
+        ++current_.coalesced;
+        break;
+      case SubmitSample::kDropped:
+        ++current_.dropped;
+        break;
+    }
+    current_.queue_depth = queue_depth;
+    if (queue_depth > current_.queue_depth_max) {
+      current_.queue_depth_max = queue_depth;
+    }
+  }
+  void OnResponse(sim::SimTime now, double response_time) {
+    Roll(now);
+    response_hist_.Add(response_time);
+  }
+
+  /// Closes the in-progress window (if it saw any event). Call at run end;
+  /// feeding after Finish() starts a fresh window.
+  void Finish();
+
+  /// Completed windows, oldest first.
+  std::vector<WindowStats> Windows() const;
+
+  double WindowWidth() const { return window_; }
+  std::uint64_t WindowsCompleted() const { return windows_completed_; }
+  std::uint64_t WindowsEvicted() const { return windows_evicted_; }
+
+  /// Publishes the retained windows as "window.*" time-series (sample time
+  /// = window start) plus "window.width"/"window.count" gauges.
+  void PublishTo(MetricsRegistry* registry) const;
+
+ private:
+  void Roll(sim::SimTime now) {
+    if (open_ && now < current_.end) return;
+    RollSlow(now);
+  }
+  void RollSlow(sim::SimTime now);
+  void CloseCurrent();
+
+  double window_;
+  std::size_t capacity_;
+  bool open_ = false;  // current_ has a valid [start, end).
+  WindowStats current_;
+  LatencyHistogram response_hist_;
+  std::deque<WindowStats> ring_;
+  std::uint64_t windows_completed_ = 0;
+  std::uint64_t windows_evicted_ = 0;
+  FlightRecorder* recorder_ = nullptr;
+};
+
+}  // namespace bdisk::obs
+
+#endif  // BDISK_OBS_WINDOWED_COLLECTOR_H_

@@ -92,6 +92,15 @@ SubmitResult BroadcastServer::SubmitRequestAt(PageId page,
                    : obs::SpanEvent::kSubmitDropped);
     sink_->Record(at, ev, client, page, static_cast<double>(queue_.Size()));
   }
+  if (collector_ != nullptr) {
+    const obs::SubmitSample sample =
+        result == SubmitResult::kAccepted
+            ? obs::SubmitSample::kAccepted
+            : (result == SubmitResult::kCoalesced
+                   ? obs::SubmitSample::kCoalesced
+                   : obs::SubmitSample::kDropped);
+    collector_->OnSubmit(at, sample, queue_.Size());
+  }
   return result;
 }
 
@@ -160,6 +169,14 @@ void BroadcastServer::ChooseNextSlot() {
     sink_->Record(simulator_->Now(), ev, obs::kNoClient,
                   in_flight_page_ == broadcast::kNoPage ? obs::kNoTracePage
                                                         : in_flight_page_);
+  }
+  if (collector_ != nullptr) {
+    const obs::SlotSample sample =
+        in_flight_kind_ == SlotKind::kPull
+            ? obs::SlotSample::kPull
+            : (in_flight_kind_ == SlotKind::kPush ? obs::SlotSample::kPush
+                                                  : obs::SlotSample::kIdle);
+    collector_->OnSlot(simulator_->Now(), sample, queue_.Size());
   }
   if (ts_push_frac_ != nullptr) SampleSlotWindow();
 }

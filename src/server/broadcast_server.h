@@ -11,6 +11,7 @@
 #include "broadcast/schedule_cursor.h"
 #include "obs/metrics.h"
 #include "obs/trace_sink.h"
+#include "obs/windowed_collector.h"
 #include "server/pull_queue.h"
 #include "sim/rng.h"
 #include "sim/simulator.h"
@@ -98,6 +99,14 @@ class BroadcastServer : public sim::EventHandler {
   /// and every submit outcome, tagged with the submitting client.
   void SetTraceSink(obs::TraceSink* sink) { sink_ = sink; }
 
+  /// Attaches the windowed telemetry collector (not owned; null detaches).
+  /// Every slot decision and submit outcome is fed with its own timestamp
+  /// and the queue depth after it. Same cost discipline as the trace sink:
+  /// one pointer check when detached, no randomness, no events.
+  void SetWindowedCollector(obs::WindowedCollector* collector) {
+    collector_ = collector;
+  }
+
   /// Attaches a metrics registry (not owned). Resolves the server's
   /// time-series once — slot-mix fractions and queue depth, sampled every
   /// kMetricsWindowSlots slots — so the slot loop pays one pointer check
@@ -161,6 +170,7 @@ class BroadcastServer : public sim::EventHandler {
   std::vector<BroadcastListener*> listeners_;
   sim::TraceRecorder* trace_ = nullptr;
   obs::TraceSink* sink_ = nullptr;
+  obs::WindowedCollector* collector_ = nullptr;
 
   PageId in_flight_page_ = broadcast::kNoPage;
   SlotKind in_flight_kind_ = SlotKind::kIdle;

@@ -21,6 +21,11 @@ void UpdateGenerator::AddListener(InvalidationListener* listener) {
 }
 
 void UpdateGenerator::OnWakeup() {
+  // Barrier: listeners react to the invalidation (and may emit trace
+  // records at Now()), so every fused arrival strictly before this update
+  // must land first — draining inside a listener would let an earlier
+  // listener's records jump ahead of older fused-arrival records.
+  simulator()->CatchUpLazySources();
   const auto page = static_cast<broadcast::PageId>(sampler_.Sample(rng_));
   ++versions_[page];
   ++updates_;

@@ -30,6 +30,13 @@ void Histogram::Add(double x) {
   ++counts_[idx];
 }
 
+void Histogram::Reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  underflow_ = 0;
+  overflow_ = 0;
+  count_ = 0;
+}
+
 double Histogram::BucketLow(std::size_t i) const {
   return lo_ + static_cast<double>(i) * width_;
 }

@@ -19,6 +19,10 @@ class Histogram {
   /// Records one observation.
   void Add(double x);
 
+  /// Forgets all observations, keeping the bucket shape and the existing
+  /// counts buffer (no allocation — safe on phase boundaries inside runs).
+  void Reset();
+
   /// Total observations, including under/overflow.
   std::uint64_t Count() const { return count_; }
 

@@ -116,5 +116,48 @@ TEST(ConfigIoTest, DefaultConfigRoundTripsValid) {
   EXPECT_TRUE(parsed.Validate().empty());
 }
 
+TEST(ConfigIoTest, ObservabilityKeysApplyAndRoundTrip) {
+  SystemConfig config;
+  EXPECT_EQ(ApplyConfigOption("obs_window", "250", &config), "");
+  EXPECT_EQ(config.obs_window, 250.0);
+  EXPECT_EQ(ApplyConfigOption("flight_recorder",
+                              "drop_rate>0.5,queue_depth>9", &config),
+            "");
+  EXPECT_EQ(config.flight_recorder, "drop_rate>0.5,queue_depth>9");
+  // "off" (and empty) disarm an earlier setting.
+  EXPECT_EQ(ApplyConfigOption("flight_recorder", "off", &config), "");
+  EXPECT_TRUE(config.flight_recorder.empty());
+
+  config.flight_recorder = "p99>120";
+  SystemConfig parsed;
+  ASSERT_EQ(ParseConfigText(ConfigToText(config), &parsed), "");
+  EXPECT_EQ(parsed.obs_window, 250.0);
+  EXPECT_EQ(parsed.flight_recorder, "p99>120");
+}
+
+TEST(ConfigIoTest, ObservabilityKeysRejectBadValuesWithSpecificErrors) {
+  SystemConfig config;
+  EXPECT_EQ(ApplyConfigOption("obs_window", "0", &config),
+            "obs_window must be positive");
+  EXPECT_EQ(ApplyConfigOption("obs_window", "-5", &config),
+            "obs_window must be positive");
+  EXPECT_EQ(ApplyConfigOption("obs_window", "soon", &config),
+            "invalid value for obs_window");
+  // The trigger grammar's own diagnostics surface through config parsing.
+  EXPECT_EQ(ApplyConfigOption("flight_recorder", "bogus>1", &config),
+            "flight_recorder: unknown trigger \"bogus\" "
+            "(know drop_rate, p99, queue_depth)");
+  EXPECT_EQ(ApplyConfigOption("flight_recorder", "p99=3", &config),
+            "flight_recorder: trigger \"p99=3\" is missing '>' "
+            "(want name>threshold)");
+  // A bad spec never half-applies.
+  EXPECT_TRUE(config.flight_recorder.empty());
+  // Validate() re-checks a directly poked config.
+  config.flight_recorder = "p99>nope";
+  EXPECT_EQ(config.Validate(),
+            "flight_recorder: trigger \"p99\" has unparsable threshold "
+            "\"nope\"");
+}
+
 }  // namespace
 }  // namespace bdisk::core

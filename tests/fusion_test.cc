@@ -5,6 +5,7 @@
 // identical RunResult trajectory, with only the heap-event accounting
 // moved into the fused-arrival counters.
 
+#include <algorithm>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -13,6 +14,7 @@
 
 #include "core/experiment.h"
 #include "core/system.h"
+#include "obs/trace_sink.h"
 #include "sim/lazy_source.h"
 #include "sim/simulator.h"
 
@@ -196,6 +198,69 @@ TEST(FusionTest, FusedMatchesUnfusedWithNoiseAndPrefetch) {
   config.noise = 0.3;
   config.mc_prefetch = true;
   ExpectFusionInvariant(config);
+}
+
+// Trace-level pins for the same invariant: the span assembler relies on the
+// sink's record stream being globally timestamp-ordered, and fusion must
+// not reorder (or re-time) a single record.
+
+std::vector<obs::SpanRecord> TraceOfRun(core::SystemConfig config) {
+  core::SteadyStateProtocol protocol;
+  protocol.post_fill_accesses = 100;
+  protocol.min_measured_accesses = 500;
+  protocol.max_measured_accesses = 1500;
+  protocol.batch_size = 250;
+  protocol.tolerance = 0.1;
+
+  core::System system(config);
+  // Big enough that the updates-plus-VC-heavy run never wraps: the
+  // comparison below needs the complete stream, not the tail.
+  obs::TraceSink sink(1 << 21);
+  system.AttachTrace(&sink);
+  system.RunSteadyState(protocol);
+  EXPECT_EQ(sink.DroppedEvents(), 0U);
+  return sink.Events();
+}
+
+TEST(FusionTraceTest, TimestampsAreGloballyNonDecreasingUnderFusion) {
+  // Updates are the adversarial case: the update generator's wakeup must
+  // drain pending fused VC arrivals before invalidating MC cache entries,
+  // or those arrivals' records land after the invalidate with earlier
+  // timestamps.
+  core::SystemConfig config = SmallLoadedConfig(core::DeliveryMode::kIpp);
+  config.update_rate = 0.2;
+  config.vc_fusion = true;
+  const std::vector<obs::SpanRecord> events = TraceOfRun(config);
+  ASSERT_GT(events.size(), 0U);
+  EXPECT_GT(std::count_if(events.begin(), events.end(),
+                          [](const obs::SpanRecord& r) {
+                            return r.event == obs::SpanEvent::kInvalidate;
+                          }),
+            0);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    ASSERT_LE(events[i - 1].time, events[i].time)
+        << "record " << i << " (" << obs::SpanEventName(events[i].event)
+        << ") went back in time";
+  }
+}
+
+TEST(FusionTraceTest, FusedAndUnfusedRunsEmitIdenticalTraces) {
+  core::SystemConfig config = SmallLoadedConfig(core::DeliveryMode::kIpp);
+  config.update_rate = 0.2;
+
+  config.vc_fusion = true;
+  const std::vector<obs::SpanRecord> fused = TraceOfRun(config);
+  config.vc_fusion = false;
+  const std::vector<obs::SpanRecord> unfused = TraceOfRun(config);
+
+  ASSERT_EQ(fused.size(), unfused.size());
+  for (std::size_t i = 0; i < fused.size(); ++i) {
+    ASSERT_EQ(fused[i].time, unfused[i].time) << "record " << i;
+    ASSERT_EQ(fused[i].event, unfused[i].event) << "record " << i;
+    ASSERT_EQ(fused[i].client, unfused[i].client) << "record " << i;
+    ASSERT_EQ(fused[i].page, unfused[i].page) << "record " << i;
+    ASSERT_EQ(fused[i].value, unfused[i].value) << "record " << i;
+  }
 }
 
 }  // namespace

@@ -78,6 +78,23 @@ TEST(HistogramTest, QuantileEmptyReturnsLo) {
   EXPECT_EQ(h.Quantile(0.5), 0.0);
 }
 
+TEST(HistogramTest, ResetPreservesShapeAndReusesBuffer) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(-1.0);
+  h.Add(3.0);
+  h.Add(50.0);
+  h.Reset();
+  EXPECT_EQ(h.Count(), 0U);
+  EXPECT_EQ(h.Underflow(), 0U);
+  EXPECT_EQ(h.Overflow(), 0U);
+  // Shape survives: the same value lands in the same bucket as before.
+  EXPECT_EQ(h.NumBuckets(), 5U);
+  EXPECT_DOUBLE_EQ(h.BucketLow(1), 2.0);
+  h.Add(3.0);
+  EXPECT_EQ(h.BucketCount(1), 1U);
+  EXPECT_EQ(h.Count(), 1U);
+}
+
 TEST(HistogramTest, AsciiRenderingMentionsCounts) {
   Histogram h(0.0, 2.0, 2);
   h.Add(0.5);

@@ -50,6 +50,53 @@ TEST(JsonTest, NonFiniteDoublesBecomeNull) {
   EXPECT_EQ(w.str(), "[null,null]");
 }
 
+TEST(JsonParseTest, ParsesScalarsAndNesting) {
+  JsonValue v;
+  ASSERT_TRUE(ParseJson("{\"a\":1.5,\"b\":[true,null,\"x\\ny\"],\"c\":{}}",
+                        &v));
+  ASSERT_EQ(v.kind, JsonValue::Kind::kObject);
+  const JsonValue* a = v.Find("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->number, 1.5);
+  const JsonValue* b = v.Find("b");
+  ASSERT_NE(b, nullptr);
+  ASSERT_EQ(b->array.size(), 3U);
+  EXPECT_TRUE(b->array[0].boolean);
+  EXPECT_EQ(b->array[1].kind, JsonValue::Kind::kNull);
+  EXPECT_EQ(b->array[2].string, "x\ny");
+  EXPECT_EQ(v.Find("c")->kind, JsonValue::Kind::kObject);
+  EXPECT_EQ(v.Find("missing"), nullptr);
+}
+
+TEST(JsonParseTest, RoundTripsWriterOutput) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("neg");
+  w.Value(-2.25);
+  w.Key("esc");
+  w.Value(std::string("a\"b\\c"));
+  w.EndObject();
+  JsonValue v;
+  ASSERT_TRUE(ParseJson(w.str(), &v));
+  EXPECT_EQ(v.Find("neg")->number, -2.25);
+  EXPECT_EQ(v.Find("esc")->string, "a\"b\\c");
+}
+
+TEST(JsonParseTest, ReportsErrorsWithOffsets) {
+  JsonValue v;
+  std::string error;
+  EXPECT_FALSE(ParseJson("", &v, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(ParseJson("{\"a\":}", &v, &error));
+  EXPECT_NE(error.find("at byte"), std::string::npos);
+  EXPECT_FALSE(ParseJson("[1,2", &v, &error));
+  EXPECT_FALSE(ParseJson("{} trailing", &v, &error));
+  EXPECT_NE(error.find("trailing"), std::string::npos);
+  // Depth bomb: more nesting than the parser's recursion bound.
+  EXPECT_FALSE(ParseJson(std::string(100, '[') + std::string(100, ']'), &v,
+                         &error));
+}
+
 // --------------------------------------------------------------- Registry
 
 TEST(MetricsRegistryTest, ResolveOrCreateReturnsStablePointers) {
@@ -82,6 +129,25 @@ TEST(MetricsRegistryTest, LatencyHistogramPercentilesAndReset) {
   h.Reset();
   EXPECT_EQ(h.Count(), 0U);
   EXPECT_EQ(h.Percentile(0.5), 0.0);
+}
+
+TEST(MetricsRegistryTest, LatencyHistogramResetPreservesShape) {
+  // The windowed collector resets its per-window histogram in place every
+  // window; the bucket shape (and thus percentile resolution) must be
+  // exactly what the constructor set, forever.
+  LatencyHistogram h(0.0, 100.0, 100);
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 100; ++i) h.Add(i + 0.5);
+    EXPECT_EQ(h.Count(), 100U);
+    EXPECT_NEAR(h.Percentile(0.5), 50.0, 1.5);
+    EXPECT_NEAR(h.Percentile(0.99), 99.0, 1.5);
+    EXPECT_EQ(h.histogram().NumBuckets(), 100U);
+    EXPECT_EQ(h.histogram().Underflow(), 0U);
+    EXPECT_EQ(h.histogram().Overflow(), 0U);
+    h.Reset();
+    EXPECT_EQ(h.Count(), 0U);
+    EXPECT_EQ(h.histogram().NumBuckets(), 100U);
+  }
 }
 
 TEST(MetricsRegistryTest, ToJsonCarriesEverySection) {
@@ -131,6 +197,67 @@ TEST(TraceSinkTest, JsonlUsesSignedSentinels) {
             std::string::npos);
   EXPECT_NE(jsonl.find("\"ev\":\"slot_idle\",\"client\":-1,\"page\":-1"),
             std::string::npos);
+}
+
+TEST(TraceSinkTest, WrapKeepsOldestFirstOrder) {
+  TraceSink sink(4);
+  for (std::uint32_t i = 0; i < 11; ++i) {
+    sink.Record(static_cast<double>(i), SpanEvent::kRequest,
+                kMeasuredClientId, i);
+  }
+  // 11 records through a 4-slot ring: exactly the last 4 survive, oldest
+  // first, with strictly increasing timestamps across the wrap point.
+  const std::vector<SpanRecord> events = sink.Events();
+  ASSERT_EQ(events.size(), 4U);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].page, 7 + i);
+    EXPECT_DOUBLE_EQ(events[i].time, 7.0 + i);
+  }
+  EXPECT_EQ(sink.DroppedEvents(), 7U);
+}
+
+TEST(TraceSinkTest, JsonlRoundTripsEveryEventKind) {
+  TraceSink sink;
+  const auto kinds = static_cast<std::uint8_t>(SpanEvent::kMaxValue);
+  for (std::uint8_t k = 0; k < kinds; ++k) {
+    const auto event = static_cast<SpanEvent>(k);
+    // Exercise the sentinels on the slot/idle kinds, real ids elsewhere.
+    const bool server_side = event == SpanEvent::kSlotIdle;
+    sink.Record(0.125 * (k + 1), event,
+                server_side ? kNoClient : kMeasuredClientId,
+                server_side ? kNoTracePage : 40U + k, 0.5 * k);
+  }
+  const std::string jsonl = sink.ToJsonl();
+  std::vector<SpanRecord> parsed;
+  std::size_t start = 0;
+  while (start < jsonl.size()) {
+    std::size_t end = jsonl.find('\n', start);
+    if (end == std::string::npos) end = jsonl.size();
+    SpanRecord record{};
+    ASSERT_TRUE(
+        ParseTraceJsonlLine(jsonl.substr(start, end - start), &record))
+        << jsonl.substr(start, end - start);
+    parsed.push_back(record);
+    start = end + 1;
+  }
+  const std::vector<SpanRecord> original = sink.Events();
+  ASSERT_EQ(parsed.size(), original.size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_EQ(parsed[i].event, original[i].event);
+    EXPECT_EQ(parsed[i].client, original[i].client);
+    EXPECT_EQ(parsed[i].page, original[i].page);
+    EXPECT_DOUBLE_EQ(parsed[i].time, original[i].time);
+    EXPECT_DOUBLE_EQ(parsed[i].value, original[i].value);
+  }
+}
+
+TEST(TraceSinkTest, ParseRejectsMalformedLines) {
+  SpanRecord record{};
+  EXPECT_FALSE(ParseTraceJsonlLine("", &record));
+  EXPECT_FALSE(ParseTraceJsonlLine("not json", &record));
+  EXPECT_FALSE(ParseTraceJsonlLine(
+      "{\"t\":1.000,\"ev\":\"bogus\",\"client\":0,\"page\":1,\"v\":0}",
+      &record));
 }
 
 TEST(TraceSinkTest, CsvHasHeaderRow) {

@@ -1,0 +1,349 @@
+#include "obs/span_assembler.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "core/system.h"
+#include "obs/trace_sink.h"
+
+namespace bdisk::obs {
+namespace {
+
+// Shorthand for scripting record streams by hand.
+SpanRecord R(double t, SpanEvent ev, std::uint32_t client, std::uint32_t page,
+             double v = 0.0) {
+  return SpanRecord{t, ev, client, page, v};
+}
+
+constexpr std::uint32_t kMc = kMeasuredClientId;
+
+// ------------------------------------------------------- scripted streams
+
+TEST(SpanAssemblerTest, PullServedSpanCarriesPhases) {
+  SpanAssembler assembler;
+  assembler.FeedAll({
+      R(10.0, SpanEvent::kRequest, kMc, 7),
+      R(10.0, SpanEvent::kCacheMiss, kMc, 7),
+      R(10.0, SpanEvent::kSubmitAccepted, kMc, 7),
+      R(14.0, SpanEvent::kSlotPull, kNoClient, 7),
+      R(15.0, SpanEvent::kDelivery, kMc, 7, 5.0),
+  });
+  const std::vector<RequestSpan> spans = assembler.Finish();
+  ASSERT_EQ(spans.size(), 1U);
+  const RequestSpan& s = spans[0];
+  EXPECT_EQ(s.outcome, SpanOutcome::kPullServed);
+  EXPECT_TRUE(s.submitted);
+  EXPECT_FALSE(s.truncated);
+  EXPECT_DOUBLE_EQ(s.QueueWait(), 4.0);   // submit 10 -> slot 14.
+  EXPECT_DOUBLE_EQ(s.BroadcastWait(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Transmit(), 1.0);    // slot 14 -> delivery 15.
+  EXPECT_DOUBLE_EQ(s.Other(), 0.0);
+  EXPECT_DOUBLE_EQ(s.QueueWait() + s.BroadcastWait() + s.Transmit() + s.Other(),
+                   s.response);
+  EXPECT_EQ(assembler.OrphanRecords(), 0U);
+}
+
+TEST(SpanAssemblerTest, SnoopedAndPushServedUseBroadcastWait) {
+  SpanAssembler assembler;
+  assembler.FeedAll({
+      // Filtered request served by another client's pull slot: snooped.
+      R(10.0, SpanEvent::kRequest, kMc, 3),
+      R(10.0, SpanEvent::kCacheMiss, kMc, 3),
+      R(10.0, SpanEvent::kSubmitFiltered, kMc, 3),
+      R(12.0, SpanEvent::kSlotPull, kNoClient, 3),
+      R(13.0, SpanEvent::kDelivery, kMc, 3, 3.0),
+      // Filtered request served by the push program.
+      R(20.0, SpanEvent::kRequest, kMc, 4),
+      R(20.0, SpanEvent::kCacheMiss, kMc, 4),
+      R(20.0, SpanEvent::kSubmitFiltered, kMc, 4),
+      R(25.0, SpanEvent::kSlotPush, kNoClient, 4),
+      R(26.0, SpanEvent::kDelivery, kMc, 4, 6.0),
+  });
+  const std::vector<RequestSpan> spans = assembler.Finish();
+  ASSERT_EQ(spans.size(), 2U);
+  EXPECT_EQ(spans[0].outcome, SpanOutcome::kSnooped);
+  EXPECT_TRUE(spans[0].filtered);
+  EXPECT_DOUBLE_EQ(spans[0].BroadcastWait(), 2.0);
+  EXPECT_DOUBLE_EQ(spans[0].QueueWait(), 0.0);
+  EXPECT_EQ(spans[1].outcome, SpanOutcome::kPushServed);
+  EXPECT_DOUBLE_EQ(spans[1].BroadcastWait(), 5.0);
+  EXPECT_DOUBLE_EQ(spans[1].Transmit(), 1.0);
+  EXPECT_DOUBLE_EQ(spans[1].Other(), 0.0);
+}
+
+TEST(SpanAssemblerTest, CacheHitClosesAtZeroResponse) {
+  SpanAssembler assembler;
+  assembler.FeedAll({
+      R(5.0, SpanEvent::kRequest, kMc, 9),
+      R(5.0, SpanEvent::kCacheHit, kMc, 9),
+  });
+  const std::vector<RequestSpan> spans = assembler.Finish();
+  ASSERT_EQ(spans.size(), 1U);
+  EXPECT_EQ(spans[0].outcome, SpanOutcome::kCacheHit);
+  EXPECT_DOUBLE_EQ(spans[0].response, 0.0);
+  EXPECT_DOUBLE_EQ(spans[0].delivery_time, 5.0);
+}
+
+TEST(SpanAssemblerTest, CoalescedDroppedAndRetrySubmitsAnnotateTheSpan) {
+  SpanAssembler assembler;
+  assembler.FeedAll({
+      // First attempt coalesces into a queued pull from another client.
+      R(10.0, SpanEvent::kRequest, kMc, 5),
+      R(10.0, SpanEvent::kCacheMiss, kMc, 5),
+      R(10.0, SpanEvent::kSubmitCoalesced, kMc, 5),
+      R(13.0, SpanEvent::kSlotPull, kNoClient, 5),
+      R(14.0, SpanEvent::kDelivery, kMc, 5, 4.0),
+      // First attempt dropped (queue full); a retry gets accepted.
+      R(20.0, SpanEvent::kRequest, kMc, 6),
+      R(20.0, SpanEvent::kCacheMiss, kMc, 6),
+      R(20.0, SpanEvent::kSubmitDropped, kMc, 6),
+      R(30.0, SpanEvent::kRetry, kMc, 6),
+      R(30.0, SpanEvent::kSubmitAccepted, kMc, 6),
+      R(33.0, SpanEvent::kSlotPull, kNoClient, 6),
+      R(34.0, SpanEvent::kDelivery, kMc, 6, 14.0),
+  });
+  const std::vector<RequestSpan> spans = assembler.Finish();
+  ASSERT_EQ(spans.size(), 2U);
+  EXPECT_TRUE(spans[0].coalesced);
+  EXPECT_EQ(spans[0].outcome, SpanOutcome::kPullServed);
+  EXPECT_FALSE(spans[1].coalesced);
+  EXPECT_EQ(spans[1].drops, 1U);
+  EXPECT_EQ(spans[1].retries, 1U);
+  // Queue wait runs from the FIRST backchannel attempt (the drop), so the
+  // retry interval is inside it, not lost.
+  EXPECT_DOUBLE_EQ(spans[1].QueueWait(), 13.0);
+  EXPECT_DOUBLE_EQ(spans[1].Other(), 0.0);
+}
+
+TEST(SpanAssemblerTest, StaleSlotBeforeRequestIsNeverBlamed) {
+  SpanAssembler assembler;
+  assembler.FeedAll({
+      // Page 8 went out at t=5, BEFORE this request existed; with no later
+      // slot record the delivery is complete but unattributable.
+      R(5.0, SpanEvent::kSlotPull, kNoClient, 8),
+      R(10.0, SpanEvent::kRequest, kMc, 8),
+      R(10.0, SpanEvent::kCacheMiss, kMc, 8),
+      R(10.0, SpanEvent::kSubmitAccepted, kMc, 8),
+      R(12.0, SpanEvent::kDelivery, kMc, 8, 2.0),
+  });
+  const std::vector<RequestSpan> spans = assembler.Finish();
+  ASSERT_EQ(spans.size(), 1U);
+  EXPECT_TRUE(spans[0].truncated);
+  EXPECT_TRUE(spans[0].Complete());
+  EXPECT_LT(spans[0].slot_time, 0.0);
+}
+
+TEST(SpanAssemblerTest, VirtualClientSubmitsAreTalliedNotJoined) {
+  SpanAssembler assembler;
+  assembler.FeedAll({
+      R(10.0, SpanEvent::kRequest, kMc, 2),
+      R(10.0, SpanEvent::kCacheMiss, kMc, 2),
+      R(10.0, SpanEvent::kSubmitAccepted, kMc, 2),
+      // VC load on the same page: must not touch the MC's span.
+      R(11.0, SpanEvent::kSubmitAccepted, kVirtualClientId, 2),
+      R(11.5, SpanEvent::kSubmitCoalesced, kVirtualClientId, 2),
+      R(12.0, SpanEvent::kSlotPull, kNoClient, 2),
+      R(13.0, SpanEvent::kDelivery, kMc, 2, 3.0),
+  });
+  EXPECT_EQ(assembler.UnmatchedSubmits(), 2U);
+  const std::vector<RequestSpan> spans = assembler.Finish();
+  ASSERT_EQ(spans.size(), 1U);
+  EXPECT_DOUBLE_EQ(spans[0].submit_time, 10.0);
+  EXPECT_FALSE(spans[0].coalesced);
+  EXPECT_EQ(assembler.OrphanRecords(), 0U);
+}
+
+TEST(SpanAssemblerTest, HeadlessRecordsOpenTruncatedSpansWhenInputClipped) {
+  SpanAssembler assembler(/*input_truncated=*/true);
+  assembler.FeedAll({
+      // Span whose request fell off the ring: joins itself, flags truncated.
+      R(50.0, SpanEvent::kSubmitAccepted, kMc, 1),
+      R(52.0, SpanEvent::kSlotPull, kNoClient, 1),
+      R(53.0, SpanEvent::kDelivery, kMc, 1, 9.0),
+      // A later, fully-recorded request for the same key must start fresh.
+      R(60.0, SpanEvent::kRequest, kMc, 1),
+      R(60.0, SpanEvent::kCacheMiss, kMc, 1),
+      R(60.0, SpanEvent::kSubmitAccepted, kMc, 1),
+      R(62.0, SpanEvent::kSlotPull, kNoClient, 1),
+      R(63.0, SpanEvent::kDelivery, kMc, 1, 3.0),
+  });
+  const std::vector<RequestSpan> spans = assembler.Finish();
+  ASSERT_EQ(spans.size(), 2U);
+  EXPECT_TRUE(spans[0].truncated);
+  EXPECT_TRUE(spans[0].Complete());
+  EXPECT_FALSE(spans[1].truncated);
+  EXPECT_DOUBLE_EQ(spans[1].QueueWait(), 2.0);
+  EXPECT_EQ(assembler.OrphanRecords(), 0U);
+
+  const PhaseBreakdown b = Attribute(spans);
+  EXPECT_EQ(b.spans, 1U);       // Truncated span excluded from the means...
+  EXPECT_EQ(b.truncated, 1U);   // ...but still counted.
+  EXPECT_DOUBLE_EQ(b.mean_response, 3.0);
+}
+
+TEST(SpanAssemblerTest, HeadlessRecordsAreOrphansWhenInputComplete) {
+  SpanAssembler assembler(/*input_truncated=*/false);
+  assembler.Feed(R(53.0, SpanEvent::kDelivery, kMc, 1, 9.0));
+  EXPECT_EQ(assembler.OrphanRecords(), 1U);
+  EXPECT_TRUE(assembler.Finish().empty());
+}
+
+TEST(SpanAssemblerTest, FreshRequestClosesStalePendingSpanAsTruncated) {
+  SpanAssembler assembler(/*input_truncated=*/true);
+  assembler.FeedAll({
+      R(10.0, SpanEvent::kRequest, kMc, 4),
+      R(10.0, SpanEvent::kCacheMiss, kMc, 4),
+      // Tail of the first span lost; a second request for the key arrives.
+      R(40.0, SpanEvent::kRequest, kMc, 4),
+      R(40.0, SpanEvent::kCacheHit, kMc, 4),
+  });
+  const std::vector<RequestSpan> spans = assembler.Finish();
+  ASSERT_EQ(spans.size(), 2U);
+  EXPECT_TRUE(spans[0].truncated);
+  EXPECT_FALSE(spans[0].Complete());
+  EXPECT_EQ(spans[1].outcome, SpanOutcome::kCacheHit);
+}
+
+TEST(SpanAssemblerTest, FinishReturnsIncompleteSpansInRequestOrder) {
+  SpanAssembler assembler;
+  assembler.FeedAll({
+      R(30.0, SpanEvent::kRequest, kMc, 2),
+      R(10.0, SpanEvent::kRequest, 2, 9),
+      R(20.0, SpanEvent::kRequest, 2, 1),
+  });
+  const std::vector<RequestSpan> spans = assembler.Finish();
+  ASSERT_EQ(spans.size(), 3U);
+  EXPECT_DOUBLE_EQ(spans[0].request_time, 10.0);
+  EXPECT_DOUBLE_EQ(spans[1].request_time, 20.0);
+  EXPECT_DOUBLE_EQ(spans[2].request_time, 30.0);
+  for (const RequestSpan& s : spans) {
+    EXPECT_EQ(s.outcome, SpanOutcome::kIncomplete);
+  }
+}
+
+TEST(SpanAssemblerTest, AttributePhaseMeansSumToMeanResponse) {
+  SpanAssembler assembler;
+  assembler.FeedAll({
+      R(0.0, SpanEvent::kRequest, kMc, 1),
+      R(0.0, SpanEvent::kCacheHit, kMc, 1),
+      R(10.0, SpanEvent::kRequest, kMc, 2),
+      R(10.0, SpanEvent::kCacheMiss, kMc, 2),
+      R(10.0, SpanEvent::kSubmitAccepted, kMc, 2),
+      R(17.0, SpanEvent::kSlotPull, kNoClient, 2),
+      R(18.0, SpanEvent::kDelivery, kMc, 2, 8.0),
+      R(20.0, SpanEvent::kRequest, kMc, 3),
+      R(20.0, SpanEvent::kCacheMiss, kMc, 3),
+      R(20.0, SpanEvent::kSubmitFiltered, kMc, 3),
+      R(23.0, SpanEvent::kSlotPush, kNoClient, 3),
+      R(24.0, SpanEvent::kDelivery, kMc, 3, 4.0),
+  });
+  const PhaseBreakdown b = Attribute(assembler.Finish());
+  EXPECT_EQ(b.spans, 3U);
+  EXPECT_EQ(b.hits, 1U);
+  EXPECT_EQ(b.pull_served, 1U);
+  EXPECT_EQ(b.push_served, 1U);
+  EXPECT_DOUBLE_EQ(b.mean_response, 4.0);  // (0 + 8 + 4) / 3.
+  EXPECT_DOUBLE_EQ(b.mean_queue_wait + b.mean_broadcast_wait +
+                       b.mean_transmit + b.mean_other,
+                   b.mean_response);
+}
+
+// ------------------------------------------------------- full-system runs
+
+core::SystemConfig SmallConfig() {
+  core::SystemConfig config;
+  config.server_db_size = 100;
+  config.disks = broadcast::DiskConfig{{10, 40, 50}, {3, 2, 1}};
+  config.cache_size = 10;
+  config.server_queue_size = 10;
+  config.mc_think_time = 5.0;
+  config.think_time_ratio = 25.0;
+  config.seed = 7;
+  return config;
+}
+
+core::SteadyStateProtocol QuickProtocol() {
+  core::SteadyStateProtocol protocol;
+  protocol.post_fill_accesses = 200;
+  protocol.min_measured_accesses = 500;
+  protocol.max_measured_accesses = 2000;
+  protocol.batch_size = 250;
+  protocol.tolerance = 0.1;
+  return protocol;
+}
+
+TEST(SpanAssemblerIntegrationTest, SpanMeansReconcileWithMetrics) {
+  core::System system(SmallConfig());
+  TraceSink sink;
+  system.AttachTrace(&sink);
+  const core::RunResult result = system.RunSteadyState(QuickProtocol());
+  ASSERT_EQ(sink.DroppedEvents(), 0U);
+
+  SpanAssembler assembler;
+  assembler.FeedAll(sink.Events());
+  std::vector<RequestSpan> spans = assembler.Finish();
+  EXPECT_EQ(assembler.OrphanRecords(), 0U);
+  // VC load shows up only as unmatched submits (the VC counts every
+  // backchannel attempt, whatever the queue's verdict).
+  EXPECT_EQ(assembler.UnmatchedSubmits(), result.vc_submitted);
+
+  // The measured client runs one access at a time, so completed spans are
+  // in access order and the measured window is exactly the last
+  // response_stats.Count() of them. Their mean must reproduce the
+  // authoritative mean response.
+  std::vector<RequestSpan> completed;
+  for (const RequestSpan& s : spans) {
+    if (s.Complete()) completed.push_back(s);
+  }
+  const std::size_t measured = result.response_stats.Count();
+  ASSERT_GE(completed.size(), measured);
+  double sum = 0.0;
+  std::size_t truncated = 0;
+  for (std::size_t i = completed.size() - measured; i < completed.size();
+       ++i) {
+    sum += completed[i].response;
+    if (completed[i].truncated) ++truncated;
+  }
+  EXPECT_EQ(truncated, 0U);  // Untruncated input: every span attributable.
+  EXPECT_NEAR(sum / static_cast<double>(measured), result.mean_response,
+              1e-9 * (1.0 + result.mean_response));
+
+  // Every phase identity holds span-by-span, and the breakdown sees real
+  // coalesced submits (VC contention guarantees some).
+  const PhaseBreakdown b = Attribute(spans);
+  EXPECT_GT(b.spans, 0U);
+  EXPECT_GT(b.coalesced, 0U);
+  EXPECT_NEAR(b.mean_queue_wait + b.mean_broadcast_wait + b.mean_transmit +
+                  b.mean_other,
+              b.mean_response, 1e-9);
+  for (const RequestSpan& s : spans) {
+    if (!s.Complete() || s.truncated) continue;
+    EXPECT_NEAR(s.QueueWait() + s.BroadcastWait() + s.Transmit() + s.Other(),
+                s.response, 1e-9);
+    EXPECT_GE(s.Other(), -1e-9);  // Phases never over-explain the response.
+  }
+}
+
+TEST(SpanAssemblerIntegrationTest, TinySinkYieldsTruncatedSpansNotOrphans) {
+  core::System system(SmallConfig());
+  TraceSink sink(512);  // Far smaller than the run's record count.
+  system.AttachTrace(&sink);
+  system.RunSteadyState(QuickProtocol());
+  ASSERT_GT(sink.DroppedEvents(), 0U);
+
+  SpanAssembler assembler(/*input_truncated=*/true);
+  assembler.FeedAll(sink.Events());
+  const std::vector<RequestSpan> spans = assembler.Finish();
+  EXPECT_EQ(assembler.OrphanRecords(), 0U);
+  const PhaseBreakdown b = Attribute(spans);
+  // The clipped head produces at least one truncated span, and truncated
+  // spans never pollute the attribution denominators.
+  EXPECT_GE(b.truncated, 1U);
+  EXPECT_EQ(b.spans + b.truncated + b.incomplete, spans.size());
+}
+
+}  // namespace
+}  // namespace bdisk::obs

@@ -1,0 +1,196 @@
+#include "obs/windowed_collector.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "core/system.h"
+#include "obs/metrics.h"
+
+namespace bdisk::obs {
+namespace {
+
+TEST(WindowedCollectorTest, AggregatesOneWindow) {
+  WindowedCollector collector(/*window=*/10.0);
+  collector.OnSlot(0.0, SlotSample::kPush, 2);
+  collector.OnSlot(1.0, SlotSample::kPull, 3);
+  collector.OnSlot(2.0, SlotSample::kIdle, 0);
+  collector.OnSubmit(2.5, SubmitSample::kAccepted, 4);
+  collector.OnSubmit(2.5, SubmitSample::kCoalesced, 4);
+  collector.OnSubmit(3.0, SubmitSample::kDropped, 4);
+  collector.OnSubmit(3.0, SubmitSample::kDropped, 4);
+  collector.OnResponse(4.0, 1.0);
+  collector.OnResponse(5.0, 3.0);
+  collector.Finish();
+
+  const std::vector<WindowStats> windows = collector.Windows();
+  ASSERT_EQ(windows.size(), 1U);
+  const WindowStats& w = windows[0];
+  EXPECT_DOUBLE_EQ(w.start, 0.0);
+  EXPECT_DOUBLE_EQ(w.end, 10.0);
+  EXPECT_EQ(w.slots_push, 1U);
+  EXPECT_EQ(w.slots_pull, 1U);
+  EXPECT_EQ(w.slots_idle, 1U);
+  EXPECT_DOUBLE_EQ(w.PushFrac(), 1.0 / 3.0);
+  EXPECT_EQ(w.submits, 4U);
+  EXPECT_EQ(w.dropped, 2U);
+  EXPECT_DOUBLE_EQ(w.DropRate(), 0.5);
+  EXPECT_EQ(w.queue_depth_max, 4U);
+  EXPECT_EQ(w.responses, 2U);
+  EXPECT_DOUBLE_EQ(w.response_mean, 2.0);
+  EXPECT_DOUBLE_EQ(w.response_max, 3.0);
+  EXPECT_GT(w.response_p99, 0.0);
+}
+
+TEST(WindowedCollectorTest, WindowGridIsAnchoredAndGapsEmitEmptyWindows) {
+  WindowedCollector collector(/*window=*/10.0);
+  collector.OnSlot(12.0, SlotSample::kPush, 0);  // Opens [10, 20).
+  collector.OnSlot(47.0, SlotSample::kPull, 0);  // Skips two empty windows.
+  collector.Finish();
+
+  const std::vector<WindowStats> windows = collector.Windows();
+  ASSERT_EQ(windows.size(), 4U);
+  EXPECT_DOUBLE_EQ(windows[0].start, 10.0);
+  EXPECT_EQ(windows[0].slots_push, 1U);
+  // The quiet stretch is represented honestly, not silently skipped.
+  EXPECT_DOUBLE_EQ(windows[1].start, 20.0);
+  EXPECT_EQ(windows[1].Slots(), 0U);
+  EXPECT_DOUBLE_EQ(windows[2].start, 30.0);
+  EXPECT_DOUBLE_EQ(windows[3].start, 40.0);
+  EXPECT_EQ(windows[3].slots_pull, 1U);
+}
+
+TEST(WindowedCollectorTest, QueueDepthKeepsLastAndHighWater) {
+  WindowedCollector collector(/*window=*/10.0);
+  collector.OnSubmit(1.0, SubmitSample::kAccepted, 7);
+  collector.OnSubmit(2.0, SubmitSample::kAccepted, 3);
+  collector.Finish();
+  const std::vector<WindowStats> windows = collector.Windows();
+  ASSERT_EQ(windows.size(), 1U);
+  EXPECT_EQ(windows[0].queue_depth, 3U);      // Last observed.
+  EXPECT_EQ(windows[0].queue_depth_max, 7U);  // High water.
+}
+
+TEST(WindowedCollectorTest, PerWindowPercentilesResetBetweenWindows) {
+  WindowedCollector collector(/*window=*/10.0);
+  for (int i = 0; i < 100; ++i) collector.OnResponse(5.0, 100.0);
+  for (int i = 0; i < 100; ++i) collector.OnResponse(15.0, 1.0);
+  collector.Finish();
+  const std::vector<WindowStats> windows = collector.Windows();
+  ASSERT_EQ(windows.size(), 2U);
+  // Were the histogram not reset, the second window's p99 would still see
+  // the first window's 100s.
+  EXPECT_GT(windows[0].response_p50, 50.0);
+  EXPECT_LT(windows[1].response_p99, 50.0);
+}
+
+TEST(WindowedCollectorTest, RingEvictsOldestBeyondCapacity) {
+  WindowedCollector collector(/*window=*/1.0, /*capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    collector.OnSlot(static_cast<double>(i), SlotSample::kPush, 0);
+  }
+  collector.Finish();
+  EXPECT_EQ(collector.WindowsCompleted(), 10U);
+  EXPECT_EQ(collector.WindowsEvicted(), 6U);
+  const std::vector<WindowStats> windows = collector.Windows();
+  ASSERT_EQ(windows.size(), 4U);
+  EXPECT_DOUBLE_EQ(windows.front().start, 6.0);
+  EXPECT_DOUBLE_EQ(windows.back().start, 9.0);
+}
+
+TEST(WindowedCollectorTest, PublishToEmitsSeriesAndGauges) {
+  WindowedCollector collector(/*window=*/10.0);
+  collector.OnSlot(1.0, SlotSample::kPush, 1);
+  collector.OnSlot(11.0, SlotSample::kPull, 2);
+  collector.Finish();
+
+  MetricsRegistry registry;
+  collector.PublishTo(&registry);
+  EXPECT_DOUBLE_EQ(registry.gauges().at("window.width").Value(), 10.0);
+  EXPECT_DOUBLE_EQ(registry.gauges().at("window.count").Value(), 2.0);
+  const auto& push_frac = registry.time_series().at("window.push_frac");
+  ASSERT_EQ(push_frac.size(), 2U);
+  EXPECT_DOUBLE_EQ(push_frac.samples()[0].time, 0.0);  // Window start.
+  EXPECT_DOUBLE_EQ(push_frac.samples()[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(push_frac.samples()[1].value, 0.0);
+  EXPECT_EQ(registry.time_series().at("window.drop_rate").size(), 2U);
+  EXPECT_EQ(registry.time_series().at("window.response_p99").size(), 2U);
+}
+
+// ------------------------------------------------------- full-system runs
+
+core::SystemConfig SmallConfig() {
+  core::SystemConfig config;
+  config.server_db_size = 100;
+  config.disks = broadcast::DiskConfig{{10, 40, 50}, {3, 2, 1}};
+  config.cache_size = 10;
+  config.server_queue_size = 10;
+  config.mc_think_time = 5.0;
+  config.think_time_ratio = 25.0;
+  config.seed = 7;
+  return config;
+}
+
+core::SteadyStateProtocol QuickProtocol() {
+  core::SteadyStateProtocol protocol;
+  protocol.post_fill_accesses = 200;
+  protocol.min_measured_accesses = 500;
+  protocol.max_measured_accesses = 2000;
+  protocol.batch_size = 250;
+  protocol.tolerance = 0.1;
+  return protocol;
+}
+
+TEST(WindowedCollectorIntegrationTest, SystemRunFillsConsistentWindows) {
+  core::System system(SmallConfig());
+  WindowedCollector collector(/*window=*/100.0);
+  system.AttachWindowedCollector(&collector);
+  const core::RunResult result = system.RunSteadyState(QuickProtocol());
+
+  const std::vector<WindowStats> windows = collector.Windows();
+  ASSERT_GT(windows.size(), 1U);
+  std::uint64_t slots = 0;
+  std::uint64_t responses = 0;
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    slots += windows[i].Slots();
+    responses += windows[i].responses;
+    if (i > 0) {
+      EXPECT_DOUBLE_EQ(windows[i].start, windows[i - 1].end);
+    }
+    EXPECT_LE(windows[i].queue_depth_max, 10U);
+  }
+  // Every slot decision made while attached landed in exactly one window
+  // (the final partial window is closed at run end). The server makes its
+  // very first decision in its constructor, before anything can attach, so
+  // the collector sees exactly one fewer.
+  EXPECT_EQ(slots, system.server().TotalSlots() - 1);
+  // Responses cover warm-up and measurement alike, so at least the
+  // measured accesses are there.
+  EXPECT_GE(responses, result.response_stats.Count());
+
+  // The snapshot carries the windowed series.
+  MetricsRegistry registry;
+  system.SnapshotMetrics(&registry);
+  EXPECT_EQ(registry.time_series().at("window.drop_rate").size(),
+            windows.size());
+}
+
+TEST(WindowedCollectorIntegrationTest, AttachingCollectorIsTrajectoryNeutral) {
+  core::System plain(SmallConfig());
+  const core::RunResult base = plain.RunSteadyState(QuickProtocol());
+
+  core::System observed(SmallConfig());
+  WindowedCollector collector(/*window=*/50.0);
+  observed.AttachWindowedCollector(&collector);
+  const core::RunResult with = observed.RunSteadyState(QuickProtocol());
+
+  EXPECT_EQ(with.kernel.events_executed, base.kernel.events_executed);
+  EXPECT_EQ(with.mean_response, base.mean_response);
+  EXPECT_EQ(with.response_stats.Count(), base.response_stats.Count());
+  EXPECT_EQ(with.requests_submitted, base.requests_submitted);
+  EXPECT_EQ(with.sim_time_end, base.sim_time_end);
+}
+
+}  // namespace
+}  // namespace bdisk::obs

@@ -30,9 +30,11 @@
 #include "core/experiment.h"
 #include "core/system.h"
 #include "core/table_printer.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/progress.h"
 #include "obs/trace_sink.h"
+#include "obs/windowed_collector.h"
 
 namespace {
 
@@ -50,6 +52,12 @@ void PrintUsage() {
       "  --metrics-json F   write a metrics-registry snapshot (JSON) to F\n"
       "  --trace F          write a structured trace to F (JSONL, or CSV\n"
       "                     when F ends in .csv)\n"
+      "  --windows W        windowed telemetry with window width W (the\n"
+      "                     \"window.*\" series in --metrics-json output)\n"
+      "  --flight-recorder SPEC\n"
+      "                     arm the anomaly flight recorder; SPEC is a\n"
+      "                     comma list of drop_rate>X, p99>X, queue_depth>X\n"
+      "                     (config-file keys: obs_window, flight_recorder)\n"
       "  --progress         periodic heartbeat on stderr (sim-time,\n"
       "                     events/s, done%%, ETA)\n"
       "  --print-config     print the effective configuration and exit\n"
@@ -101,6 +109,7 @@ int main(int argc, char** argv) {
   std::string metrics_json_path;
   std::string trace_path;
   bool progress = false;
+  bool windows = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -164,6 +173,31 @@ int main(int argc, char** argv) {
       trace_path = next_value("--trace");
     } else if (arg == "--progress") {
       progress = true;
+    } else if (arg == "--windows" || arg.rfind("--windows=", 0) == 0) {
+      // Both `--windows W` and `--windows=W` map onto the obs_window
+      // config key, so the flag and the file share one validator.
+      const std::string value = arg == "--windows"
+                                    ? next_value("--windows")
+                                    : arg.substr(std::strlen("--windows="));
+      const std::string err =
+          core::ApplyConfigOption("obs_window", value, &config);
+      if (!err.empty()) {
+        std::fprintf(stderr, "--windows: %s\n", err.c_str());
+        return 2;
+      }
+      windows = true;
+    } else if (arg == "--flight-recorder" ||
+               arg.rfind("--flight-recorder=", 0) == 0) {
+      const std::string value =
+          arg == "--flight-recorder"
+              ? next_value("--flight-recorder")
+              : arg.substr(std::strlen("--flight-recorder="));
+      const std::string err =
+          core::ApplyConfigOption("flight_recorder", value, &config);
+      if (!err.empty()) {
+        std::fprintf(stderr, "--flight-recorder: %s\n", err.c_str());
+        return 2;
+      }
     } else if (arg == "--csv") {
       csv = true;
     } else if (arg == "--quick") {
@@ -224,8 +258,9 @@ int main(int argc, char** argv) {
     points.push_back(point);
   }
 
-  const bool observed =
-      !metrics_json_path.empty() || !trace_path.empty() || progress;
+  const bool recorder_armed = !config.flight_recorder.empty();
+  const bool observed = !metrics_json_path.empty() || !trace_path.empty() ||
+                        progress || windows || recorder_armed;
   std::vector<core::SweepOutcome> outcomes;
   if (!observed) {
     try {
@@ -247,7 +282,26 @@ int main(int argc, char** argv) {
     obs::MetricsRegistry registry;
     obs::TraceSink sink;
     if (!metrics_json_path.empty()) system.AttachMetrics(&registry);
-    if (!trace_path.empty()) system.AttachTrace(&sink);
+    // The flight recorder's dump wants the trailing trace, so arming it
+    // attaches the sink even without --trace (no file is written then).
+    if (!trace_path.empty() || recorder_armed) system.AttachTrace(&sink);
+    std::optional<obs::WindowedCollector> collector;
+    std::optional<obs::FlightRecorder> recorder;
+    if (windows || recorder_armed) {
+      collector.emplace(points[0].config.obs_window);
+      system.AttachWindowedCollector(&*collector);
+    }
+    if (recorder_armed) {
+      obs::FlightTriggers triggers;
+      const std::string trigger_error = obs::ParseFlightTriggerSpec(
+          points[0].config.flight_recorder, &triggers);
+      if (!trigger_error.empty()) {  // Config validation already caught this.
+        std::fprintf(stderr, "flight_recorder: %s\n", trigger_error.c_str());
+        return 2;
+      }
+      recorder.emplace(triggers, "bdisk-flight-");
+      system.AttachFlightRecorder(&*recorder);
+    }
     std::optional<obs::ProgressReporter> reporter;
     if (progress) {
       reporter.emplace(&system.simulator(), /*interval=*/10000.0);
@@ -287,6 +341,15 @@ int main(int argc, char** argv) {
       const std::string body =
           EndsWith(trace_path, ".csv") ? sink.ToCsv() : sink.ToJsonl();
       if (!WriteFileOrComplain(trace_path, body)) return 1;
+    }
+    if (recorder && recorder->Fired()) {
+      if (!recorder->LastError().empty()) {
+        std::fprintf(stderr, "flight recorder fired but dump failed: %s\n",
+                     recorder->LastError().c_str());
+      } else {
+        std::fprintf(stderr, "flight recorder fired: %s\n",
+                     recorder->DumpPath().c_str());
+      }
     }
   }
 

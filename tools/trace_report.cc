@@ -8,8 +8,18 @@
 //     examples laid out as timelines,
 //   * a slot-utilization timeline (push/pull/idle mix per time bin).
 //
+// With --spans, switches to the request-lifecycle attribution report built
+// on obs::SpanAssembler: per-request waterfalls, the phase breakdown
+// (queue wait / broadcast wait / transmit, summing to the mean response),
+// and per-page / per-probability-band attribution tables.
+//
 //   bdisk_sim --set mode=ipp --trace out.jsonl
 //   trace_report out.jsonl
+//   trace_report out.jsonl --spans
+//
+// Parsing and joining share the library code the tests pin
+// (obs::ParseTraceJsonlLine, obs::SpanAssembler), so this tool cannot
+// drift from the exporter.
 //
 // Exits 1 if the trace contains no reconstructible span (e.g. the file is
 // not a bdisk trace), 2 on usage errors.
@@ -19,64 +29,209 @@
 #include <cinttypes>
 #include <cstdint>
 #include <cstdio>
-#include <cstring>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "obs/span_assembler.h"
+#include "obs/trace_sink.h"
+
 namespace {
 
-struct Record {
-  double t = 0.0;
-  std::string ev;
-  std::int64_t client = -1;
-  std::int64_t page = -1;
-  double value = 0.0;
-};
-
-bool ParseLine(const std::string& line, Record* out) {
-  char ev[32];
-  const int matched = std::sscanf(
-      line.c_str(),
-      " { \"t\" : %lf , \"ev\" : \"%31[^\"]\" , \"client\" : %" SCNd64
-      " , \"page\" : %" SCNd64 " , \"v\" : %lf }",
-      &out->t, ev, &out->client, &out->page, &out->value);
-  if (matched != 5) return false;
-  out->ev = ev;
-  return true;
-}
-
-struct PageStats {
-  std::uint64_t requests = 0;
-  std::uint64_t hits = 0;
-  std::uint64_t deliveries = 0;
-  double wait_sum = 0.0;
-  double wait_max = 0.0;
-};
-
-// An in-progress pull: one client waiting on one page.
-struct PendingSpan {
-  double request_time = -1.0;
-  double submit_time = -1.0;
-  double slot_time = -1.0;  // Decision time of the slot that carried it.
-};
-
-struct Span {
-  std::int64_t client = -1;
-  std::int64_t page = -1;
-  PendingSpan times;
-  double delivery_time = 0.0;
-  double wait = 0.0;
-};
+using bdisk::obs::PhaseBreakdown;
+using bdisk::obs::RequestSpan;
+using bdisk::obs::SpanEvent;
+using bdisk::obs::SpanOutcome;
+using bdisk::obs::SpanRecord;
 
 void PrintUsage() {
   std::printf(
-      "usage: trace_report FILE.jsonl [--top N] [--bins N] [--spans N]\n"
-      "  --top N    pages in the latency table (default 10)\n"
-      "  --bins N   slot-utilization time bins (default 20)\n"
-      "  --spans N  example spans to print (default 5)\n");
+      "usage: trace_report FILE.jsonl [--spans] [--top N] [--bins N]\n"
+      "                    [--examples N] [--truncated]\n"
+      "  --spans       request-lifecycle attribution report (waterfalls,\n"
+      "                phase breakdown, per-page and per-band tables)\n"
+      "  --top N       pages in the per-page tables (default 10)\n"
+      "  --bins N      slot-utilization time bins (default 20)\n"
+      "  --examples N  example spans/waterfalls to print (default 5)\n"
+      "  --truncated   treat the file head as clipped (ring overflow);\n"
+      "                auto-detected when the trace does not start at t=0\n");
+}
+
+const char* OutcomeLabel(const RequestSpan& s) {
+  return bdisk::obs::SpanOutcomeName(s.outcome);
+}
+
+// --- Aggregation over spans ------------------------------------------------
+
+struct PageAgg {
+  std::uint64_t requests = 0;  // Complete, non-truncated spans.
+  std::uint64_t hits = 0;
+  double response_sum = 0.0;
+  double queue_wait_sum = 0.0;
+  double broadcast_wait_sum = 0.0;
+  double response_max = 0.0;
+
+  double MeanResponse() const {
+    return requests == 0 ? 0.0
+                         : response_sum / static_cast<double>(requests);
+  }
+};
+
+std::map<std::uint32_t, PageAgg> AggregateByPage(
+    const std::vector<RequestSpan>& spans) {
+  std::map<std::uint32_t, PageAgg> pages;
+  for (const RequestSpan& s : spans) {
+    if (!s.Complete() || s.truncated) continue;
+    PageAgg& agg = pages[s.page];
+    ++agg.requests;
+    if (s.outcome == SpanOutcome::kCacheHit) ++agg.hits;
+    agg.response_sum += s.response;
+    agg.queue_wait_sum += s.QueueWait();
+    agg.broadcast_wait_sum += s.BroadcastWait();
+    agg.response_max = std::max(agg.response_max, s.response);
+  }
+  return pages;
+}
+
+void PrintWaterfalls(const std::vector<RequestSpan>& spans,
+                     std::size_t examples) {
+  std::printf("\nper-request waterfalls (first %zu non-hit spans)\n",
+              examples);
+  std::size_t shown = 0;
+  for (const RequestSpan& s : spans) {
+    if (shown >= examples) break;
+    if (!s.Complete() || s.truncated ||
+        s.outcome == SpanOutcome::kCacheHit) {
+      continue;
+    }
+    ++shown;
+    std::printf("  client %" PRIu32 " page %" PRIu32 " [%s]\n", s.client,
+                s.page, OutcomeLabel(s));
+    std::printf("    t=%10.1f  request (miss%s)\n", s.request_time,
+                s.filtered ? ", filtered" : "");
+    if (s.submitted) {
+      std::printf("    t=%10.1f  submit%s%s\n", s.submit_time,
+                  s.coalesced ? " (coalesced)" : "",
+                  s.drops > 0 ? " (later drops)" : "");
+    }
+    if (s.retries > 0) {
+      std::printf("    %13s retries x%" PRIu32 "\n", "", s.retries);
+    }
+    if (s.slot_time >= 0.0) {
+      const double wait = s.outcome == SpanOutcome::kPullServed
+                              ? s.QueueWait()
+                              : s.BroadcastWait();
+      const char* wait_name = s.outcome == SpanOutcome::kPullServed
+                                  ? "queue_wait"
+                                  : "broadcast_wait";
+      std::printf("    t=%10.1f  slot %-5s %s=%.1f\n", s.slot_time,
+                  s.outcome == SpanOutcome::kPushServed ? "push" : "pull",
+                  wait_name, wait);
+    }
+    std::printf("    t=%10.1f  delivery   transmit=%.1f  response=%.1f\n",
+                s.delivery_time, s.Transmit(), s.response);
+  }
+  if (shown == 0) std::printf("  (none)\n");
+}
+
+void PrintPhaseBreakdown(const PhaseBreakdown& b) {
+  std::printf("\nphase attribution (complete, non-truncated spans)\n");
+  std::printf("  spans %" PRIu64 "  (hits %" PRIu64 ", pull %" PRIu64
+              ", snooped %" PRIu64 ", push %" PRIu64 ")\n",
+              b.spans, b.hits, b.pull_served, b.snooped, b.push_served);
+  std::printf("  excluded: truncated %" PRIu64 ", incomplete %" PRIu64 "\n",
+              b.truncated, b.incomplete);
+  std::printf("  coalesced spans %" PRIu64 ", dropped submits %" PRIu64
+              ", retries %" PRIu64 "\n",
+              b.coalesced, b.drops, b.retries);
+  std::printf("  %-20s %10s\n", "phase", "mean");
+  std::printf("  %-20s %10.3f\n", "queue wait", b.mean_queue_wait);
+  std::printf("  %-20s %10.3f\n", "broadcast wait", b.mean_broadcast_wait);
+  std::printf("  %-20s %10.3f\n", "transmit", b.mean_transmit);
+  if (b.mean_other != 0.0) {
+    std::printf("  %-20s %10.3f\n", "other", b.mean_other);
+  }
+  std::printf("  %-20s %10.3f\n", "= mean response", b.mean_response);
+}
+
+void PrintPerPageAttribution(const std::map<std::uint32_t, PageAgg>& pages,
+                             std::size_t top_n) {
+  std::vector<std::pair<std::uint32_t, PageAgg>> ranked(pages.begin(),
+                                                        pages.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second.requests != b.second.requests) {
+      return a.second.requests > b.second.requests;
+    }
+    return a.first < b.first;
+  });
+  std::printf("\nper-page attribution (top %zu by requests)\n",
+              std::min(top_n, ranked.size()));
+  std::printf("%8s %9s %7s %10s %10s %10s %9s\n", "page", "requests",
+              "hit%", "mean resp", "q-wait", "bc-wait", "max resp");
+  for (std::size_t i = 0; i < ranked.size() && i < top_n; ++i) {
+    const PageAgg& a = ranked[i].second;
+    const double n = static_cast<double>(a.requests);
+    std::printf("%8" PRIu32 " %9" PRIu64 " %6.1f%% %10.2f %10.2f %10.2f "
+                "%9.1f\n",
+                ranked[i].first, a.requests,
+                100.0 * static_cast<double>(a.hits) / n, a.MeanResponse(),
+                a.queue_wait_sum / n, a.broadcast_wait_sum / n,
+                a.response_max);
+  }
+}
+
+// Bands of roughly equal *request mass*: pages ranked by observed request
+// count, cut where cumulative requests cross each 20% of the total. Band 1
+// is the empirically hottest slice — the observable stand-in for the
+// access-probability deciles the workload generator used.
+void PrintPerBandAttribution(const std::map<std::uint32_t, PageAgg>& pages) {
+  std::vector<std::pair<std::uint32_t, PageAgg>> ranked(pages.begin(),
+                                                        pages.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second.requests != b.second.requests) {
+      return a.second.requests > b.second.requests;
+    }
+    return a.first < b.first;
+  });
+  std::uint64_t total_requests = 0;
+  for (const auto& [page, agg] : ranked) total_requests += agg.requests;
+  if (total_requests == 0) return;
+
+  constexpr int kBands = 5;
+  std::printf("\nper-probability-band attribution (%d bands of ~%d%% "
+              "request mass, hottest first)\n",
+              kBands, 100 / kBands);
+  std::printf("%6s %8s %9s %7s %10s %10s %10s\n", "band", "pages",
+              "requests", "hit%", "mean resp", "q-wait", "bc-wait");
+  std::size_t i = 0;
+  std::uint64_t cumulative = 0;
+  for (int band = 1; band <= kBands && i < ranked.size(); ++band) {
+    const std::uint64_t limit =
+        total_requests * static_cast<std::uint64_t>(band) / kBands;
+    std::uint64_t requests = 0, hits = 0;
+    double resp = 0.0, qw = 0.0, bw = 0.0;
+    std::size_t band_pages = 0;
+    while (i < ranked.size() && (cumulative < limit || band_pages == 0)) {
+      const PageAgg& a = ranked[i].second;
+      cumulative += a.requests;
+      requests += a.requests;
+      hits += a.hits;
+      resp += a.response_sum;
+      qw += a.queue_wait_sum;
+      bw += a.broadcast_wait_sum;
+      ++band_pages;
+      ++i;
+    }
+    if (requests == 0) continue;
+    const double n = static_cast<double>(requests);
+    std::printf("%6d %8zu %9" PRIu64 " %6.1f%% %10.2f %10.2f %10.2f\n",
+                band, band_pages, requests,
+                100.0 * static_cast<double>(hits) / n, resp / n, qw / n,
+                bw / n);
+  }
 }
 
 }  // namespace
@@ -85,7 +240,9 @@ int main(int argc, char** argv) {
   std::string path;
   std::size_t top_n = 10;
   std::size_t bins = 20;
-  std::size_t span_examples = 5;
+  std::size_t examples = 5;
+  bool spans_mode = false;
+  bool force_truncated = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -99,13 +256,17 @@ int main(int argc, char** argv) {
     if (arg == "--help" || arg == "-h") {
       PrintUsage();
       return 0;
+    } else if (arg == "--spans") {
+      spans_mode = true;
+    } else if (arg == "--truncated") {
+      force_truncated = true;
     } else if (arg == "--top") {
       top_n = static_cast<std::size_t>(std::atol(next_value("--top")));
     } else if (arg == "--bins") {
       bins = static_cast<std::size_t>(std::atol(next_value("--bins")));
-    } else if (arg == "--spans") {
-      span_examples =
-          static_cast<std::size_t>(std::atol(next_value("--spans")));
+    } else if (arg == "--examples") {
+      examples =
+          static_cast<std::size_t>(std::atol(next_value("--examples")));
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       PrintUsage();
@@ -128,150 +289,148 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::map<std::int64_t, PageStats> pages;
-  // (client, page) -> in-progress span. Slot records carry client -1, so
-  // the slot that served a page is matched by page id afterwards.
-  std::map<std::pair<std::int64_t, std::int64_t>, PendingSpan> pending;
-  std::map<std::int64_t, double> last_slot_for_page;
-  std::vector<Span> spans;
-  struct SlotSample {
-    double t;
-    int kind;  // 0 push, 1 pull, 2 idle.
-  };
-  std::vector<SlotSample> slots;
-
-  std::uint64_t lines = 0, parsed = 0;
+  std::vector<SpanRecord> records;
+  std::uint64_t lines = 0;
   std::string line;
   while (std::getline(file, line)) {
     if (line.empty()) continue;
     ++lines;
-    Record r;
-    if (!ParseLine(line, &r)) continue;
-    ++parsed;
+    SpanRecord r;
+    if (bdisk::obs::ParseTraceJsonlLine(line, &r)) records.push_back(r);
+  }
 
-    if (r.ev == "request") {
-      ++pages[r.page].requests;
-    } else if (r.ev == "cache_hit") {
-      ++pages[r.page].hits;
-    } else if (r.ev == "cache_miss") {
-      pending[{r.client, r.page}] = PendingSpan{r.t, -1.0, -1.0};
-    } else if (r.ev == "submit_accepted" || r.ev == "submit_coalesced") {
-      const auto it = pending.find({r.client, r.page});
-      if (it != pending.end() && it->second.submit_time < 0.0) {
-        it->second.submit_time = r.t;
+  // A full trace starts with the measured client's first access at t=0; a
+  // later first timestamp means the ring dropped its head.
+  const bool truncated =
+      force_truncated || (!records.empty() && records.front().time > 0.0);
+
+  bdisk::obs::SpanAssembler assembler(truncated);
+  assembler.FeedAll(records);
+  const std::vector<RequestSpan> spans = assembler.Finish();
+  const PhaseBreakdown breakdown = bdisk::obs::Attribute(spans);
+
+  std::printf("trace: %s — %" PRIu64 " lines, %zu parsed%s\n", path.c_str(),
+              lines, records.size(),
+              truncated ? " (head truncated)" : "");
+  if (assembler.OrphanRecords() > 0) {
+    std::printf("WARNING: %" PRIu64
+                " client records matched no span (inconsistent trace)\n",
+                assembler.OrphanRecords());
+  }
+
+  if (spans_mode) {
+    PrintWaterfalls(spans, examples);
+    PrintPhaseBreakdown(breakdown);
+    const std::map<std::uint32_t, PageAgg> pages = AggregateByPage(spans);
+    PrintPerPageAttribution(pages, top_n);
+    PrintPerBandAttribution(pages);
+  } else {
+    // --- Per-page latency table (delivery-ranked, legacy report) ---------
+    const std::map<std::uint32_t, PageAgg> pages = AggregateByPage(spans);
+    struct Legacy {
+      std::uint32_t page;
+      std::uint64_t requests, hits, deliveries;
+      double wait_sum, wait_max;
+    };
+    std::vector<Legacy> ranked;
+    for (const auto& [page, a] : pages) {
+      ranked.push_back({page, a.requests, a.hits, a.requests - a.hits,
+                        a.response_sum, a.response_max});
+    }
+    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+      if (a.deliveries != b.deliveries) return a.deliveries > b.deliveries;
+      return a.page < b.page;
+    });
+    std::printf("\nper-page latency (top %zu by deliveries)\n",
+                std::min(top_n, ranked.size()));
+    std::printf("%8s %10s %8s %12s %10s %10s\n", "page", "requests", "hits",
+                "deliveries", "mean wait", "max wait");
+    for (std::size_t i = 0; i < ranked.size() && i < top_n; ++i) {
+      const Legacy& s = ranked[i];
+      std::printf("%8" PRIu32 " %10" PRIu64 " %8" PRIu64 " %12" PRIu64
+                  " %10.2f %10.2f\n",
+                  s.page, s.requests, s.hits, s.deliveries,
+                  s.deliveries == 0
+                      ? 0.0
+                      : s.wait_sum / static_cast<double>(s.deliveries),
+                  s.wait_max);
+    }
+
+    // --- Reconstructed spans ---------------------------------------------
+    std::uint64_t delivered = 0, with_slot = 0;
+    for (const RequestSpan& s : spans) {
+      if (!s.Complete() || s.outcome == SpanOutcome::kCacheHit) continue;
+      ++delivered;
+      if (s.slot_time >= 0.0) ++with_slot;
+    }
+    std::printf("\nspans reconstructed: %" PRIu64
+                " (with transmit slot: %" PRIu64 ")\n",
+                delivered, with_slot);
+    std::size_t shown = 0;
+    for (const RequestSpan& s : spans) {
+      if (shown >= examples) break;
+      if (!s.Complete() || s.outcome == SpanOutcome::kCacheHit) continue;
+      ++shown;
+      std::printf("  client %" PRIu32 " page %" PRIu32 ": request t=%.1f",
+                  s.client, s.page, s.request_time);
+      if (s.submitted) std::printf(" -> submit t=%.1f", s.submit_time);
+      if (s.slot_time >= 0.0) {
+        std::printf(" -> transmit t=%.1f", s.slot_time);
       }
-    } else if (r.ev == "slot_push" || r.ev == "slot_pull") {
-      last_slot_for_page[r.page] = r.t;
-      slots.push_back({r.t, r.ev == "slot_push" ? 0 : 1});
-    } else if (r.ev == "slot_idle") {
-      slots.push_back({r.t, 2});
-    } else if (r.ev == "delivery") {
-      PageStats& stats = pages[r.page];
-      ++stats.deliveries;
-      stats.wait_sum += r.value;
-      stats.wait_max = std::max(stats.wait_max, r.value);
-      const auto it = pending.find({r.client, r.page});
-      if (it != pending.end()) {
-        Span span;
-        span.client = r.client;
-        span.page = r.page;
-        span.times = it->second;
-        const auto slot = last_slot_for_page.find(r.page);
-        if (slot != last_slot_for_page.end() &&
-            slot->second >= span.times.request_time) {
-          span.times.slot_time = slot->second;
-        }
-        span.delivery_time = r.t;
-        span.wait = r.value;
-        spans.push_back(span);
-        pending.erase(it);
+      std::printf(" -> delivery t=%.1f (wait %.1f)\n", s.delivery_time,
+                  s.response);
+    }
+
+    // --- Slot-utilization timeline ---------------------------------------
+    struct SlotSampleRow {
+      double t;
+      int kind;  // 0 push, 1 pull, 2 idle.
+    };
+    std::vector<SlotSampleRow> slots;
+    for (const SpanRecord& r : records) {
+      if (r.event == SpanEvent::kSlotPush) {
+        slots.push_back({r.time, 0});
+      } else if (r.event == SpanEvent::kSlotPull) {
+        slots.push_back({r.time, 1});
+      } else if (r.event == SpanEvent::kSlotIdle) {
+        slots.push_back({r.time, 2});
+      }
+    }
+    if (!slots.empty()) {
+      double t_lo = slots.front().t, t_hi = slots.front().t;
+      for (const SlotSampleRow& s : slots) {
+        t_lo = std::min(t_lo, s.t);
+        t_hi = std::max(t_hi, s.t);
+      }
+      const double width = (t_hi - t_lo) / static_cast<double>(bins);
+      std::vector<std::array<std::uint64_t, 3>> counts(
+          bins, std::array<std::uint64_t, 3>{});
+      for (const SlotSampleRow& s : slots) {
+        std::size_t b = width <= 0.0 ? 0
+                                     : static_cast<std::size_t>(
+                                           (s.t - t_lo) / width);
+        if (b >= bins) b = bins - 1;
+        ++counts[b][static_cast<std::size_t>(s.kind)];
+      }
+      std::printf("\nslot utilization (%zu bins over t=[%.0f, %.0f])\n",
+                  bins, t_lo, t_hi);
+      std::printf("%18s %8s %8s %8s\n", "bin", "push", "pull", "idle");
+      for (std::size_t b = 0; b < bins; ++b) {
+        const double total = static_cast<double>(
+            counts[b][0] + counts[b][1] + counts[b][2]);
+        if (total == 0.0) continue;
+        std::printf("[%7.0f,%7.0f) %7.1f%% %7.1f%% %7.1f%%\n",
+                    t_lo + width * static_cast<double>(b),
+                    t_lo + width * static_cast<double>(b + 1),
+                    100.0 * static_cast<double>(counts[b][0]) / total,
+                    100.0 * static_cast<double>(counts[b][1]) / total,
+                    100.0 * static_cast<double>(counts[b][2]) / total);
       }
     }
   }
 
-  std::printf("trace: %s — %" PRIu64 " lines, %" PRIu64 " parsed\n",
-              path.c_str(), lines, parsed);
-
-  // --- Per-page latency breakdown ----------------------------------------
-  std::vector<std::pair<std::int64_t, PageStats>> ranked(pages.begin(),
-                                                         pages.end());
-  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
-    if (a.second.deliveries != b.second.deliveries) {
-      return a.second.deliveries > b.second.deliveries;
-    }
-    return a.first < b.first;
-  });
-  std::printf("\nper-page latency (top %zu by deliveries)\n",
-              std::min(top_n, ranked.size()));
-  std::printf("%8s %10s %8s %12s %10s %10s\n", "page", "requests", "hits",
-              "deliveries", "mean wait", "max wait");
-  for (std::size_t i = 0; i < ranked.size() && i < top_n; ++i) {
-    const PageStats& s = ranked[i].second;
-    std::printf("%8" PRId64 " %10" PRIu64 " %8" PRIu64 " %12" PRIu64
-                " %10.2f %10.2f\n",
-                ranked[i].first, s.requests, s.hits, s.deliveries,
-                s.deliveries == 0
-                    ? 0.0
-                    : s.wait_sum / static_cast<double>(s.deliveries),
-                s.wait_max);
-  }
-
-  // --- Reconstructed spans ------------------------------------------------
-  std::uint64_t with_transmit = 0;
-  for (const Span& s : spans) {
-    if (s.times.slot_time >= 0.0) ++with_transmit;
-  }
-  std::printf("\nspans reconstructed: %zu (with transmit slot: %" PRIu64
-              ")\n",
-              spans.size(), with_transmit);
-  for (std::size_t i = 0; i < spans.size() && i < span_examples; ++i) {
-    const Span& s = spans[i];
-    std::printf("  client %" PRId64 " page %" PRId64 ": request t=%.1f",
-                s.client, s.page, s.times.request_time);
-    if (s.times.submit_time >= 0.0) {
-      std::printf(" -> submit t=%.1f", s.times.submit_time);
-    }
-    if (s.times.slot_time >= 0.0) {
-      std::printf(" -> transmit t=%.1f", s.times.slot_time);
-    }
-    std::printf(" -> delivery t=%.1f (wait %.1f)\n", s.delivery_time,
-                s.wait);
-  }
-
-  // --- Slot-utilization timeline ------------------------------------------
-  if (!slots.empty()) {
-    double t_lo = slots.front().t, t_hi = slots.front().t;
-    for (const SlotSample& s : slots) {
-      t_lo = std::min(t_lo, s.t);
-      t_hi = std::max(t_hi, s.t);
-    }
-    const double width = (t_hi - t_lo) / static_cast<double>(bins);
-    std::vector<std::array<std::uint64_t, 3>> counts(
-        bins, std::array<std::uint64_t, 3>{});
-    for (const SlotSample& s : slots) {
-      std::size_t b = width <= 0.0 ? 0
-                                   : static_cast<std::size_t>(
-                                         (s.t - t_lo) / width);
-      if (b >= bins) b = bins - 1;
-      ++counts[b][static_cast<std::size_t>(s.kind)];
-    }
-    std::printf("\nslot utilization (%zu bins over t=[%.0f, %.0f])\n", bins,
-                t_lo, t_hi);
-    std::printf("%18s %8s %8s %8s\n", "bin", "push", "pull", "idle");
-    for (std::size_t b = 0; b < bins; ++b) {
-      const double total = static_cast<double>(counts[b][0] + counts[b][1] +
-                                               counts[b][2]);
-      if (total == 0.0) continue;
-      std::printf("[%7.0f,%7.0f) %7.1f%% %7.1f%% %7.1f%%\n",
-                  t_lo + width * static_cast<double>(b),
-                  t_lo + width * static_cast<double>(b + 1),
-                  100.0 * static_cast<double>(counts[b][0]) / total,
-                  100.0 * static_cast<double>(counts[b][1]) / total,
-                  100.0 * static_cast<double>(counts[b][2]) / total);
-    }
-  }
-
-  if (spans.empty()) {
+  if (breakdown.pull_served + breakdown.snooped + breakdown.push_served ==
+      0) {
     std::fprintf(stderr,
                  "no request->delivery span could be reconstructed\n");
     return 1;
