@@ -41,6 +41,22 @@ void MeasuredClient::Start() {
   MakeRequest();
 }
 
+void MeasuredClient::EnableRobustness(const RobustPullOptions& options,
+                                      sim::Rng rng) {
+  BDISK_CHECK_MSG(state_ == State::kIdle,
+                  "enable robustness before Start()");
+  BDISK_CHECK_MSG(options.timeout > 0.0, "robust timeout must be positive");
+  BDISK_CHECK_MSG(options.backoff >= 1.0, "robust backoff must be >= 1");
+  BDISK_CHECK_MSG(options.backoff_cap >= options.timeout,
+                  "robust backoff cap below the base timeout");
+  BDISK_CHECK_MSG(options.jitter >= 0.0 && options.jitter <= 1.0,
+                  "robust jitter must be a fraction in [0,1]");
+  BDISK_CHECK_MSG(options.probe_interval > 0.0,
+                  "robust probe interval must be positive");
+  robust_ = options;
+  retry_rng_ = rng;
+}
+
 void MeasuredClient::SetThresPerc(double thres_perc) {
   options_.thres_perc = thres_perc;
   filter_ = ThresholdFilter(thres_perc, server_->program().Length());
@@ -62,8 +78,12 @@ void MeasuredClient::OnWakeup() {
       MakeRequest();
       return;
     case State::kWaiting:
-      // Retry timer: our earlier pull for an unscheduled page may have been
-      // dropped (we get no feedback); resend and re-arm.
+      if (robust_) {
+        OnRobustTimeout();
+        return;
+      }
+      // Legacy retry timer: our earlier pull for an unscheduled page may
+      // have been dropped (we get no feedback); resend and re-arm.
       BDISK_DCHECK(waiting_unscheduled_ && options_.retry_interval > 0.0);
       if (options_.use_backchannel) {
         if (sink_ != nullptr) {
@@ -110,21 +130,120 @@ void MeasuredClient::MakeRequest() {
                   "push-only client blocked on a page that is never pushed");
   predicted_push_wait_ = 0.0;
   if (options_.use_backchannel && filter_.ShouldPull(distance)) {
-    server_->SubmitRequest(page, obs::kMeasuredClientId);
-    ++pull_requests_sent_;
-    if (!waiting_unscheduled_) {
-      // +1: the transmission slot. Push slots are a lower bound on real
-      // time (interleaved pulls delay the schedule), making the ratio a
-      // slightly optimistic saturation signal — which is the safe side.
-      predicted_push_wait_ = static_cast<double>(distance) + 1.0;
+    bool send = true;
+    if (robust_ && backchannel_dead_ && !waiting_unscheduled_ &&
+        ever_probed_ &&
+        Now() - last_probe_time_ < robust_->probe_interval) {
+      // Dead backchannel, probe budget spent: scheduled pages lean on the
+      // push safety net instead of wasting a pull. Unscheduled pages never
+      // take this branch — pull is their only path.
+      send = false;
+      ++fallbacks_;
+      if (sink_ != nullptr) {
+        sink_->Record(Now(), obs::SpanEvent::kFallback,
+                      obs::kMeasuredClientId, page);
+      }
+    }
+    if (send) {
+      if (robust_) {
+        SendRobustPull(page);
+      } else {
+        server_->SubmitRequest(page, obs::kMeasuredClientId);
+        ++pull_requests_sent_;
+      }
+      if (!waiting_unscheduled_) {
+        // +1: the transmission slot. Push slots are a lower bound on real
+        // time (interleaved pulls delay the schedule), making the ratio a
+        // slightly optimistic saturation signal — which is the safe side.
+        predicted_push_wait_ = static_cast<double>(distance) + 1.0;
+      }
     }
   } else if (options_.use_backchannel && sink_ != nullptr) {
     sink_->Record(Now(), obs::SpanEvent::kSubmitFiltered,
                   obs::kMeasuredClientId, page,
                   static_cast<double>(distance));
   }
-  if (waiting_unscheduled_ && options_.retry_interval > 0.0) {
+  if (!robust_ && waiting_unscheduled_ && options_.retry_interval > 0.0) {
     ScheduleWakeup(options_.retry_interval);
+  }
+}
+
+void MeasuredClient::SendRobustPull(PageId page) {
+  server_->SubmitRequest(page, obs::kMeasuredClientId);
+  ++pull_requests_sent_;
+  if (backchannel_dead_) {
+    ++probes_sent_;
+    last_probe_time_ = Now();
+    ever_probed_ = true;
+  }
+  attempt_ = 0;
+  pull_outstanding_ = true;
+  ArmRobustTimeout();
+}
+
+void MeasuredClient::ArmRobustTimeout() {
+  double t = robust_->timeout;
+  for (std::uint32_t i = 0; i < attempt_; ++i) t *= robust_->backoff;
+  t = std::min(t, robust_->backoff_cap);
+  if (robust_->jitter > 0.0) {
+    // Deterministic jitter from the dedicated stream: decorrelates retry
+    // storms across clients/requests without perturbing any model stream.
+    t += t * robust_->jitter * retry_rng_.NextDouble();
+  }
+  armed_timeout_ = t;
+  ScheduleWakeup(t);
+}
+
+void MeasuredClient::OnRobustTimeout() {
+  ++timeouts_fired_;
+  if (sink_ != nullptr) {
+    sink_->Record(Now(), obs::SpanEvent::kTimeout, obs::kMeasuredClientId,
+                  waiting_page_, armed_timeout_);
+  }
+  armed_timeout_ = 0.0;
+  if (attempt_ < robust_->max_retries) {
+    ++attempt_;
+    if (sink_ != nullptr) {
+      sink_->Record(Now(), obs::SpanEvent::kRetry, obs::kMeasuredClientId,
+                    waiting_page_);
+    }
+    server_->SubmitRequest(waiting_page_, obs::kMeasuredClientId);
+    ++retries_sent_;
+    if (backchannel_dead_) {
+      ++probes_sent_;
+      last_probe_time_ = Now();
+      ever_probed_ = true;
+    }
+    ArmRobustTimeout();
+    return;
+  }
+  // Retry budget spent: the whole request failed on the backchannel.
+  pull_outstanding_ = false;
+  ++consecutive_failures_;
+  if (!backchannel_dead_ && robust_->dead_threshold > 0 &&
+      consecutive_failures_ >= robust_->dead_threshold) {
+    backchannel_dead_ = true;
+    ++backchannel_deaths_;
+  }
+  if (waiting_unscheduled_) {
+    // No push safety net exists for this page: resolve the request with an
+    // explicit timeout rather than hanging forever. The elapsed time is
+    // the access's (poor) response time — visible in the tail, not hidden.
+    const double elapsed = Now() - request_time_;
+    ++abandoned_;
+    if (sink_ != nullptr) {
+      sink_->Record(Now(), obs::SpanEvent::kAbandon, obs::kMeasuredClientId,
+                    waiting_page_, elapsed);
+    }
+    CompleteAccess(elapsed);
+    return;
+  }
+  // Scheduled page: fall back to waiting on the broadcast. No more timers;
+  // the periodic schedule delivers within one major cycle.
+  ++fallbacks_;
+  if (sink_ != nullptr) {
+    sink_->Record(Now(), obs::SpanEvent::kFallback, obs::kMeasuredClientId,
+                  waiting_page_);
   }
 }
 
@@ -140,8 +259,15 @@ void MeasuredClient::CompleteAccess(double response_time) {
   if (on_access_complete_) on_access_complete_(response_time);
 }
 
-void MeasuredClient::OnBroadcast(PageId page, server::SlotKind /*kind*/,
+void MeasuredClient::OnBroadcast(PageId page, server::SlotKind kind,
                                  sim::SimTime now) {
+  if (robust_ && backchannel_dead_ && kind == server::SlotKind::kPull) {
+    // Snooped proof of life: a pull slot means the server is answering
+    // requests again — revive the backchannel for everyone listening.
+    backchannel_dead_ = false;
+    consecutive_failures_ = 0;
+    ++backchannel_recoveries_;
+  }
   if (state_ == State::kWaiting && page == waiting_page_) {
     if (predicted_push_wait_ > 0.0) {
       // A wait below one transmission time means the page was already in
@@ -159,7 +285,15 @@ void MeasuredClient::OnBroadcast(PageId page, server::SlotKind /*kind*/,
       predicted_push_wait_ = 0.0;
     }
     InsertIntoCache(page, now);
-    CancelWakeup();  // Disarm any pending retry timer.
+    CancelWakeup();  // Disarm any pending retry/timeout timer.
+    if (robust_) {
+      // A delivery while our pull was live counts as backchannel success;
+      // a delivery after fallback proves nothing about it.
+      if (pull_outstanding_) consecutive_failures_ = 0;
+      pull_outstanding_ = false;
+      attempt_ = 0;
+      armed_timeout_ = 0.0;
+    }
     if (sink_ != nullptr) {
       sink_->Record(now, obs::SpanEvent::kDelivery, obs::kMeasuredClientId,
                     page, now - request_time_);

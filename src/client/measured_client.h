@@ -59,6 +59,33 @@ struct MeasuredClientOptions {
   bool prefetch = false;
 };
 
+/// Resolved client-robustness settings (bdisk::fault). Auto-defaults (0
+/// values in the FaultPlan) are resolved by core::System before this
+/// reaches the client, so every field here is concrete and positive where
+/// it must be. Engaging these replaces the legacy unscheduled-retry timer
+/// with a full timeout/retry/backoff engine on every pull.
+struct RobustPullOptions {
+  /// Base per-request timeout in broadcast units (> 0).
+  double timeout = 0.0;
+  /// Bounded retries per request after the initial pull.
+  std::uint32_t max_retries = 3;
+  /// Timeout multiplier per retry (>= 1).
+  double backoff = 2.0;
+  /// Absolute cap on the backed-off timeout, pre-jitter (> 0).
+  double backoff_cap = 0.0;
+  /// Each armed timeout is stretched by a uniform draw in
+  /// [0, jitter * timeout) from the client's dedicated retry RNG stream —
+  /// deterministic per seed, decorrelated across requests.
+  double jitter = 0.1;
+  /// Consecutive fully-failed requests before the backchannel is declared
+  /// dead; 0 = never.
+  std::uint32_t dead_threshold = 5;
+  /// While dead, minimum spacing between probe pulls for scheduled pages
+  /// (> 0). Unscheduled pages always pull — it is their only path — and
+  /// snooping any pull-slot delivery revives the backchannel immediately.
+  double probe_interval = 0.0;
+};
+
 /// The Measured Client (MC, §3.1): a closed-loop "request–think" process
 /// whose response times are the primary experimental metric.
 ///
@@ -127,6 +154,26 @@ class MeasuredClient : public sim::Process,
     collector_ = collector;
   }
 
+  /// Engages the robust pull engine (bdisk::fault): per-request timeouts,
+  /// bounded retries with exponential backoff and deterministic jitter,
+  /// dead-backchannel detection with fallback-to-broadcast, and explicit
+  /// abandonment of unscheduled-page requests once the retry budget is
+  /// spent. `rng` must be a dedicated stream (jitter draws never perturb
+  /// the access stream). Call before Start(); supersedes the legacy
+  /// retry_interval timer.
+  void EnableRobustness(const RobustPullOptions& options, sim::Rng rng);
+
+  /// Robustness accounting (all zero unless EnableRobustness was called).
+  std::uint64_t TimeoutsFired() const { return timeouts_fired_; }
+  std::uint64_t Abandoned() const { return abandoned_; }
+  std::uint64_t Fallbacks() const { return fallbacks_; }
+  std::uint64_t ProbesSent() const { return probes_sent_; }
+  std::uint64_t BackchannelDeaths() const { return backchannel_deaths_; }
+  std::uint64_t BackchannelRecoveries() const {
+    return backchannel_recoveries_;
+  }
+  bool BackchannelDead() const { return backchannel_dead_; }
+
   /// Attaches a metrics registry (not owned): wires the cache's
   /// eviction-value stream into "client.mc.cache.evict_value". Lifetime
   /// counters and the response histogram are snapshotted at collect time
@@ -183,6 +230,15 @@ class MeasuredClient : public sim::Process,
   void InsertIntoCache(PageId page, sim::SimTime now);
   void ConsiderPrefetch(PageId page, sim::SimTime now);
 
+  /// Robust engine: arms the wakeup timer with the backed-off, capped,
+  /// jittered timeout for the current attempt number.
+  void ArmRobustTimeout();
+  /// Robust engine: the armed timeout fired while waiting.
+  void OnRobustTimeout();
+  /// Robust engine: submits the pull for the current attempt (initial or
+  /// probe), arming the timeout.
+  void SendRobustPull(PageId page);
+
   server::BroadcastServer* server_;
   workload::AccessGenerator generator_;
   MeasuredClientOptions options_;
@@ -195,6 +251,23 @@ class MeasuredClient : public sim::Process,
   PageId waiting_page_ = broadcast::kNoPage;
   sim::SimTime request_time_ = 0.0;
   bool waiting_unscheduled_ = false;
+
+  // Robust pull engine (bdisk::fault); inert unless robust_ is engaged.
+  std::optional<RobustPullOptions> robust_;
+  sim::Rng retry_rng_{0};         // Dedicated jitter stream.
+  std::uint32_t attempt_ = 0;     // Retries spent on the current request.
+  double armed_timeout_ = 0.0;    // The timeout currently armed; 0 = none.
+  bool pull_outstanding_ = false; // A robust pull awaits answer or timeout.
+  std::uint32_t consecutive_failures_ = 0;
+  bool backchannel_dead_ = false;
+  sim::SimTime last_probe_time_ = 0.0;
+  bool ever_probed_ = false;
+  std::uint64_t timeouts_fired_ = 0;
+  std::uint64_t abandoned_ = 0;
+  std::uint64_t fallbacks_ = 0;
+  std::uint64_t probes_sent_ = 0;
+  std::uint64_t backchannel_deaths_ = 0;
+  std::uint64_t backchannel_recoveries_ = 0;
   // Scheduled-push wait (slots + transmission) predicted when the current
   // pull was sent; 0 when no pull is outstanding for a scheduled page.
   double predicted_push_wait_ = 0.0;

@@ -84,6 +84,20 @@ std::string SystemConfig::Validate() const {
     return "prefetching reads the push broadcast; Pure-Pull has none";
   }
   if (obs_window <= 0.0) return "obs_window must be positive";
+  {
+    const std::string fault_error = fault.Validate();
+    if (!fault_error.empty()) return fault_error;
+  }
+  if (fault.ChannelFaultsEnabled() || fault.OutagesEnabled()) {
+    if (mode == DeliveryMode::kPurePush &&
+        (fault.request_loss > 0.0 || fault.request_delay > 0.0)) {
+      return "fault.request_loss/request_delay need a backchannel; "
+             "Pure-Push has none";
+    }
+  }
+  if (fault.DegradedModeEnabled() && mode == DeliveryMode::kPurePush) {
+    return "fault.shed_hi governs the pull queue; Pure-Push has none";
+  }
   if (!flight_recorder.empty()) {
     obs::FlightTriggers triggers;
     const std::string error =

@@ -10,6 +10,7 @@
 #include "broadcast/disk_config.h"
 #include "broadcast/program_builder.h"
 #include "cache/cache.h"
+#include "fault/fault_plan.h"
 
 namespace bdisk::core {
 
@@ -110,6 +111,13 @@ struct SystemConfig {
   /// queue_depth>90"; empty = disarmed. Validated against
   /// obs::ParseFlightTriggerSpec.
   std::string flight_recorder;
+
+  // --- Fault injection / robustness (bdisk::fault; see ROBUSTNESS.md) ---
+  /// Deterministic fault plan: channel loss/corruption, backchannel faults,
+  /// server outage windows, client retry knobs, degraded-mode shedding.
+  /// All-zero (the default) means the fault layer is compiled out of the
+  /// run entirely and the trajectory is bit-identical to a build without it.
+  fault::FaultPlan fault;
 
   // --- Dynamic adaptation (extension; paper §6 future work) ---
   /// Enable the server-side PullBW controller (kIpp only).

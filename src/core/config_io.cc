@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <sstream>
 #include <vector>
 
@@ -157,6 +158,67 @@ std::string ApplyConfigOption(const std::string& raw_key,
     return "";
   }
 
+  // fault.* doubles carry eager range checks so a bad plan fails at parse
+  // time with the offending key named, not later at System construction.
+  struct FaultDoubleKey {
+    const char* name;
+    double* field;
+    double lo;
+    double hi;  // Infinity for unbounded-above.
+    const char* range;
+  };
+  const double inf = std::numeric_limits<double>::infinity();
+  const FaultDoubleKey fault_doubles[] = {
+      {"fault.slot_loss", &config->fault.slot_loss, 0.0, 1.0, "in [0,1]"},
+      {"fault.slot_corruption", &config->fault.slot_corruption, 0.0, 1.0,
+       "in [0,1]"},
+      {"fault.request_loss", &config->fault.request_loss, 0.0, 1.0,
+       "in [0,1]"},
+      {"fault.request_delay", &config->fault.request_delay, 0.0, inf,
+       ">= 0"},
+      {"fault.outage_start", &config->fault.outage_start, 0.0, inf, ">= 0"},
+      {"fault.outage_duration", &config->fault.outage_duration, 0.0, inf,
+       ">= 0"},
+      {"fault.outage_period", &config->fault.outage_period, 0.0, inf,
+       ">= 0"},
+      {"fault.mc_timeout", &config->fault.mc_timeout, 0.0, inf,
+       ">= 0 (0 = auto)"},
+      {"fault.mc_backoff", &config->fault.mc_backoff, 1.0, inf, ">= 1"},
+      {"fault.mc_backoff_cap", &config->fault.mc_backoff_cap, 0.0, inf,
+       ">= 0 (0 = auto)"},
+      {"fault.mc_jitter", &config->fault.mc_jitter, 0.0, 1.0, "in [0,1]"},
+      {"fault.mc_probe_interval", &config->fault.mc_probe_interval, 0.0,
+       inf, ">= 0 (0 = auto)"},
+      {"fault.shed_hi", &config->fault.shed_hi, 0.0, 1.0, "in [0,1]"},
+      {"fault.shed_lo", &config->fault.shed_lo, 0.0, 1.0, "in [0,1]"},
+      {"fault.degraded_pull_bw", &config->fault.degraded_pull_bw, 0.0, 1.0,
+       "in [0,1]"},
+  };
+  for (const FaultDoubleKey& entry : fault_doubles) {
+    if (key == entry.name) {
+      double parsed = 0.0;
+      if (!ParseDouble(value, &parsed)) return bad_value();
+      if (parsed < entry.lo || parsed > entry.hi) {
+        return key + " must be " + entry.range;
+      }
+      *entry.field = parsed;
+      return "";
+    }
+  }
+  if (key == "fault.mc_max_retries") {
+    return ParseU32(value, &config->fault.mc_max_retries) ? "" : bad_value();
+  }
+  if (key == "fault.mc_dead_threshold") {
+    return ParseU32(value, &config->fault.mc_dead_threshold) ? ""
+                                                            : bad_value();
+  }
+  if (key == "fault.shed_distance") {
+    return ParseU32(value, &config->fault.shed_distance) ? "" : bad_value();
+  }
+  if (key == "fault.brownout") {
+    return ParseBool(value, &config->fault.brownout) ? "" : bad_value();
+  }
+
   struct DoubleKey {
     const char* name;
     double* field;
@@ -300,6 +362,30 @@ std::string ConfigToText(const SystemConfig& config) {
   out << "obs_window = " << config.obs_window << "\n";
   if (!config.flight_recorder.empty()) {
     out << "flight_recorder = " << config.flight_recorder << "\n";
+  }
+  if (config.fault.Enabled()) {
+    // An inert (all-default) plan is omitted entirely so pre-fault config
+    // text stays byte-identical; an enabled plan is written in full.
+    const fault::FaultPlan& f = config.fault;
+    out << "fault.slot_loss = " << f.slot_loss << "\n";
+    out << "fault.slot_corruption = " << f.slot_corruption << "\n";
+    out << "fault.request_loss = " << f.request_loss << "\n";
+    out << "fault.request_delay = " << f.request_delay << "\n";
+    out << "fault.outage_start = " << f.outage_start << "\n";
+    out << "fault.outage_duration = " << f.outage_duration << "\n";
+    out << "fault.outage_period = " << f.outage_period << "\n";
+    out << "fault.brownout = " << (f.brownout ? "true" : "false") << "\n";
+    out << "fault.mc_timeout = " << f.mc_timeout << "\n";
+    out << "fault.mc_max_retries = " << f.mc_max_retries << "\n";
+    out << "fault.mc_backoff = " << f.mc_backoff << "\n";
+    out << "fault.mc_backoff_cap = " << f.mc_backoff_cap << "\n";
+    out << "fault.mc_jitter = " << f.mc_jitter << "\n";
+    out << "fault.mc_dead_threshold = " << f.mc_dead_threshold << "\n";
+    out << "fault.mc_probe_interval = " << f.mc_probe_interval << "\n";
+    out << "fault.shed_hi = " << f.shed_hi << "\n";
+    out << "fault.shed_lo = " << f.shed_lo << "\n";
+    out << "fault.shed_distance = " << f.shed_distance << "\n";
+    out << "fault.degraded_pull_bw = " << f.degraded_pull_bw << "\n";
   }
   return out.str();
 }

@@ -17,7 +17,9 @@ namespace bdisk::core {
 ///   cache_size, mc_think_time, think_time_ratio, steady_state_perc,
 ///   vc_enabled (true|false), mc_retry_interval, mc_policy (pix|p|lru|lfu),
 ///   seed, update_rate, update_zipf_theta, mc_prefetch, adaptive_pull_bw,
-///   adaptive_threshold.
+///   adaptive_threshold, plus the fault-injection plan under a `fault.`
+///   prefix (fault.slot_loss, fault.request_loss, fault.outage_start, ...;
+///   the full key list and semantics are in ROBUSTNESS.md).
 
 /// Applies one assignment to `config`. Returns an error description, or
 /// empty on success. Unknown keys are errors.

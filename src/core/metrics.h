@@ -81,10 +81,35 @@ struct RunResult {
   std::uint64_t requests_accepted = 0;
   std::uint64_t requests_coalesced = 0;
   std::uint64_t requests_dropped = 0;
-  /// Fraction of submitted pull requests dropped at a full queue.
+  /// Fault-layer drops, accounted separately from capacity drops
+  /// (requests_dropped): shed by degraded-mode admission control, and
+  /// discarded during an outage window. Both 0 without a FaultPlan.
+  std::uint64_t requests_shed = 0;
+  std::uint64_t requests_dropped_outage = 0;
+  /// Fraction of submitted pull requests discarded for any reason
+  /// (capacity, shed, or outage).
   double drop_rate = 0.0;
   /// Deepest the pull queue ever got (distinct queued pages).
   std::uint32_t queue_depth_high_water = 0;
+
+  /// Fault-injection accounting (all 0 without a FaultPlan; see
+  /// ROBUSTNESS.md). Injected faults:
+  std::uint64_t fault_slots_lost = 0;
+  std::uint64_t fault_slots_corrupted = 0;
+  std::uint64_t fault_requests_lost = 0;
+  std::uint64_t fault_requests_delayed = 0;
+  std::uint64_t outage_slots = 0;
+  std::uint64_t outages_started = 0;
+  /// Server degraded-mode transitions:
+  std::uint64_t degraded_enters = 0;
+  std::uint64_t degraded_exits = 0;
+  /// MC robustness engine:
+  std::uint64_t mc_timeouts_fired = 0;
+  std::uint64_t mc_abandoned = 0;
+  std::uint64_t mc_fallbacks = 0;
+  std::uint64_t mc_probes_sent = 0;
+  std::uint64_t mc_backchannel_deaths = 0;
+  std::uint64_t mc_backchannel_recoveries = 0;
 
   /// Frontchannel slot usage fractions.
   double push_slot_frac = 0.0;

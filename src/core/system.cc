@@ -18,7 +18,11 @@ namespace bdisk::core {
 namespace {
 
 // Fixed salts give each component an independent, reproducible RNG stream.
+// Fault streams are salted (not Split() from the root) so enabling a
+// FaultPlan never shifts the streams existing components draw from.
 constexpr std::uint64_t kNoiseSalt = 0xBD15C01F5EEDULL;
+constexpr std::uint64_t kFaultSalt = 0xFA017'1A7EC7EDULL;
+constexpr std::uint64_t kRetrySalt = 0x2E72'BAC0FF5EULL;
 
 workload::AccessPattern MakeMcPattern(const workload::AccessPattern& canonical,
                                       const SystemConfig& config) {
@@ -204,7 +208,9 @@ System::System(const SystemConfig& config,
     vc_options.thres_perc =
         (config.mode == DeliveryMode::kIpp) ? config.thres_perc : 0.0;
     vc_options.cache_size = config.cache_size;
-    vc_options.fused = config.vc_fusion;
+    // fault.request_delay re-times submissions through the event heap; the
+    // fused batch path cannot represent that, so delay forces unfused.
+    vc_options.fused = config.vc_fusion && config.fault.request_delay == 0.0;
     vc_ = std::make_unique<client::VirtualClient>(
         &simulator_, server_.get(), artifacts_->canonical_pattern,
         TopValuedPages(vc_values, config.cache_size), vc_options, vc_rng);
@@ -220,6 +226,32 @@ System::System(const SystemConfig& config,
         update_rng);
     update_generator_->AddListener(mc_.get());
     if (vc_) update_generator_->AddListener(vc_.get());
+  }
+
+  // --- Fault injection / robustness (bdisk::fault; ROBUSTNESS.md) --------
+  if (config.fault.Enabled()) {
+    injector_ = std::make_unique<fault::FaultInjector>(
+        config.fault, sim::Rng(config.seed ^ kFaultSalt));
+    server_->SetFaultInjector(injector_.get());
+    if (mc_options.use_backchannel) {
+      client::RobustPullOptions robust;
+      const double cycle = push_exists
+                               ? static_cast<double>(server_->program().Length())
+                               : static_cast<double>(config.server_db_size);
+      robust.timeout =
+          config.fault.mc_timeout > 0.0 ? config.fault.mc_timeout : cycle;
+      robust.max_retries = config.fault.mc_max_retries;
+      robust.backoff = config.fault.mc_backoff;
+      robust.backoff_cap = config.fault.mc_backoff_cap > 0.0
+                               ? config.fault.mc_backoff_cap
+                               : 8.0 * robust.timeout;
+      robust.jitter = config.fault.mc_jitter;
+      robust.dead_threshold = config.fault.mc_dead_threshold;
+      robust.probe_interval = config.fault.mc_probe_interval > 0.0
+                                  ? config.fault.mc_probe_interval
+                                  : cycle;
+      mc_->EnableRobustness(robust, sim::Rng(config.seed ^ kRetrySalt));
+    }
   }
 
   // --- Adaptive controllers (extension; paper §6) ------------------------
@@ -313,6 +345,28 @@ void System::SnapshotMetrics(obs::MetricsRegistry* registry) const {
   if (update_generator_) {
     counter("server.updates_generated", update_generator_->UpdateCount());
   }
+  if (injector_) {
+    // fault.* keys exist only when a FaultPlan is active: bdisk_compare
+    // treats a key present in one snapshot but not the other as a
+    // regression, and fault-free snapshots must stay comparable to the
+    // committed pre-fault baseline.
+    counter("fault.slots_lost", injector_->SlotsLost());
+    counter("fault.slots_corrupted", injector_->SlotsCorrupted());
+    counter("fault.requests_lost", injector_->RequestsLost());
+    counter("fault.requests_delayed", injector_->RequestsDelayed());
+    counter("fault.requests_shed", queue.ShedCount());
+    counter("fault.requests_dropped_outage", queue.OutageDropCount());
+    counter("fault.outage_slots", server_->OutageSlots());
+    counter("fault.outages_started", server_->OutagesStarted());
+    counter("fault.degraded_enters", server_->DegradedEnters());
+    counter("fault.degraded_exits", server_->DegradedExits());
+    counter("fault.mc.timeouts", mc_->TimeoutsFired());
+    counter("fault.mc.abandoned", mc_->Abandoned());
+    counter("fault.mc.fallbacks", mc_->Fallbacks());
+    counter("fault.mc.probes", mc_->ProbesSent());
+    counter("fault.mc.backchannel_deaths", mc_->BackchannelDeaths());
+    counter("fault.mc.backchannel_recoveries", mc_->BackchannelRecoveries());
+  }
 
   if (collector_ != nullptr) collector_->PublishTo(registry);
 
@@ -377,8 +431,27 @@ RunResult System::CollectResult(bool converged) const {
   result.requests_accepted = queue.AcceptedCount();
   result.requests_coalesced = queue.CoalescedCount();
   result.requests_dropped = queue.DroppedCount();
+  result.requests_shed = queue.ShedCount();
+  result.requests_dropped_outage = queue.OutageDropCount();
   result.drop_rate = queue.DropRate();
   result.queue_depth_high_water = queue.DepthHighWater();
+
+  if (injector_) {
+    result.fault_slots_lost = injector_->SlotsLost();
+    result.fault_slots_corrupted = injector_->SlotsCorrupted();
+    result.fault_requests_lost = injector_->RequestsLost();
+    result.fault_requests_delayed = injector_->RequestsDelayed();
+    result.outage_slots = server_->OutageSlots();
+    result.outages_started = server_->OutagesStarted();
+    result.degraded_enters = server_->DegradedEnters();
+    result.degraded_exits = server_->DegradedExits();
+    result.mc_timeouts_fired = mc_->TimeoutsFired();
+    result.mc_abandoned = mc_->Abandoned();
+    result.mc_fallbacks = mc_->Fallbacks();
+    result.mc_probes_sent = mc_->ProbesSent();
+    result.mc_backchannel_deaths = mc_->BackchannelDeaths();
+    result.mc_backchannel_recoveries = mc_->BackchannelRecoveries();
+  }
 
   const double slots = static_cast<double>(server_->TotalSlots());
   if (slots > 0) {

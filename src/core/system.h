@@ -17,6 +17,7 @@
 #include "client/virtual_client.h"
 #include "core/config.h"
 #include "core/metrics.h"
+#include "fault/fault_injector.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace_sink.h"
@@ -186,6 +187,9 @@ class System {
     return update_generator_.get();
   }
 
+  /// Fault injector; null unless the config's FaultPlan is Enabled().
+  fault::FaultInjector* fault_injector() { return injector_.get(); }
+
  private:
   RunResult CollectResult(bool converged) const;
   void TimedRun(sim::SimTime max_sim_time);
@@ -200,6 +204,7 @@ class System {
   std::unique_ptr<adaptive::ServerController> server_controller_;
   std::unique_ptr<adaptive::ClientController> client_controller_;
   std::unique_ptr<server::UpdateGenerator> update_generator_;
+  std::unique_ptr<fault::FaultInjector> injector_;
   obs::WindowedCollector* collector_ = nullptr;  // Not owned.
   obs::TraceSink* sink_ = nullptr;               // Not owned.
   bool ran_ = false;

@@ -1,0 +1,108 @@
+#ifndef BDISK_FAULT_FAULT_INJECTOR_H_
+#define BDISK_FAULT_FAULT_INJECTOR_H_
+
+#include <cstdint>
+
+#include "fault/fault_plan.h"
+#include "sim/rng.h"
+#include "sim/types.h"
+
+namespace bdisk::fault {
+
+/// What happened to one broadcast slot on the (faulty) frontchannel.
+enum class SlotFate : std::uint8_t {
+  kDelivered = 0,  // Arrived intact at every client.
+  kLost,           // Vanished in transit; the slot is spent, nobody hears it.
+  kCorrupted,      // Arrived damaged; clients checksum and discard it.
+};
+
+/// Makes the FaultPlan's random decisions from a dedicated RNG stream and
+/// keeps the injection tally.
+///
+/// The stream discipline is the whole point: the injector is seeded from a
+/// salted copy of the system seed (never via an extra Split() on the shared
+/// root), and every decision method short-circuits before drawing when its
+/// rate is zero. Together these guarantee that a disabled plan perturbs
+/// nothing — the server/client streams see exactly the draws they saw
+/// before the fault layer existed — while an enabled plan is still fully
+/// deterministic per seed.
+///
+/// Outage windows are a pure function of time (no randomness), so repeated
+/// queries are free and cannot skew any stream.
+class FaultInjector {
+ public:
+  FaultInjector(const FaultPlan& plan, sim::Rng rng)
+      : plan_(plan), rng_(rng) {}
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Decides one slot's fate. Draws at most once, and only when loss or
+  /// corruption is configured.
+  SlotFate JudgeSlot() {
+    const double loss = plan_.slot_loss;
+    const double corrupt = plan_.slot_corruption;
+    if (loss <= 0.0 && corrupt <= 0.0) return SlotFate::kDelivered;
+    const double u = rng_.NextDouble();
+    if (u < loss) {
+      ++slots_lost_;
+      return SlotFate::kLost;
+    }
+    if (u < loss + corrupt) {
+      ++slots_corrupted_;
+      return SlotFate::kCorrupted;
+    }
+    return SlotFate::kDelivered;
+  }
+
+  /// True when this backchannel request is lost in transit (draws only when
+  /// request loss is configured).
+  bool JudgeRequestLost() {
+    if (plan_.request_loss <= 0.0) return false;
+    if (!rng_.NextBernoulli(plan_.request_loss)) return false;
+    ++requests_lost_;
+    return true;
+  }
+
+  /// Extra backchannel latency for this request, exponentially distributed
+  /// with the configured mean; 0 (and no draw) when delay is disabled.
+  double JudgeRequestDelay() {
+    if (plan_.request_delay <= 0.0) return 0.0;
+    ++requests_delayed_;
+    return rng_.NextExponential(plan_.request_delay);
+  }
+
+  /// True when `now` falls inside an outage window. Pure time arithmetic —
+  /// no randomness, no state.
+  bool InOutage(sim::SimTime now) const {
+    if (plan_.outage_duration <= 0.0 || now < plan_.outage_start) {
+      return false;
+    }
+    if (plan_.outage_period <= 0.0) {
+      return now < plan_.outage_start + plan_.outage_duration;
+    }
+    const double phase = now - plan_.outage_start;
+    const double in_cycle =
+        phase - plan_.outage_period *
+                    static_cast<double>(static_cast<std::uint64_t>(
+                        phase / plan_.outage_period));
+    return in_cycle < plan_.outage_duration;
+  }
+
+  /// Injection tallies (for fault.* metrics and accounting checks).
+  std::uint64_t SlotsLost() const { return slots_lost_; }
+  std::uint64_t SlotsCorrupted() const { return slots_corrupted_; }
+  std::uint64_t RequestsLost() const { return requests_lost_; }
+  std::uint64_t RequestsDelayed() const { return requests_delayed_; }
+
+ private:
+  FaultPlan plan_;
+  sim::Rng rng_;
+  std::uint64_t slots_lost_ = 0;
+  std::uint64_t slots_corrupted_ = 0;
+  std::uint64_t requests_lost_ = 0;
+  std::uint64_t requests_delayed_ = 0;
+};
+
+}  // namespace bdisk::fault
+
+#endif  // BDISK_FAULT_FAULT_INJECTOR_H_

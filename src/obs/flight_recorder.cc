@@ -65,9 +65,13 @@ std::string ParseFlightTriggerSpec(const std::string& spec,
       slot = &out->p99;
     } else if (name == "queue_depth") {
       slot = &out->queue_depth;
+    } else if (name == "shed_rate") {
+      slot = &out->shed_rate;
+    } else if (name == "loss_rate") {
+      slot = &out->loss_rate;
     } else {
       return "unknown trigger \"" + name +
-             "\" (know drop_rate, p99, queue_depth)";
+             "\" (know drop_rate, p99, queue_depth, shed_rate, loss_rate)";
     }
     if (*slot != FlightTriggers::kDisarmed) {
       return "trigger \"" + name + "\" given twice";
@@ -92,6 +96,10 @@ void FlightRecorder::OnWindow(const WindowStats& window) {
              triggers_.queue_depth) {
     Fire(window, "queue_depth", triggers_.queue_depth,
          static_cast<double>(window.queue_depth_max));
+  } else if (window.ShedRate() > triggers_.shed_rate) {
+    Fire(window, "shed_rate", triggers_.shed_rate, window.ShedRate());
+  } else if (window.LossRate() > triggers_.loss_rate) {
+    Fire(window, "loss_rate", triggers_.loss_rate, window.LossRate());
   }
 }
 
@@ -130,6 +138,14 @@ std::string FlightRecorder::BuildDump(const WindowStats& window,
   w.Value(window.coalesced);
   w.Key("dropped");
   w.Value(window.dropped);
+  w.Key("shed");
+  w.Value(window.shed);
+  w.Key("outage_dropped");
+  w.Value(window.outage_dropped);
+  w.Key("lost");
+  w.Value(window.lost);
+  w.Key("slots_lost");
+  w.Value(window.slots_lost);
   w.Key("drop_rate");
   w.Value(window.DropRate());
   w.Key("queue_depth");

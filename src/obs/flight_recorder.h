@@ -19,10 +19,13 @@ struct FlightTriggers {
   double drop_rate = kDisarmed;    // Window drop rate (dropped / submits).
   double p99 = kDisarmed;          // Window response p99, broadcast units.
   double queue_depth = kDisarmed;  // Window queue-depth high water.
+  double shed_rate = kDisarmed;    // Window (shed + outage) / submits.
+  double loss_rate = kDisarmed;    // Window slots lost / slots.
 
   bool Armed() const {
     return drop_rate != kDisarmed || p99 != kDisarmed ||
-           queue_depth != kDisarmed;
+           queue_depth != kDisarmed || shed_rate != kDisarmed ||
+           loss_rate != kDisarmed;
   }
 };
 

@@ -23,6 +23,8 @@ const char* SpanOutcomeName(SpanOutcome outcome) {
       return "push";
     case SpanOutcome::kIncomplete:
       return "incomplete";
+    case SpanOutcome::kAbandoned:
+      return "abandoned";
   }
   return "?";
 }
@@ -88,10 +90,15 @@ PhaseBreakdown Attribute(const std::vector<RequestSpan>& spans) {
         break;
       case SpanOutcome::kIncomplete:
         break;
+      case SpanOutcome::kAbandoned:
+        ++b.abandoned;
+        break;
     }
     if (s.coalesced) ++b.coalesced;
     b.drops += s.drops;
     b.retries += s.retries;
+    b.sheds += s.sheds;
+    b.timeouts += s.timeouts;
     queue_wait += s.QueueWait();
     broadcast_wait += s.BroadcastWait();
     transmit += s.Transmit();
@@ -239,6 +246,56 @@ void SpanAssembler::Feed(const SpanRecord& record) {
       if (it != pending_.end()) it->second.invalidated = true;
       return;
     }
+    case SpanEvent::kSubmitShed:
+    case SpanEvent::kSubmitOutage:
+    case SpanEvent::kSubmitLost: {
+      const auto it = pending_.find(Key(record.client, record.page));
+      if (it == pending_.end()) {
+        ++unmatched_submits_;  // Virtual-client load, tallied not joined.
+        return;
+      }
+      RequestSpan* span = &it->second;
+      // Shed/outage attempts reached the server; a channel-lost one never
+      // did, so it opens no queue interaction at all.
+      if (record.event != SpanEvent::kSubmitLost && !span->submitted) {
+        span->submitted = true;
+        span->submit_time = record.time;
+      }
+      ++span->drops;
+      if (record.event != SpanEvent::kSubmitLost) ++span->sheds;
+      return;
+    }
+    case SpanEvent::kSlotLost:
+    case SpanEvent::kSlotCorrupt:
+      // The slot was spent but nobody received the page: a later delivery
+      // of this page must not be attributed to the lost slot.
+      last_slot_.erase(record.page);
+      return;
+    case SpanEvent::kTimeout: {
+      const auto it = pending_.find(Key(record.client, record.page));
+      if (it != pending_.end()) ++it->second.timeouts;
+      return;
+    }
+    case SpanEvent::kFallback: {
+      const auto it = pending_.find(Key(record.client, record.page));
+      if (it != pending_.end()) it->second.fell_back = true;
+      return;
+    }
+    case SpanEvent::kAbandon: {
+      RequestSpan* span = PendingOrTruncated(record);
+      if (span == nullptr) return;
+      span->outcome = SpanOutcome::kAbandoned;
+      span->delivery_time = record.time;
+      span->response = record.value;
+      completed_.push_back(*span);
+      pending_.erase(Key(record.client, record.page));
+      return;
+    }
+    case SpanEvent::kDegradedEnter:
+    case SpanEvent::kDegradedExit:
+    case SpanEvent::kOutageStart:
+    case SpanEvent::kOutageEnd:
+      return;  // Server-global state transitions; no span to join.
     case SpanEvent::kMaxValue:
       return;
   }

@@ -17,6 +17,8 @@ enum class SpanOutcome : std::uint8_t {
   kSnooped,       // Delivered by a pull slot another client pulled.
   kPushServed,    // Delivered by a scheduled (push) slot.
   kIncomplete,    // Still waiting when the trace ended.
+  kAbandoned,     // Client gave up after its retry budget (bdisk::fault);
+                  // the elapsed time is the explicit-timeout response.
 };
 
 const char* SpanOutcomeName(SpanOutcome outcome);
@@ -42,8 +44,12 @@ struct RequestSpan {
   bool coalesced = false;   // First live attempt merged with a queued pull.
   bool filtered = false;    // Threshold filter suppressed the initial pull.
   bool invalidated = false; // An invalidation hit this page mid-span.
-  std::uint32_t drops = 0;  // Attempts lost to a full backchannel queue.
+  bool fell_back = false;   // Client fell back to waiting on the broadcast.
+  std::uint32_t drops = 0;  // Attempts that never entered the queue (full,
+                            // shed, outage, or lost on the backchannel).
+  std::uint32_t sheds = 0;  // Of those, shed/outage-discarded (fault layer).
   std::uint32_t retries = 0;
+  std::uint32_t timeouts = 0;  // Client timeouts fired during the span.
 
   /// Head (or tail) lost to ring truncation: the span is counted but its
   /// phases are excluded from attribution, never guessed.
@@ -73,6 +79,9 @@ struct PhaseBreakdown {
   std::uint64_t coalesced = 0;  // Spans whose first live submit coalesced.
   std::uint64_t drops = 0;      // Total dropped submits across spans.
   std::uint64_t retries = 0;
+  std::uint64_t abandoned = 0;  // Spans ended by explicit client timeout.
+  std::uint64_t sheds = 0;      // Shed/outage-discarded submits across spans.
+  std::uint64_t timeouts = 0;   // Client timeouts fired across spans.
   double mean_queue_wait = 0.0;
   double mean_broadcast_wait = 0.0;
   double mean_transmit = 0.0;

@@ -34,6 +34,30 @@ const char* SpanEventName(SpanEvent event) {
       return "delivery";
     case SpanEvent::kInvalidate:
       return "invalidate";
+    case SpanEvent::kSubmitShed:
+      return "submit_shed";
+    case SpanEvent::kSubmitOutage:
+      return "submit_outage";
+    case SpanEvent::kSubmitLost:
+      return "submit_lost";
+    case SpanEvent::kSlotLost:
+      return "slot_lost";
+    case SpanEvent::kSlotCorrupt:
+      return "slot_corrupt";
+    case SpanEvent::kTimeout:
+      return "timeout";
+    case SpanEvent::kFallback:
+      return "fallback";
+    case SpanEvent::kAbandon:
+      return "abandon";
+    case SpanEvent::kDegradedEnter:
+      return "degraded_enter";
+    case SpanEvent::kDegradedExit:
+      return "degraded_exit";
+    case SpanEvent::kOutageStart:
+      return "outage_start";
+    case SpanEvent::kOutageEnd:
+      return "outage_end";
     case SpanEvent::kMaxValue:
       break;
   }

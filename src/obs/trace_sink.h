@@ -37,6 +37,22 @@ enum class SpanEvent : std::uint8_t {
   kDelivery,         // Client received the page it was waiting for;
                      // `value` is the response time.
   kInvalidate,       // A cached copy was invalidated (volatile data).
+  // --- bdisk::fault records (absent unless a FaultPlan is enabled) ---
+  kSubmitShed,       // Degraded-mode admission control shed the request.
+  kSubmitOutage,     // Request discarded inside a server outage window.
+  kSubmitLost,       // Request lost on the backchannel; server never saw it.
+  kSlotLost,         // Slot's page lost in transit; nobody received it.
+  kSlotCorrupt,      // Slot's page arrived corrupted and was discarded.
+  kTimeout,          // Client request timeout fired; `value` is the armed
+                     // timeout that elapsed.
+  kFallback,         // Client gave up pulling and now waits on the push
+                     // schedule (retries exhausted or backchannel dead).
+  kAbandon,          // Client abandoned an unscheduled-page request after
+                     // the retry budget; `value` is the elapsed time.
+  kDegradedEnter,    // Server entered degraded mode; `value` is queue depth.
+  kDegradedExit,     // Server recovered from degraded mode.
+  kOutageStart,      // Server outage window opened.
+  kOutageEnd,        // Server outage window closed.
   kMaxValue,         // Sentinel; keep last.
 };
 

@@ -21,6 +21,10 @@ double WindowStats::PushFrac() const { return Frac(slots_push, Slots()); }
 double WindowStats::PullFrac() const { return Frac(slots_pull, Slots()); }
 double WindowStats::IdleFrac() const { return Frac(slots_idle, Slots()); }
 double WindowStats::DropRate() const { return Frac(dropped, submits); }
+double WindowStats::ShedRate() const {
+  return Frac(shed + outage_dropped, submits);
+}
+double WindowStats::LossRate() const { return Frac(slots_lost, Slots()); }
 
 WindowedCollector::WindowedCollector(double window, std::size_t capacity,
                                      double response_hi)
@@ -93,6 +97,19 @@ void WindowedCollector::PublishTo(MetricsRegistry* registry) const {
   sim::TimeSeries* idle_frac = registry->GetTimeSeries("window.idle_frac");
   sim::TimeSeries* p50 = registry->GetTimeSeries("window.response_p50");
   sim::TimeSeries* p99 = registry->GetTimeSeries("window.response_p99");
+  // Fault-era series are published only when the run saw any such event:
+  // a fault-free snapshot stays key-identical to pre-fault baselines (the
+  // bdisk_compare gate treats new keys as regressions).
+  bool any_shed = false;
+  bool any_loss = false;
+  for (const WindowStats& w : ring_) {
+    any_shed = any_shed || w.shed > 0 || w.outage_dropped > 0;
+    any_loss = any_loss || w.slots_lost > 0 || w.lost > 0;
+  }
+  sim::TimeSeries* shed_rate =
+      any_shed ? registry->GetTimeSeries("window.shed_rate") : nullptr;
+  sim::TimeSeries* loss_rate =
+      any_loss ? registry->GetTimeSeries("window.loss_rate") : nullptr;
   for (const WindowStats& w : ring_) {
     queue_depth->Add(w.start, w.queue_depth);
     queue_max->Add(w.start, w.queue_depth_max);
@@ -102,6 +119,8 @@ void WindowedCollector::PublishTo(MetricsRegistry* registry) const {
     idle_frac->Add(w.start, w.IdleFrac());
     p50->Add(w.start, w.response_p50);
     p99->Add(w.start, w.response_p99);
+    if (shed_rate != nullptr) shed_rate->Add(w.start, w.ShedRate());
+    if (loss_rate != nullptr) loss_rate->Add(w.start, w.LossRate());
   }
 }
 

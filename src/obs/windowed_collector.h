@@ -16,8 +16,16 @@ class FlightRecorder;
 /// making obs depend on server types).
 enum class SlotSample : std::uint8_t { kPush = 0, kPull, kIdle };
 
-/// What happened to one backchannel submit.
-enum class SubmitSample : std::uint8_t { kAccepted = 0, kCoalesced, kDropped };
+/// What happened to one backchannel submit. The last three arise only
+/// under bdisk::fault (shedding, outage windows, channel loss).
+enum class SubmitSample : std::uint8_t {
+  kAccepted = 0,
+  kCoalesced,
+  kDropped,
+  kShed,
+  kOutage,
+  kLost,
+};
 
 /// Aggregates over one telemetry window [start, end).
 struct WindowStats {
@@ -28,10 +36,15 @@ struct WindowStats {
   std::uint64_t slots_pull = 0;
   std::uint64_t slots_idle = 0;
 
-  std::uint64_t submits = 0;  // accepted + coalesced + dropped
+  std::uint64_t submits = 0;  // Every OnSubmit outcome below.
   std::uint64_t accepted = 0;
   std::uint64_t coalesced = 0;
   std::uint64_t dropped = 0;
+  // bdisk::fault outcomes; all zero without an active FaultPlan.
+  std::uint64_t shed = 0;            // Degraded-mode admission control.
+  std::uint64_t outage_dropped = 0;  // Discarded inside an outage window.
+  std::uint64_t lost = 0;            // Lost on the backchannel.
+  std::uint64_t slots_lost = 0;      // Slots lost/corrupted in transit.
 
   std::uint32_t queue_depth = 0;      // Last observed in the window.
   std::uint32_t queue_depth_max = 0;  // High-water within the window.
@@ -47,6 +60,8 @@ struct WindowStats {
   double PullFrac() const;
   double IdleFrac() const;
   double DropRate() const;  // dropped / submits, 0 when no submits.
+  double ShedRate() const;  // (shed + outage_dropped) / submits.
+  double LossRate() const;  // slots_lost / Slots(), 0 when no slots.
 };
 
 /// Bounded per-window time-series of queue depth, drop rate, slot split,
@@ -108,6 +123,15 @@ class WindowedCollector {
       case SubmitSample::kDropped:
         ++current_.dropped;
         break;
+      case SubmitSample::kShed:
+        ++current_.shed;
+        break;
+      case SubmitSample::kOutage:
+        ++current_.outage_dropped;
+        break;
+      case SubmitSample::kLost:
+        ++current_.lost;
+        break;
     }
     current_.queue_depth = queue_depth;
     if (queue_depth > current_.queue_depth_max) {
@@ -117,6 +141,11 @@ class WindowedCollector {
   void OnResponse(sim::SimTime now, double response_time) {
     Roll(now);
     response_hist_.Add(response_time);
+  }
+  /// A slot's page was lost or corrupted in transit (bdisk::fault).
+  void OnSlotLoss(sim::SimTime now) {
+    Roll(now);
+    ++current_.slots_lost;
   }
 
   /// Closes the in-progress window (if it saw any event). Call at run end;

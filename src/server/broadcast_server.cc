@@ -1,5 +1,7 @@
 #include "server/broadcast_server.h"
 
+#include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "sim/check.h"
@@ -52,6 +54,31 @@ void BroadcastServer::SetPullBw(double pull_bw) {
   pull_bw_ = pull_bw;
 }
 
+void BroadcastServer::SetFaultInjector(fault::FaultInjector* injector) {
+  injector_ = injector;
+  shed_enter_depth_ = 0;
+  shed_exit_depth_ = 0;
+  shed_distance_ = 0;
+  degraded_pull_bw_mult_ = 1.0;
+  degraded_ = false;
+  if (injector == nullptr) return;
+  const fault::FaultPlan& plan = injector->plan();
+  if (plan.DegradedModeEnabled()) {
+    const double capacity = static_cast<double>(queue_.Capacity());
+    shed_enter_depth_ = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(std::ceil(plan.shed_hi * capacity)));
+    const double lo = plan.shed_lo > 0.0 ? plan.shed_lo : plan.shed_hi / 2.0;
+    shed_exit_depth_ = std::min<std::uint32_t>(
+        shed_enter_depth_ - 1,
+        static_cast<std::uint32_t>(std::floor(lo * capacity)));
+    // 0 = shed every scheduled page: the whole major cycle is "near".
+    shed_distance_ = plan.shed_distance > 0
+                         ? plan.shed_distance
+                         : program_->Length();
+    degraded_pull_bw_mult_ = plan.degraded_pull_bw;
+  }
+}
+
 void BroadcastServer::EnableMetrics(obs::MetricsRegistry* registry) {
   BDISK_CHECK_MSG(registry != nullptr, "EnableMetrics needs a registry");
   ts_push_frac_ = registry->GetTimeSeries("server.push_frac");
@@ -73,6 +100,49 @@ SubmitResult BroadcastServer::SubmitRequestAt(PageId page,
                                               std::uint32_t client,
                                               sim::SimTime at) {
   BDISK_DCHECK(page < program_->DbSize());
+  if (injector_ != nullptr) {
+    // Backchannel transit faults first: a request lost on the wire never
+    // reaches the server, and a delayed one arrives later (the queue
+    // outcome is decided — and traced — at arrival time).
+    if (injector_->JudgeRequestLost()) {
+      RecordFaultSubmit(SubmitResult::kLostChannel, page, client, at);
+      return SubmitResult::kLostChannel;
+    }
+    const double delay = injector_->JudgeRequestDelay();
+    if (delay > 0.0) {
+      BroadcastServer* self = this;
+      simulator_->ScheduleAfter(delay, [self, page, client] {
+        self->SubmitArrived(page, client, self->simulator_->Now());
+      });
+      // In flight; instrumentation-only callers treat this as accepted.
+      return SubmitResult::kAccepted;
+    }
+  }
+  return SubmitArrived(page, client, at);
+}
+
+SubmitResult BroadcastServer::SubmitArrived(PageId page, std::uint32_t client,
+                                            sim::SimTime at) {
+  if (injector_ != nullptr) {
+    // Outage windows discard arrivals outright (blackout and brownout
+    // alike: the request processor is what is down).
+    if (injector_->InOutage(simulator_->Now())) {
+      queue_.NoteOutageDrop();
+      RecordFaultSubmit(SubmitResult::kDroppedOutage, page, client, at);
+      return SubmitResult::kDroppedOutage;
+    }
+    // Degraded-mode admission control: shed requests whose page has a
+    // near-enough push slot (the schedule is their safety net); requests
+    // for unscheduled pages are never shed — pull is their only path.
+    if (degraded_) {
+      const std::uint32_t distance = DistanceToNextPush(page);
+      if (distance <= shed_distance_) {
+        queue_.NoteShed();
+        RecordFaultSubmit(SubmitResult::kShedOverload, page, client, at);
+        return SubmitResult::kShedOverload;
+      }
+    }
+  }
   const SubmitResult result = queue_.Submit(page);
   if (trace_ != nullptr) {
     const sim::TraceEventKind kind =
@@ -101,7 +171,61 @@ SubmitResult BroadcastServer::SubmitRequestAt(PageId page,
                    : obs::SubmitSample::kDropped);
     collector_->OnSubmit(at, sample, queue_.Size());
   }
+  if (shed_enter_depth_ > 0) UpdateDegraded();
   return result;
+}
+
+void BroadcastServer::RecordFaultSubmit(SubmitResult result, PageId page,
+                                        std::uint32_t client,
+                                        sim::SimTime at) {
+  if (trace_ != nullptr) {
+    const sim::TraceEventKind kind =
+        result == SubmitResult::kShedOverload
+            ? sim::TraceEventKind::kRequestShed
+            : (result == SubmitResult::kDroppedOutage
+                   ? sim::TraceEventKind::kRequestOutage
+                   : sim::TraceEventKind::kRequestLost);
+    trace_->Record(at, kind, page);
+  }
+  if (sink_ != nullptr) {
+    const obs::SpanEvent ev =
+        result == SubmitResult::kShedOverload
+            ? obs::SpanEvent::kSubmitShed
+            : (result == SubmitResult::kDroppedOutage
+                   ? obs::SpanEvent::kSubmitOutage
+                   : obs::SpanEvent::kSubmitLost);
+    sink_->Record(at, ev, client, page, static_cast<double>(queue_.Size()));
+  }
+  if (collector_ != nullptr) {
+    const obs::SubmitSample sample =
+        result == SubmitResult::kShedOverload
+            ? obs::SubmitSample::kShed
+            : (result == SubmitResult::kDroppedOutage
+                   ? obs::SubmitSample::kOutage
+                   : obs::SubmitSample::kLost);
+    collector_->OnSubmit(at, sample, queue_.Size());
+  }
+}
+
+void BroadcastServer::UpdateDegraded() {
+  const std::uint32_t depth = queue_.Size();
+  if (!degraded_ && depth >= shed_enter_depth_) {
+    degraded_ = true;
+    ++degraded_enters_;
+    if (sink_ != nullptr) {
+      sink_->Record(simulator_->Now(), obs::SpanEvent::kDegradedEnter,
+                    obs::kNoClient, obs::kNoTracePage,
+                    static_cast<double>(depth));
+    }
+  } else if (degraded_ && depth <= shed_exit_depth_) {
+    degraded_ = false;
+    ++degraded_exits_;
+    if (sink_ != nullptr) {
+      sink_->Record(simulator_->Now(), obs::SpanEvent::kDegradedExit,
+                    obs::kNoClient, obs::kNoTracePage,
+                    static_cast<double>(depth));
+    }
+  }
 }
 
 std::uint32_t BroadcastServer::SchedulePosition() const {
@@ -120,8 +244,35 @@ void BroadcastServer::OnSlotBoundary() {
   // Transmission of the in-flight slot completes now; deliver to snoopers.
   if (in_flight_page_ != broadcast::kNoPage) {
     const sim::SimTime now = simulator_->Now();
-    for (BroadcastListener* listener : listeners_) {
-      listener->OnBroadcast(in_flight_page_, in_flight_kind_, now);
+    bool deliver = true;
+    if (injector_ != nullptr) {
+      // Frontchannel fate: a lost slot is spent silently; a corrupted one
+      // is received, checksummed, and discarded — same client-visible
+      // outcome, separate books. Robust clients recover via retry (pull)
+      // or the next cycle (push).
+      const fault::SlotFate fate = injector_->JudgeSlot();
+      if (fate != fault::SlotFate::kDelivered) {
+        deliver = false;
+        const bool lost = fate == fault::SlotFate::kLost;
+        if (trace_ != nullptr) {
+          trace_->Record(now,
+                         lost ? sim::TraceEventKind::kSlotLost
+                              : sim::TraceEventKind::kSlotCorrupt,
+                         in_flight_page_);
+        }
+        if (sink_ != nullptr) {
+          sink_->Record(now,
+                        lost ? obs::SpanEvent::kSlotLost
+                             : obs::SpanEvent::kSlotCorrupt,
+                        obs::kNoClient, in_flight_page_);
+        }
+        if (collector_ != nullptr) collector_->OnSlotLoss(now);
+      }
+    }
+    if (deliver) {
+      for (BroadcastListener* listener : listeners_) {
+        listener->OnBroadcast(in_flight_page_, in_flight_kind_, now);
+      }
     }
   }
   ChooseNextSlot();  // The periodic slot timer re-arms itself.
@@ -129,13 +280,46 @@ void BroadcastServer::OnSlotBoundary() {
 
 void BroadcastServer::ChooseNextSlot() {
   ++total_slots_;
+  // Fault layer: outage windows and the degraded-mode push fallback. All
+  // of this is skipped (and costs one pointer compare) with no injector.
+  bool blackout = false;
+  bool suppress_pull = false;
+  double mux_pull_bw = pull_bw_;
+  if (injector_ != nullptr) {
+    const bool in_outage = injector_->InOutage(simulator_->Now());
+    if (in_outage != outage_active_) {
+      outage_active_ = in_outage;
+      if (in_outage) ++outages_started_;
+      if (sink_ != nullptr) {
+        sink_->Record(simulator_->Now(),
+                      in_outage ? obs::SpanEvent::kOutageStart
+                                : obs::SpanEvent::kOutageEnd,
+                      obs::kNoClient, obs::kNoTracePage);
+      }
+    }
+    if (in_outage) {
+      ++outage_slots_;
+      if (injector_->plan().brownout) {
+        suppress_pull = true;  // Push rolls on; pull service is down.
+      } else {
+        blackout = true;  // Transmitter dark; the cursor holds its place.
+      }
+    }
+    if (degraded_) mux_pull_bw *= degraded_pull_bw_mult_;
+  }
   // Invariant: the counters below and the trace record the same decision.
   // Push/Pull MUX: a PullBW-weighted coin, but only when there is a queued
   // request — unused pull slots are given back to the push program (§2.2).
-  if (!queue_.Empty() && rng_.NextBernoulli(pull_bw_)) {
+  if (blackout) {
+    in_flight_page_ = broadcast::kNoPage;
+    in_flight_kind_ = SlotKind::kIdle;
+    ++idle_slots_;
+  } else if (!suppress_pull && !queue_.Empty() &&
+             rng_.NextBernoulli(mux_pull_bw)) {
     in_flight_page_ = queue_.PopFront();
     in_flight_kind_ = SlotKind::kPull;
     ++pull_slots_;
+    if (shed_enter_depth_ > 0) UpdateDegraded();
   } else if (cursor_) {
     in_flight_page_ = cursor_->Advance();
     if (in_flight_page_ != broadcast::kNoPage) {

@@ -9,6 +9,7 @@
 #include "broadcast/broadcast_program.h"
 #include "broadcast/page.h"
 #include "broadcast/schedule_cursor.h"
+#include "fault/fault_injector.h"
 #include "obs/metrics.h"
 #include "obs/trace_sink.h"
 #include "obs/windowed_collector.h"
@@ -107,6 +108,25 @@ class BroadcastServer : public sim::EventHandler {
     collector_ = collector;
   }
 
+  /// Attaches the fault injector (not owned; null detaches — the default,
+  /// and the zero-overhead path: one pointer check per slot and submit).
+  /// With an injector attached the server (1) rolls each non-idle slot's
+  /// fate (loss/corruption) before delivering to listeners, (2) drops
+  /// backchannel arrivals lost in transit, delays others, and discards
+  /// arrivals inside outage windows, and (3) runs degraded-mode admission
+  /// control: when the queue depth crosses the plan's shed_hi watermark the
+  /// server sheds arriving requests whose page has a near push slot and
+  /// scales the MUX pull bandwidth by degraded_pull_bw, recovering at the
+  /// shed_lo watermark (hysteresis).
+  void SetFaultInjector(fault::FaultInjector* injector);
+
+  /// Degraded-mode / outage accounting (all zero without an injector).
+  bool InDegradedMode() const { return degraded_; }
+  std::uint64_t DegradedEnters() const { return degraded_enters_; }
+  std::uint64_t DegradedExits() const { return degraded_exits_; }
+  std::uint64_t OutageSlots() const { return outage_slots_; }
+  std::uint64_t OutagesStarted() const { return outages_started_; }
+
   /// Attaches a metrics registry (not owned). Resolves the server's
   /// time-series once — slot-mix fractions and queue depth, sampled every
   /// kMetricsWindowSlots slots — so the slot loop pays one pointer check
@@ -161,6 +181,15 @@ class BroadcastServer : public sim::EventHandler {
   void ChooseNextSlot();
   void SampleSlotWindow();
 
+  /// Fault pipeline: the request reached the server (post loss/delay).
+  SubmitResult SubmitArrived(PageId page, std::uint32_t client,
+                             sim::SimTime at);
+  /// Re-evaluates the degraded-mode watermarks after a depth change.
+  void UpdateDegraded();
+  /// Shared instrumentation for submit outcomes that never reach Submit().
+  void RecordFaultSubmit(SubmitResult result, PageId page,
+                         std::uint32_t client, sim::SimTime at);
+
   sim::Simulator* simulator_;
   std::shared_ptr<const broadcast::BroadcastProgram> program_;
   std::optional<broadcast::ScheduleCursor> cursor_;  // Absent if no program.
@@ -171,6 +200,20 @@ class BroadcastServer : public sim::EventHandler {
   sim::TraceRecorder* trace_ = nullptr;
   obs::TraceSink* sink_ = nullptr;
   obs::WindowedCollector* collector_ = nullptr;
+
+  // Fault-injection state (inert while injector_ is null). The watermark
+  // depths and shed distance are resolved once in SetFaultInjector.
+  fault::FaultInjector* injector_ = nullptr;
+  std::uint32_t shed_enter_depth_ = 0;  // 0 = degraded mode disabled.
+  std::uint32_t shed_exit_depth_ = 0;
+  std::uint32_t shed_distance_ = 0;
+  double degraded_pull_bw_mult_ = 1.0;
+  bool degraded_ = false;
+  bool outage_active_ = false;
+  std::uint64_t degraded_enters_ = 0;
+  std::uint64_t degraded_exits_ = 0;
+  std::uint64_t outage_slots_ = 0;
+  std::uint64_t outages_started_ = 0;
 
   PageId in_flight_page_ = broadcast::kNoPage;
   SlotKind in_flight_kind_ = SlotKind::kIdle;

@@ -39,7 +39,8 @@ PageId PullQueue::PopFront() {
 
 double PullQueue::DropRate() const {
   if (submitted_ == 0) return 0.0;
-  return static_cast<double>(dropped_) / static_cast<double>(submitted_);
+  return static_cast<double>(dropped_ + shed_ + dropped_outage_) /
+         static_cast<double>(submitted_);
 }
 
 }  // namespace bdisk::server

@@ -22,6 +22,17 @@ enum class SubmitResult {
   /// feedback and fall back on the push schedule (the "safety net") if the
   /// page is on it.
   kDroppedFull,
+  /// Degraded-mode admission control shed the request before it reached
+  /// the queue: the server is overloaded and the page has a near-enough
+  /// push slot to serve as the safety net (bdisk::fault).
+  kShedOverload,
+  /// The server was inside an outage window and discarded the request
+  /// (bdisk::fault).
+  kDroppedOutage,
+  /// The request was lost on the backchannel and never reached the server
+  /// (bdisk::fault). Reported to instrumentation only; the queue never
+  /// sees it.
+  kLostChannel,
 };
 
 /// The server's bounded backchannel request queue.
@@ -47,19 +58,40 @@ class PullQueue {
   std::uint32_t Size() const { return static_cast<std::uint32_t>(fifo_.size()); }
   std::uint32_t Capacity() const { return capacity_; }
 
-  /// Lifetime counters.
+  /// Records a request shed by degraded-mode admission control before it
+  /// reached the queue. Counts toward SubmittedCount (the client did send
+  /// it) but not DroppedCount, which stays capacity-only.
+  void NoteShed() {
+    ++submitted_;
+    ++shed_;
+  }
+
+  /// Records a request discarded because the server was in an outage
+  /// window. Same accounting discipline as NoteShed.
+  void NoteOutageDrop() {
+    ++submitted_;
+    ++dropped_outage_;
+  }
+
+  /// Lifetime counters. DroppedCount is capacity overflow only; shed and
+  /// outage losses are tallied separately so overload policy and infra
+  /// failure never masquerade as queue-sizing problems.
   std::uint64_t SubmittedCount() const { return submitted_; }
   std::uint64_t AcceptedCount() const { return accepted_; }
   std::uint64_t CoalescedCount() const { return coalesced_; }
   std::uint64_t DroppedCount() const { return dropped_; }
+  std::uint64_t ShedCount() const { return shed_; }
+  std::uint64_t OutageDropCount() const { return dropped_outage_; }
 
   /// Deepest the queue has ever been (distinct queued pages) — how close
   /// the backchannel came to saturating even when nothing was dropped.
   std::uint32_t DepthHighWater() const { return depth_high_water_; }
 
-  /// Fraction of submitted requests thrown away because the queue was full.
-  /// (Coalesced requests are *served* by the earlier entry, so they do not
-  /// count as drops.) Returns 0 when nothing was submitted.
+  /// Fraction of submitted requests thrown away for any reason — capacity
+  /// overflow, degraded-mode shedding, or outage windows. (Coalesced
+  /// requests are *served* by the earlier entry, so they do not count as
+  /// drops.) Identical to capacity-only dropped/submitted when no faults
+  /// are configured. Returns 0 when nothing was submitted.
   double DropRate() const;
 
  private:
@@ -70,6 +102,8 @@ class PullQueue {
   std::uint64_t accepted_ = 0;
   std::uint64_t coalesced_ = 0;
   std::uint64_t dropped_ = 0;
+  std::uint64_t shed_ = 0;
+  std::uint64_t dropped_outage_ = 0;
   std::uint32_t depth_high_water_ = 0;
 };
 

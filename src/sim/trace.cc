@@ -20,6 +20,16 @@ const char* TraceEventKindName(TraceEventKind kind) {
       return "request_coalesced";
     case TraceEventKind::kRequestDropped:
       return "request_dropped";
+    case TraceEventKind::kRequestShed:
+      return "request_shed";
+    case TraceEventKind::kRequestOutage:
+      return "request_outage";
+    case TraceEventKind::kRequestLost:
+      return "request_lost";
+    case TraceEventKind::kSlotLost:
+      return "slot_lost";
+    case TraceEventKind::kSlotCorrupt:
+      return "slot_corrupt";
     case TraceEventKind::kMaxValue:
       break;
   }

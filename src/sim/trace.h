@@ -18,6 +18,11 @@ enum class TraceEventKind : std::uint8_t {
   kRequestAccepted,  // Backchannel request queued.
   kRequestCoalesced, // Backchannel request merged with a queued one.
   kRequestDropped,   // Backchannel request thrown away (queue full).
+  kRequestShed,      // Request shed by degraded-mode admission control.
+  kRequestOutage,    // Request discarded inside an outage window.
+  kRequestLost,      // Request lost on the backchannel (fault injection).
+  kSlotLost,         // Slot's page lost in transit (fault injection).
+  kSlotCorrupt,      // Slot's page corrupted in transit (fault injection).
   kMaxValue,         // Sentinel; keep last.
 };
 

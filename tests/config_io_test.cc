@@ -146,7 +146,7 @@ TEST(ConfigIoTest, ObservabilityKeysRejectBadValuesWithSpecificErrors) {
   // The trigger grammar's own diagnostics surface through config parsing.
   EXPECT_EQ(ApplyConfigOption("flight_recorder", "bogus>1", &config),
             "flight_recorder: unknown trigger \"bogus\" "
-            "(know drop_rate, p99, queue_depth)");
+            "(know drop_rate, p99, queue_depth, shed_rate, loss_rate)");
   EXPECT_EQ(ApplyConfigOption("flight_recorder", "p99=3", &config),
             "flight_recorder: trigger \"p99=3\" is missing '>' "
             "(want name>threshold)");

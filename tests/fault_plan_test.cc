@@ -1,0 +1,208 @@
+// FaultPlan validation and FaultInjector decision semantics: the inert
+// default (no draws, no counts), deterministic injection per seed, and the
+// pure-time outage window arithmetic.
+
+#include "fault/fault_plan.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fault/fault_injector.h"
+#include "sim/rng.h"
+
+namespace bdisk::fault {
+namespace {
+
+TEST(FaultPlanTest, DefaultPlanIsValidAndDisabled) {
+  FaultPlan plan;
+  EXPECT_EQ(plan.Validate(), "");
+  EXPECT_FALSE(plan.Enabled());
+  EXPECT_FALSE(plan.ChannelFaultsEnabled());
+  EXPECT_FALSE(plan.OutagesEnabled());
+  EXPECT_FALSE(plan.DegradedModeEnabled());
+}
+
+TEST(FaultPlanTest, EnablingAnyGroupEnablesThePlan) {
+  FaultPlan plan;
+  plan.slot_loss = 0.1;
+  EXPECT_TRUE(plan.ChannelFaultsEnabled());
+  EXPECT_TRUE(plan.Enabled());
+
+  plan = FaultPlan{};
+  plan.outage_duration = 5.0;
+  EXPECT_TRUE(plan.OutagesEnabled());
+  EXPECT_TRUE(plan.Enabled());
+
+  plan = FaultPlan{};
+  plan.shed_hi = 0.9;
+  EXPECT_TRUE(plan.DegradedModeEnabled());
+  EXPECT_TRUE(plan.Enabled());
+}
+
+TEST(FaultPlanTest, ValidationNamesTheOffendingKey) {
+  FaultPlan plan;
+  plan.slot_loss = -0.1;
+  EXPECT_EQ(plan.Validate(),
+            "fault.slot_loss must be a probability in [0, 1], got -0.1");
+
+  plan = FaultPlan{};
+  plan.slot_loss = 0.7;
+  plan.slot_corruption = 0.7;
+  EXPECT_EQ(plan.Validate(),
+            "fault.slot_loss + fault.slot_corruption must not exceed 1, "
+            "got 1.4");
+
+  plan = FaultPlan{};
+  plan.request_delay = -1.0;
+  EXPECT_EQ(plan.Validate(), "fault.request_delay must be >= 0, got -1");
+
+  plan = FaultPlan{};
+  plan.mc_backoff = 0.5;
+  EXPECT_EQ(plan.Validate(), "fault.mc_backoff must be >= 1, got 0.5");
+}
+
+TEST(FaultPlanTest, RepeatingOutageMustOutlastItsWindow) {
+  FaultPlan plan;
+  plan.outage_duration = 10.0;
+  plan.outage_period = 10.0;
+  EXPECT_EQ(plan.Validate(),
+            "fault.outage_period (10) must exceed fault.outage_duration "
+            "(10) or be 0 for a one-shot window");
+  plan.outage_period = 0.0;  // One-shot is fine.
+  EXPECT_EQ(plan.Validate(), "");
+  plan.outage_period = 50.0;
+  EXPECT_EQ(plan.Validate(), "");
+}
+
+TEST(FaultPlanTest, BackoffCapMustCoverTheBaseTimeout) {
+  FaultPlan plan;
+  plan.mc_timeout = 100.0;
+  plan.mc_backoff_cap = 50.0;
+  EXPECT_EQ(plan.Validate(),
+            "fault.mc_backoff_cap (50) must be >= fault.mc_timeout (100)");
+  plan.mc_backoff_cap = 0.0;  // Auto cap resolves to 8x, always valid.
+  EXPECT_EQ(plan.Validate(), "");
+}
+
+TEST(FaultPlanTest, HysteresisRequiresLowBelowHigh) {
+  FaultPlan plan;
+  plan.shed_hi = 0.5;
+  plan.shed_lo = 0.5;
+  EXPECT_EQ(plan.Validate(),
+            "fault.shed_lo (0.5) must be < fault.shed_hi (0.5) for "
+            "hysteresis");
+  plan.shed_lo = 0.2;
+  EXPECT_EQ(plan.Validate(), "");
+  plan.shed_lo = 0.0;  // Auto (shed_hi / 2).
+  EXPECT_EQ(plan.Validate(), "");
+}
+
+TEST(FaultInjectorTest, DisabledPlanNeverDrawsOrCounts) {
+  // Two injectors sharing a seed, one judging constantly: if the disabled
+  // paths drew from the stream, the later (identical) judgments would
+  // diverge from the control's.
+  FaultInjector inert(FaultPlan{}, sim::Rng(99));
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(inert.JudgeSlot(), SlotFate::kDelivered);
+    EXPECT_FALSE(inert.JudgeRequestLost());
+    EXPECT_EQ(inert.JudgeRequestDelay(), 0.0);
+    EXPECT_FALSE(inert.InOutage(static_cast<double>(i)));
+  }
+  EXPECT_EQ(inert.SlotsLost(), 0U);
+  EXPECT_EQ(inert.SlotsCorrupted(), 0U);
+  EXPECT_EQ(inert.RequestsLost(), 0U);
+  EXPECT_EQ(inert.RequestsDelayed(), 0U);
+}
+
+TEST(FaultInjectorTest, SlotFatesAreDeterministicPerSeed) {
+  FaultPlan plan;
+  plan.slot_loss = 0.2;
+  plan.slot_corruption = 0.1;
+  FaultInjector a(plan, sim::Rng(7));
+  FaultInjector b(plan, sim::Rng(7));
+  std::vector<SlotFate> fates_a, fates_b;
+  for (int i = 0; i < 500; ++i) fates_a.push_back(a.JudgeSlot());
+  for (int i = 0; i < 500; ++i) fates_b.push_back(b.JudgeSlot());
+  EXPECT_EQ(fates_a, fates_b);
+  EXPECT_EQ(a.SlotsLost(), b.SlotsLost());
+  EXPECT_EQ(a.SlotsCorrupted(), b.SlotsCorrupted());
+  // Both fates actually occur at these rates over 500 trials.
+  EXPECT_GT(a.SlotsLost(), 0U);
+  EXPECT_GT(a.SlotsCorrupted(), 0U);
+  EXPECT_EQ(a.SlotsLost() + a.SlotsCorrupted(), 500U - [&fates_a] {
+    std::uint64_t delivered = 0;
+    for (const SlotFate f : fates_a) {
+      if (f == SlotFate::kDelivered) ++delivered;
+    }
+    return delivered;
+  }());
+}
+
+TEST(FaultInjectorTest, CertainLossLosesEverySlot) {
+  FaultPlan plan;
+  plan.slot_loss = 1.0;
+  FaultInjector injector(plan, sim::Rng(3));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(injector.JudgeSlot(), SlotFate::kLost);
+  }
+  EXPECT_EQ(injector.SlotsLost(), 100U);
+}
+
+TEST(FaultInjectorTest, RequestLossRateIsRoughlyHonoured) {
+  FaultPlan plan;
+  plan.request_loss = 0.3;
+  FaultInjector injector(plan, sim::Rng(11));
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) injector.JudgeRequestLost();
+  const double rate =
+      static_cast<double>(injector.RequestsLost()) / static_cast<double>(n);
+  EXPECT_NEAR(rate, 0.3, 0.02);
+}
+
+TEST(FaultInjectorTest, RequestDelayIsPositiveWithConfiguredMean) {
+  FaultPlan plan;
+  plan.request_delay = 4.0;
+  FaultInjector injector(plan, sim::Rng(13));
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double d = injector.JudgeRequestDelay();
+    EXPECT_GT(d, 0.0);
+    sum += d;
+  }
+  EXPECT_EQ(injector.RequestsDelayed(), static_cast<std::uint64_t>(n));
+  EXPECT_NEAR(sum / n, 4.0, 0.15);
+}
+
+TEST(FaultInjectorTest, OneShotOutageWindowHasSharpEdges) {
+  FaultPlan plan;
+  plan.outage_start = 100.0;
+  plan.outage_duration = 20.0;
+  FaultInjector injector(plan, sim::Rng(1));
+  EXPECT_FALSE(injector.InOutage(0.0));
+  EXPECT_FALSE(injector.InOutage(99.999));
+  EXPECT_TRUE(injector.InOutage(100.0));
+  EXPECT_TRUE(injector.InOutage(119.999));
+  EXPECT_FALSE(injector.InOutage(120.0));
+  EXPECT_FALSE(injector.InOutage(1e9));
+}
+
+TEST(FaultInjectorTest, PeriodicOutageRepeatsForever) {
+  FaultPlan plan;
+  plan.outage_start = 50.0;
+  plan.outage_duration = 10.0;
+  plan.outage_period = 100.0;
+  FaultInjector injector(plan, sim::Rng(1));
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    const double base = 50.0 + 100.0 * cycle;
+    EXPECT_TRUE(injector.InOutage(base)) << "cycle " << cycle;
+    EXPECT_TRUE(injector.InOutage(base + 9.999)) << "cycle " << cycle;
+    EXPECT_FALSE(injector.InOutage(base + 10.0)) << "cycle " << cycle;
+    EXPECT_FALSE(injector.InOutage(base + 99.999)) << "cycle " << cycle;
+  }
+  EXPECT_FALSE(injector.InOutage(0.0));
+}
+
+}  // namespace
+}  // namespace bdisk::fault

@@ -48,7 +48,8 @@ TEST(FlightTriggerSpecTest, ErrorMessagesAreSpecific) {
   EXPECT_EQ(ParseFlightTriggerSpec("p99>-1", &t),
             "trigger \"p99\" threshold must be >= 0");
   EXPECT_EQ(ParseFlightTriggerSpec("bogus>1", &t),
-            "unknown trigger \"bogus\" (know drop_rate, p99, queue_depth)");
+            "unknown trigger \"bogus\" (know drop_rate, p99, queue_depth, "
+            "shed_rate, loss_rate)");
   EXPECT_EQ(ParseFlightTriggerSpec("p99>1,p99>2", &t),
             "trigger \"p99\" given twice");
 }

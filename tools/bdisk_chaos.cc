@@ -1,0 +1,260 @@
+// bdisk_chaos — fault-injection sweep harness for the bdisk::fault layer.
+//
+// Sweeps a list of loss rates (applied to both broadcast slots and
+// backchannel requests), runs one deterministic simulation per point with
+// the client/server robustness mechanisms engaged, and prints the
+// response-time degradation curve. Examples:
+//
+//   bdisk_chaos                              # default sweep 0,2%,5%,10%,20%
+//   bdisk_chaos --loss 0,0.1,0.3 --seed 7
+//   bdisk_chaos --loss 0.1 --quick --csv
+//   bdisk_chaos --set server_db_size=100 --set disk_sizes=10,40,50
+//       --set cache_size=10 --set server_queue_size=10 --quick
+//
+// The harness is also a correctness gate (CI runs it as a smoke test):
+// it exits nonzero unless, at every point,
+//   - the run terminated by reaching its access quota (no hung requests:
+//     the measured client resolved every access as a hit, a delivery, or
+//     an explicit abandon — never by the simulation clock running out);
+//   - the pull-queue accounting balances: submitted == accepted +
+//     coalesced + dropped(capacity) + shed + dropped(outage);
+//   - with loss > 0, the fault layer actually injected faults and the
+//     fault.* accounting is self-consistent.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/config_io.h"
+#include "core/system.h"
+#include "core/table_printer.h"
+
+namespace {
+
+void PrintUsage() {
+  std::printf(
+      "usage: bdisk_chaos [options]\n"
+      "  --loss L1,L2,...   loss rates to sweep (default 0,0.02,0.05,\n"
+      "                     0.1,0.2); each L is applied as both\n"
+      "                     fault.slot_loss and fault.request_loss\n"
+      "  --slot-only        apply loss to broadcast slots only\n"
+      "  --request-only     apply loss to backchannel requests only\n"
+      "  --set KEY=VALUE    override one config key (repeatable)\n"
+      "  --config FILE      load key=value config file\n"
+      "  --seed N           root RNG seed\n"
+      "  --quick            short measurement protocol\n"
+      "  --csv              emit CSV instead of a table\n"
+      "  --help             this message\n"
+      "exits 1 when any point hangs, drops accounting, or fails to\n"
+      "inject at a nonzero loss rate.\n");
+}
+
+bool ParseDoubleList(const std::string& text, std::vector<double>* out) {
+  std::stringstream stream(text);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    char* end = nullptr;
+    const double parsed = std::strtod(item.c_str(), &end);
+    if (end == item.c_str()) return false;
+    out->push_back(parsed);
+  }
+  return !out->empty();
+}
+
+struct PointOutcome {
+  double loss = 0.0;
+  bdisk::core::RunResult result;
+  std::vector<std::string> violations;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bdisk;
+
+  core::SystemConfig base;
+  std::vector<double> losses;
+  bool slot_loss = true;
+  bool request_loss = true;
+  bool quick = false;
+  bool csv = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--loss") {
+      if (!ParseDoubleList(next_value("--loss"), &losses)) {
+        std::fprintf(stderr, "--loss wants a comma list of rates\n");
+        return 2;
+      }
+    } else if (arg == "--slot-only") {
+      request_loss = false;
+    } else if (arg == "--request-only") {
+      slot_loss = false;
+    } else if (arg == "--set") {
+      const std::string kv = next_value("--set");
+      const std::size_t eq = kv.find('=');
+      if (eq == std::string::npos) {
+        std::fprintf(stderr, "--set wants KEY=VALUE\n");
+        return 2;
+      }
+      const std::string error = core::ApplyConfigOption(
+          kv.substr(0, eq), kv.substr(eq + 1), &base);
+      if (!error.empty()) {
+        std::fprintf(stderr, "--set %s: %s\n", kv.c_str(), error.c_str());
+        return 2;
+      }
+    } else if (arg == "--config") {
+      const char* path = next_value("--config");
+      std::ifstream file(path);
+      if (!file) {
+        std::fprintf(stderr, "cannot read %s\n", path);
+        return 2;
+      }
+      std::stringstream body;
+      body << file.rdbuf();
+      const std::string error = core::ParseConfigText(body.str(), &base);
+      if (!error.empty()) {
+        std::fprintf(stderr, "%s: %s\n", path, error.c_str());
+        return 2;
+      }
+    } else if (arg == "--seed") {
+      base.seed = std::strtoull(next_value("--seed"), nullptr, 10);
+    } else if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--csv") {
+      csv = true;
+    } else if (arg == "--help") {
+      PrintUsage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      PrintUsage();
+      return 2;
+    }
+  }
+  if (!slot_loss && !request_loss) {
+    std::fprintf(stderr, "--slot-only and --request-only conflict\n");
+    return 2;
+  }
+  if (losses.empty()) losses = {0.0, 0.02, 0.05, 0.1, 0.2};
+  for (const double loss : losses) {
+    if (loss < 0.0 || loss > 1.0) {
+      std::fprintf(stderr, "loss rate %g out of [0,1]\n", loss);
+      return 2;
+    }
+  }
+
+  core::SteadyStateProtocol protocol;
+  if (quick) {
+    protocol.post_fill_accesses = 500;
+    protocol.min_measured_accesses = 1000;
+    protocol.max_measured_accesses = 3000;
+    protocol.batch_size = 500;
+    protocol.tolerance = 0.1;
+  }
+
+  std::vector<PointOutcome> outcomes;
+  for (const double loss : losses) {
+    PointOutcome point;
+    point.loss = loss;
+    core::SystemConfig config = base;
+    if (slot_loss) config.fault.slot_loss = loss;
+    if (request_loss) config.fault.request_loss = loss;
+    const std::string error = config.Validate();
+    if (!error.empty()) {
+      std::fprintf(stderr, "loss=%g: invalid config: %s\n", loss,
+                   error.c_str());
+      return 2;
+    }
+
+    core::System system(config);
+    const core::RunResult r = system.RunSteadyState(protocol);
+    point.result = r;
+
+    // No hung requests: the run must end because the measured client hit
+    // its access quota (simulator_.Stop()), not because the clock ran out
+    // with a request stuck waiting forever.
+    if (r.sim_time_end >= protocol.max_sim_time) {
+      point.violations.push_back("hung: run hit the simulation-time cap");
+    }
+    const std::uint64_t accounted = r.requests_accepted +
+                                    r.requests_coalesced +
+                                    r.requests_dropped + r.requests_shed +
+                                    r.requests_dropped_outage;
+    if (accounted != r.requests_submitted) {
+      point.violations.push_back(
+          "queue accounting: submitted != accepted + coalesced + dropped "
+          "+ shed + outage");
+    }
+    if (loss > 0.0) {
+      if (slot_loss && r.fault_slots_lost == 0) {
+        point.violations.push_back("no broadcast slots lost at loss > 0");
+      }
+      if (request_loss && r.fault_requests_lost == 0 &&
+          r.mc_pulls_sent + r.vc_submitted > 0) {
+        point.violations.push_back("no requests lost at loss > 0");
+      }
+    }
+    if (r.mc_accesses == 0) {
+      point.violations.push_back("measured client completed no accesses");
+    }
+    outcomes.push_back(std::move(point));
+  }
+
+  using core::TablePrinter;
+  bool failed = false;
+  if (csv) {
+    std::printf(
+        "loss,mean_response,p99,drop_rate,slots_lost,requests_lost,"
+        "timeouts,retries,abandoned,fallbacks,shed,outage_dropped,ok\n");
+  }
+  TablePrinter table({"Loss", "Mean", "P99", "Drop%", "SlotsLost",
+                      "ReqLost", "Timeouts", "Retries", "Abandoned",
+                      "Fallbacks", "Shed", "OK"});
+  for (const PointOutcome& p : outcomes) {
+    const core::RunResult& r = p.result;
+    const bool ok = p.violations.empty();
+    failed = failed || !ok;
+    if (csv) {
+      std::printf("%g,%.2f,%.2f,%.4f,%llu,%llu,%llu,%llu,%llu,%llu,%llu,"
+                  "%llu,%d\n",
+                  p.loss, r.mean_response, r.response_p99, r.drop_rate,
+                  static_cast<unsigned long long>(r.fault_slots_lost),
+                  static_cast<unsigned long long>(r.fault_requests_lost),
+                  static_cast<unsigned long long>(r.mc_timeouts_fired),
+                  static_cast<unsigned long long>(r.mc_retries_sent),
+                  static_cast<unsigned long long>(r.mc_abandoned),
+                  static_cast<unsigned long long>(r.mc_fallbacks),
+                  static_cast<unsigned long long>(r.requests_shed),
+                  static_cast<unsigned long long>(r.requests_dropped_outage),
+                  ok ? 1 : 0);
+    } else {
+      table.AddRow({TablePrinter::Pct(p.loss), TablePrinter::Fmt(r.mean_response),
+                    TablePrinter::Fmt(r.response_p99),
+                    TablePrinter::Pct(r.drop_rate),
+                    std::to_string(r.fault_slots_lost),
+                    std::to_string(r.fault_requests_lost),
+                    std::to_string(r.mc_timeouts_fired),
+                    std::to_string(r.mc_retries_sent),
+                    std::to_string(r.mc_abandoned),
+                    std::to_string(r.mc_fallbacks),
+                    std::to_string(r.requests_shed), ok ? "yes" : "NO"});
+    }
+    for (const std::string& v : p.violations) {
+      std::fprintf(stderr, "loss=%g: VIOLATION: %s\n", p.loss, v.c_str());
+    }
+  }
+  if (!csv) std::fputs(table.ToString().c_str(), stdout);
+  return failed ? 1 : 0;
+}
