@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "core/table_printer.h"
 
@@ -10,6 +11,56 @@ namespace bdisk::bench {
 bool QuickMode() {
   const char* quick = std::getenv("BDISK_BENCH_QUICK");
   return quick != nullptr && quick[0] != '\0';
+}
+
+const char* BuildType() {
+#ifdef BDISK_BENCH_BUILD_TYPE
+  return BDISK_BENCH_BUILD_TYPE[0] != '\0' ? BDISK_BENCH_BUILD_TYPE
+                                           : "unspecified";
+#else
+  return "unknown";
+#endif
+}
+
+const char* GitRev() {
+#ifdef BDISK_BENCH_GIT_REV
+  return BDISK_BENCH_GIT_REV;
+#else
+  return "unknown";
+#endif
+}
+
+bool OptimizedBuild() {
+#ifdef NDEBUG
+  // NDEBUG alone is not enough: an empty CMAKE_BUILD_TYPE also defines
+  // nothing but compiles at -O0. Require an explicit Release-family config.
+  const char* type = BuildType();
+  return std::strncmp(type, "Rel", 3) == 0 ||
+         std::strcmp(type, "MinSizeRel") == 0;
+#else
+  return false;
+#endif
+}
+
+void RequireOptimizedBuild(const char* binary_name) {
+  if (OptimizedBuild()) return;
+  const char* allow = std::getenv("BDISK_BENCH_ALLOW_DEBUG");
+  if (allow != nullptr && allow[0] != '\0') {
+    std::fprintf(stderr,
+                 "[%s] WARNING: %s build (rev %s) — numbers are NOT "
+                 "comparable to recorded baselines "
+                 "(BDISK_BENCH_ALLOW_DEBUG set)\n",
+                 binary_name, BuildType(), GitRev());
+    return;
+  }
+  std::fprintf(stderr,
+               "[%s] refusing to run: built as '%s', not Release (rev %s).\n"
+               "Benchmark records must come from optimized builds; rebuild "
+               "with\n  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release\n"
+               "or set BDISK_BENCH_ALLOW_DEBUG=1 to run anyway (results "
+               "tagged, never record them).\n",
+               binary_name, BuildType(), GitRev());
+  std::exit(2);
 }
 
 unsigned SweepThreads() {
@@ -52,11 +103,13 @@ core::WarmupProtocol BenchWarmupProtocol() {
 }
 
 void PrintBanner(const std::string& figure, const std::string& description) {
+  RequireOptimizedBuild(figure.c_str());
   std::printf("==============================================================="
               "=========\n");
   std::printf("%s — \"Balancing Push and Pull for Data Broadcast\" "
               "(SIGMOD 1997)\n", figure.c_str());
   std::printf("%s\n", description.c_str());
+  std::printf("build: %s @ %s\n", BuildType(), GitRev());
   std::printf("Table 3 defaults: DB=1000 pages, disks {100,400,500} @ "
               "{3,2,1}, cache=100,\nqueue=100, MC think=20, Zipf(0.95), "
               "Offset=CacheSize. Times in broadcast units.\n");

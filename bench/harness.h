@@ -18,6 +18,25 @@ core::WarmupProtocol BenchWarmupProtocol();
 /// True when BDISK_BENCH_QUICK is set.
 bool QuickMode();
 
+/// Bench provenance: every recorded number must say what was measured.
+/// BuildType() is the CMake configuration the bench binaries were built
+/// under ("Release", "Debug", ...); GitRev() the short revision captured
+/// at configure time ("unknown" outside a checkout).
+const char* BuildType();
+const char* GitRev();
+
+/// True when this binary was compiled optimized (a Release-family CMake
+/// configuration with NDEBUG, so BDISK_CHECK bounds checks are the only
+/// assertions left).
+bool OptimizedBuild();
+
+/// Provenance gate: refuses to run (exits with a loud message) when the
+/// bench was built non-optimized, so debug numbers can't silently end up
+/// in BENCH_*.json records. Setting BDISK_BENCH_ALLOW_DEBUG=1 downgrades
+/// the refusal to a tagged warning for local smoke tests. Called by
+/// PrintBanner and by the google-benchmark mains.
+void RequireOptimizedBuild(const char* binary_name);
+
 /// Worker threads for bench sweeps: the BDISK_THREADS environment variable
 /// parsed as a non-negative integer (unset, empty, or unparsable = 0 =
 /// hardware concurrency). Results are bit-identical either way; the knob

@@ -10,31 +10,45 @@ namespace bdisk::broadcast {
 BroadcastProgram::BroadcastProgram(std::vector<PageId> schedule,
                                    std::uint32_t db_size)
     : schedule_(std::move(schedule)), db_size_(db_size) {
-  occurrences_.resize(db_size_);
+  // Counting sort into CSR: per-page counts, exclusive prefix sum, then a
+  // fill pass. Iterating positions in ascending order keeps each page's
+  // occurrence run sorted.
+  occ_offsets_.assign(db_size_ + 1, 0);
+  for (const PageId p : schedule_) {
+    if (p == kNoPage) continue;
+    BDISK_CHECK_MSG(p < db_size_, "schedule references an out-of-range page");
+    ++occ_offsets_[p + 1];
+  }
+  for (std::uint32_t p = 0; p < db_size_; ++p) {
+    occ_offsets_[p + 1] += occ_offsets_[p];
+  }
+  occ_positions_.resize(occ_offsets_[db_size_]);
+  std::vector<std::uint32_t> cursor(occ_offsets_.begin(),
+                                    occ_offsets_.end() - 1);
   for (std::uint32_t pos = 0; pos < schedule_.size(); ++pos) {
     const PageId p = schedule_[pos];
     if (p == kNoPage) continue;
-    BDISK_CHECK_MSG(p < db_size_, "schedule references an out-of-range page");
-    occurrences_[p].push_back(pos);
+    occ_positions_[cursor[p]++] = pos;
   }
 }
 
 std::uint32_t BroadcastProgram::Frequency(PageId page) const {
   BDISK_DCHECK(page < db_size_);
-  return static_cast<std::uint32_t>(occurrences_[page].size());
+  return occ_offsets_[page + 1] - occ_offsets_[page];
 }
 
 std::uint32_t BroadcastProgram::DistanceToNext(std::uint32_t pos,
                                                PageId page) const {
   BDISK_DCHECK(page < db_size_);
-  const std::vector<std::uint32_t>& occ = occurrences_[page];
-  if (occ.empty()) return kNeverBroadcast;
+  const std::uint32_t* first = occ_positions_.data() + occ_offsets_[page];
+  const std::uint32_t* last = occ_positions_.data() + occ_offsets_[page + 1];
+  if (first == last) return kNeverBroadcast;
   BDISK_DCHECK(pos < schedule_.size());
   // First occurrence at or after pos, else wrap to the first of the next
   // cycle.
-  const auto it = std::lower_bound(occ.begin(), occ.end(), pos);
-  if (it != occ.end()) return *it - pos;
-  return Length() - pos + occ.front();
+  const std::uint32_t* it = std::lower_bound(first, last, pos);
+  if (it != last) return *it - pos;
+  return Length() - pos + *first;
 }
 
 double BroadcastProgram::ExpectedWait(PageId page) const {

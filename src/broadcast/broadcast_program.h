@@ -42,6 +42,11 @@ class BroadcastProgram {
   /// Page broadcast in slot `pos` (kNoPage for padding slots).
   PageId PageAt(std::uint32_t pos) const { return schedule_[pos]; }
 
+  /// The whole major cycle as a flat array of Length() entries. Hot readers
+  /// (the server's schedule cursor) iterate this directly instead of going
+  /// through PageAt() call-by-call.
+  const PageId* ScheduleData() const { return schedule_.data(); }
+
   /// True iff `page` appears somewhere on the schedule.
   bool Contains(PageId page) const { return Frequency(page) > 0; }
 
@@ -65,8 +70,13 @@ class BroadcastProgram {
  private:
   std::vector<PageId> schedule_;
   std::uint32_t db_size_;
-  // occurrences_[p] = sorted slot positions of page p.
-  std::vector<std::vector<std::uint32_t>> occurrences_;
+  // Occurrence index in CSR layout: the sorted slot positions of page p
+  // are occ_positions_[occ_offsets_[p] .. occ_offsets_[p+1]). One flat
+  // array instead of a vector-of-vectors keeps the per-query working set
+  // to two contiguous loads — DistanceToNext is the virtual-client hot
+  // path, called once per simulated client arrival.
+  std::vector<std::uint32_t> occ_offsets_;    // db_size_ + 1 entries.
+  std::vector<std::uint32_t> occ_positions_;  // One entry per filled slot.
 };
 
 }  // namespace bdisk::broadcast

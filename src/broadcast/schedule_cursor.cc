@@ -5,16 +5,12 @@
 namespace bdisk::broadcast {
 
 ScheduleCursor::ScheduleCursor(const BroadcastProgram* program)
-    : program_(program) {
+    : program_(program),
+      data_(program != nullptr ? program->ScheduleData() : nullptr),
+      length_(program != nullptr ? program->Length() : 0) {
   BDISK_CHECK_MSG(program != nullptr, "cursor needs a program");
   BDISK_CHECK_MSG(!program->Empty(),
                   "cursor over an empty program (pure pull has no cursor)");
-}
-
-PageId ScheduleCursor::Advance() {
-  const PageId page = program_->PageAt(pos_);
-  pos_ = (pos_ + 1 == program_->Length()) ? 0 : pos_ + 1;
-  return page;
 }
 
 }  // namespace bdisk::broadcast

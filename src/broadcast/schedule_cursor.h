@@ -23,7 +23,13 @@ class ScheduleCursor {
   std::uint32_t Position() const { return pos_; }
 
   /// Returns the page in the current slot and advances (cyclically).
-  PageId Advance();
+  /// Reads the flat schedule array cached at construction — one load and a
+  /// wrap test per slot, no indirection through the program.
+  PageId Advance() {
+    const PageId page = data_[pos_];
+    pos_ = (pos_ + 1 == length_) ? 0 : pos_ + 1;
+    return page;
+  }
 
   /// Slots of *push schedule* until `page` next appears, counting from the
   /// current position (0 = it is the very next pushed slot). This is the
@@ -40,6 +46,8 @@ class ScheduleCursor {
 
  private:
   const BroadcastProgram* program_;
+  const PageId* data_;     // == program_->ScheduleData(), cached.
+  std::uint32_t length_;   // == program_->Length(), cached.
   std::uint32_t pos_ = 0;
 };
 

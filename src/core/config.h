@@ -30,6 +30,13 @@ enum class DeliveryMode {
 /// Name of a delivery mode ("Push", "Pull", "IPP").
 const char* DeliveryModeName(DeliveryMode mode);
 
+/// One-shot event-queue backend selection (`kernel.queue`). Heap and wheel
+/// produce bit-identical trajectories — the kernel-matrix CI leg pins that
+/// — so this only moves wall-clock time. kAuto defers to
+/// sim::DefaultQueueKind(): the calendar wheel, unless the
+/// BDISK_KERNEL_QUEUE environment variable says otherwise.
+enum class KernelQueue { kAuto, kHeap, kWheel };
+
 /// Complete description of one simulated configuration. Field defaults are
 /// the paper's Table 3 settings.
 struct SystemConfig {
@@ -102,6 +109,15 @@ struct SystemConfig {
   /// Measured client opportunistically prefetches high p*t pages from the
   /// broadcast. Requires a push program (not kPurePull).
   bool mc_prefetch = false;
+
+  // --- Simulation kernel (no effect on the simulated trajectory) ---
+  /// Event-queue backend; see KernelQueue above.
+  KernelQueue kernel_queue = KernelQueue::kAuto;
+  /// Batched periodic slot execution: run spans of broadcast-slot
+  /// occurrences in a tight loop instead of one queue pop each
+  /// (sim::Simulator::SetBatchedPeriodic). Bit-identical either way; off
+  /// is the A/B escape hatch.
+  bool kernel_batch_slots = true;
 
   // --- Observability (no effect on the simulated trajectory) ---
   /// Windowed-telemetry window width in broadcast units

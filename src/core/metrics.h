@@ -32,6 +32,13 @@ struct KernelProfile {
   /// events_executed + lazy_arrivals_fused is invariant under fusion.
   std::uint64_t lazy_arrivals_fused = 0;
   std::uint64_t lazy_drains = 0;
+  /// Lazily-cancelled event entries physically retired, each exactly once
+  /// (see sim::EventQueue::StaleDiscarded); after a full drain this equals
+  /// the number of effective cancellations.
+  std::uint64_t stale_discarded = 0;
+  /// Batched periodic spans the run loop entered (slot occurrences fired
+  /// back-to-back without a queue pop each).
+  std::uint64_t periodic_spans = 0;
   /// Host wall-clock seconds spent inside RunUntil.
   double wall_seconds = 0.0;
   /// Throughput rates; 0 when wall_seconds is too small to measure.

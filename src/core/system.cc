@@ -141,11 +141,17 @@ std::vector<broadcast::PageId> TopValuedPages(
 System::System(const SystemConfig& config,
                std::shared_ptr<const SystemArtifacts> artifacts)
     : config_(config),
+      simulator_(config.kernel_queue == KernelQueue::kHeap
+                     ? sim::QueueKind::kHeap
+                 : config.kernel_queue == KernelQueue::kWheel
+                     ? sim::QueueKind::kWheel
+                     : sim::DefaultQueueKind()),
       artifacts_(artifacts != nullptr ? std::move(artifacts)
                                       : BuildArtifacts(config)),
       mc_pattern_(MakeMcPattern(artifacts_->canonical_pattern, config)) {
   const std::string error = config.Validate();
   BDISK_CHECK_MSG(error.empty(), error.c_str());
+  simulator_.SetBatchedPeriodic(config.kernel_batch_slots);
   BDISK_CHECK_MSG(
       artifacts_->canonical_pattern.DbSize() == config.server_db_size,
       "shared artifacts built from a different configuration");
@@ -374,6 +380,8 @@ void System::SnapshotMetrics(obs::MetricsRegistry* registry) const {
   counter("kernel.periodic_rearms", simulator_.PeriodicRearms());
   counter("kernel.lazy_arrivals_fused", simulator_.LazyArrivalsFused());
   counter("kernel.lazy_drains", simulator_.LazyDrains());
+  counter("kernel.stale_discarded", simulator_.StaleDiscarded());
+  counter("kernel.periodic_spans", simulator_.PeriodicSpans());
   gauge("kernel.heap_high_water",
         static_cast<double>(simulator_.HeapHighWater()));
   gauge("kernel.wall_seconds", wall_seconds_);
@@ -466,6 +474,8 @@ RunResult System::CollectResult(bool converged) const {
   result.kernel.periodic_rearms = simulator_.PeriodicRearms();
   result.kernel.lazy_arrivals_fused = simulator_.LazyArrivalsFused();
   result.kernel.lazy_drains = simulator_.LazyDrains();
+  result.kernel.stale_discarded = simulator_.StaleDiscarded();
+  result.kernel.periodic_spans = simulator_.PeriodicSpans();
   result.kernel.wall_seconds = wall_seconds_;
   if (wall_seconds_ > 1e-9) {
     result.kernel.events_per_wall_second =

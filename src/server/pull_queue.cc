@@ -5,7 +5,7 @@
 namespace bdisk::server {
 
 PullQueue::PullQueue(std::uint32_t capacity, std::uint32_t db_size)
-    : capacity_(capacity), queued_(db_size, false) {
+    : capacity_(capacity), ring_(capacity), queued_(db_size, false) {
   BDISK_CHECK_MSG(capacity >= 1, "queue capacity must be positive");
 }
 
@@ -16,23 +16,25 @@ SubmitResult PullQueue::Submit(PageId page) {
     ++coalesced_;
     return SubmitResult::kCoalesced;
   }
-  if (fifo_.size() >= capacity_) {
+  if (count_ >= capacity_) {
     ++dropped_;
     return SubmitResult::kDroppedFull;
   }
-  fifo_.push_back(page);
+  std::uint32_t tail = head_ + count_;
+  if (tail >= capacity_) tail -= capacity_;
+  ring_[tail] = page;
+  ++count_;
   queued_[page] = true;
   ++accepted_;
-  if (fifo_.size() > depth_high_water_) {
-    depth_high_water_ = static_cast<std::uint32_t>(fifo_.size());
-  }
+  if (count_ > depth_high_water_) depth_high_water_ = count_;
   return SubmitResult::kAccepted;
 }
 
 PageId PullQueue::PopFront() {
-  BDISK_CHECK_MSG(!fifo_.empty(), "PopFront() on an empty queue");
-  const PageId page = fifo_.front();
-  fifo_.pop_front();
+  BDISK_CHECK_MSG(count_ > 0, "PopFront() on an empty queue");
+  const PageId page = ring_[head_];
+  head_ = (head_ + 1 == capacity_) ? 0 : head_ + 1;
+  --count_;
   queued_[page] = false;
   return page;
 }

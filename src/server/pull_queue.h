@@ -2,7 +2,7 @@
 #define BDISK_SERVER_PULL_QUEUE_H_
 
 #include <cstdint>
-#include <deque>
+#include <vector>
 
 #include "broadcast/page.h"
 #include "sim/byte_mask.h"
@@ -54,8 +54,8 @@ class PullQueue {
   /// True iff `page` is currently queued.
   bool IsQueued(PageId page) const { return queued_[page]; }
 
-  bool Empty() const { return fifo_.empty(); }
-  std::uint32_t Size() const { return static_cast<std::uint32_t>(fifo_.size()); }
+  bool Empty() const { return count_ == 0; }
+  std::uint32_t Size() const { return count_; }
   std::uint32_t Capacity() const { return capacity_; }
 
   /// Records a request shed by degraded-mode admission control before it
@@ -96,7 +96,12 @@ class PullQueue {
 
  private:
   std::uint32_t capacity_;
-  std::deque<PageId> fifo_;
+  // Fixed-size ring over a flat array: the capacity is bounded
+  // (ServerQSize), so a preallocated ring replaces std::deque's chunked
+  // indirection with one contiguous, cache-resident block.
+  std::vector<PageId> ring_;  // capacity_ entries.
+  std::uint32_t head_ = 0;    // Index of the oldest queued page.
+  std::uint32_t count_ = 0;   // Queued pages.
   sim::ByteMask queued_;  // Byte-backed: one load per coalescing check.
   std::uint64_t submitted_ = 0;
   std::uint64_t accepted_ = 0;

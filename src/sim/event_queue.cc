@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <cstdlib>
+#include <string_view>
 
 #include "sim/check.h"
 
@@ -15,7 +17,7 @@ namespace {
 constexpr unsigned kSlotBits = 20;
 constexpr std::uint32_t kMaxSlots = (1u << kSlotBits) - 1;
 
-// Builds the 128-bit heap key ordering events by (when, seq, slot).
+// Builds the 128-bit ordering key for events, by (when, seq, slot).
 // Nonnegative finite doubles order identically to their bit patterns, so
 // an integer compare of keys is the full tie-broken event ordering.
 inline unsigned __int128 MakeKey(SimTime when, std::uint64_t seq,
@@ -33,11 +35,51 @@ inline std::uint64_t SeqOf(unsigned __int128 key) {
   return static_cast<std::uint64_t>(key) >> kSlotBits;
 }
 
-inline std::uint32_t HeapSlotOf(unsigned __int128 key) {
+inline std::uint32_t StoredSlotOf(unsigned __int128 key) {
   return static_cast<std::uint32_t>(key) & kMaxSlots;
 }
 
+// The wheel's calendar day of a fire time: floor(when), saturating far
+// beyond any reachable horizon for times too large for uint64. All clamped
+// times share one "day"; their relative order is still exact because the
+// staging run sorts by the full 128-bit key.
+inline std::uint64_t DayOf(SimTime when) {
+  constexpr std::uint64_t kMaxDay = std::uint64_t{1} << 62;
+  if (when >= static_cast<SimTime>(kMaxDay)) return kMaxDay;
+  return static_cast<std::uint64_t>(when);
+}
+
+inline void SetBit(std::uint64_t* bits, unsigned idx) {
+  bits[idx >> 6] |= std::uint64_t{1} << (idx & 63);
+}
+
+inline void ClearBit(std::uint64_t* bits, unsigned idx) {
+  bits[idx >> 6] &= ~(std::uint64_t{1} << (idx & 63));
+}
+
+inline bool TestBit(const std::uint64_t* bits, unsigned idx) {
+  return (bits[idx >> 6] >> (idx & 63)) & 1u;
+}
+
 }  // namespace
+
+QueueKind DefaultQueueKind() {
+  static const QueueKind kind = [] {
+    const char* env = std::getenv("BDISK_KERNEL_QUEUE");
+    if (env != nullptr && std::string_view(env) == "heap") {
+      return QueueKind::kHeap;
+    }
+    return QueueKind::kWheel;
+  }();
+  return kind;
+}
+
+EventQueue::EventQueue(QueueKind kind) : kind_(kind) {
+  if (kind_ == QueueKind::kWheel) {
+    l0_.resize(kWheelBuckets);
+    l1_.resize(kWheelBuckets);
+  }
+}
 
 // A single integer compare keeps the hot (serial, latency-bound) sift
 // comparisons branchless and short.
@@ -48,7 +90,7 @@ bool EventQueue::Before(const HeapEntry& a, const HeapEntry& b) {
 void EventQueue::HeapPush(const HeapEntry& entry) {
   std::size_t i = heap_.size();
   heap_.push_back(entry);
-  if (heap_.size() > heap_high_water_) heap_high_water_ = heap_.size();
+  if (heap_.size() > high_water_) high_water_ = heap_.size();
   // Hole-based sift-up: parents slide down into the hole, the new entry is
   // written exactly once.
   while (i > 0) {
@@ -106,6 +148,220 @@ void EventQueue::HeapPopFront() {
   heap_[hole] = last;
 }
 
+void EventQueue::WheelInsert(unsigned __int128 key) {
+  ++wheel_stored_;
+  if (wheel_stored_ > high_water_) high_water_ = wheel_stored_;
+  const std::uint64_t day = DayOf(WhenOf(key));
+  if (day <= day_) {
+    // Due already: keep the unconsumed staging run [due_cursor_, end)
+    // sorted. The consumed prefix holds only keys smaller than anything
+    // still poppable, so searching the tail alone is safe.
+    const auto it = std::lower_bound(
+        due_.begin() + static_cast<std::ptrdiff_t>(due_cursor_), due_.end(),
+        key,
+        [](const HeapEntry& e, unsigned __int128 k) { return e.key < k; });
+    due_.insert(it, HeapEntry{key});
+    return;
+  }
+  if (day - day_ <= kWheelBuckets) {
+    const auto idx = static_cast<unsigned>(day & (kWheelBuckets - 1));
+    l0_[idx].push_back(HeapEntry{key});
+    SetBit(l0_bits_, idx);
+    return;
+  }
+  const std::uint64_t hour = day >> kWheelShift;
+  if (hour - (day_ >> kWheelShift) <= kWheelBuckets) {
+    const auto idx = static_cast<unsigned>(hour & (kWheelBuckets - 1));
+    l1_[idx].push_back(HeapEntry{key});
+    SetBit(l1_bits_, idx);
+    return;
+  }
+  overflow_.push_back(HeapEntry{key});
+  if (day < overflow_min_day_) overflow_min_day_ = day;
+}
+
+namespace {
+
+// Circular distance in [1, kBuckets] from `from` to the next set bit of a
+// kBuckets-wide bitmap, or 0 when no bit is set. Distance kBuckets means
+// the bit at `from` itself — one full revolution ahead.
+unsigned NextSetBitDistance(const std::uint64_t* bits, unsigned from,
+                            unsigned buckets) {
+  const unsigned mask = buckets - 1;
+  const unsigned words = buckets / 64;
+  const unsigned pos = (from + 1) & mask;
+  unsigned word = pos >> 6;
+  std::uint64_t w = bits[word] & (~std::uint64_t{0} << (pos & 63));
+  for (unsigned i = 0; i <= words; ++i) {
+    if (w != 0) {
+      const unsigned bit =
+          word * 64 + static_cast<unsigned>(std::countr_zero(w));
+      return ((bit - from - 1) & mask) + 1;
+    }
+    word = (word + 1) & (words - 1);
+    w = bits[word];
+  }
+  return 0;
+}
+
+}  // namespace
+
+void EventQueue::AppendLiveToDue(std::vector<HeapEntry>* bucket) {
+  for (const HeapEntry& e : *bucket) {
+    if (IsStale(e)) {
+      ++stale_discarded_;
+      --wheel_stored_;
+    } else {
+      due_.push_back(e);
+    }
+  }
+  bucket->clear();
+}
+
+void EventQueue::SortDue() {
+  std::sort(due_.begin(), due_.end(),
+            [](const HeapEntry& a, const HeapEntry& b) { return a.key < b.key; });
+}
+
+void EventQueue::HarvestDay(std::uint64_t day) {
+  day_ = day;
+  const auto idx = static_cast<unsigned>(day & (kWheelBuckets - 1));
+  ClearBit(l0_bits_, idx);
+  AppendLiveToDue(&l0_[idx]);
+  SortDue();
+}
+
+void EventQueue::CascadeHour(std::uint64_t hour) {
+  day_ = hour << kWheelShift;
+  // The level-0 bucket for the boundary day may already hold entries for
+  // it (inserted while the previous hour was current); merge them in.
+  const auto l0_idx = static_cast<unsigned>(day_ & (kWheelBuckets - 1));
+  if (TestBit(l0_bits_, l0_idx)) {
+    ClearBit(l0_bits_, l0_idx);
+    AppendLiveToDue(&l0_[l0_idx]);
+  }
+  const auto l1_idx = static_cast<unsigned>(hour & (kWheelBuckets - 1));
+  ClearBit(l1_bits_, l1_idx);
+  std::vector<HeapEntry>& bucket = l1_[l1_idx];
+  for (const HeapEntry& e : bucket) {
+    if (IsStale(e)) {
+      ++stale_discarded_;
+      --wheel_stored_;
+      continue;
+    }
+    const std::uint64_t day = DayOf(WhenOf(e.key));
+    if (day <= day_) {
+      due_.push_back(e);
+    } else {
+      // day - day_ <= kWheelBuckets - 1 by construction: the whole hour
+      // spans kWheelBuckets days starting at the boundary.
+      const auto idx = static_cast<unsigned>(day & (kWheelBuckets - 1));
+      l0_[idx].push_back(e);
+      SetBit(l0_bits_, idx);
+    }
+  }
+  bucket.clear();
+  SortDue();
+}
+
+void EventQueue::RedistributeOverflow() {
+  // Only reached when the staging run and both wheel levels are empty:
+  // jump the calendar straight to the earliest overflow day and scatter.
+  std::size_t kept = 0;
+  for (const HeapEntry& e : overflow_) {
+    if (IsStale(e)) {
+      ++stale_discarded_;
+      --wheel_stored_;
+    } else {
+      overflow_[kept++] = e;
+    }
+  }
+  overflow_.resize(kept);
+  overflow_min_day_ = kNoDay;
+  if (overflow_.empty()) return;
+  std::uint64_t min_day = kNoDay;
+  for (const HeapEntry& e : overflow_) {
+    min_day = std::min(min_day, DayOf(WhenOf(e.key)));
+  }
+  day_ = min_day;
+  kept = 0;
+  for (const HeapEntry& e : overflow_) {
+    const std::uint64_t day = DayOf(WhenOf(e.key));
+    if (day <= day_) {
+      due_.push_back(e);
+    } else if (day - day_ <= kWheelBuckets) {
+      const auto idx = static_cast<unsigned>(day & (kWheelBuckets - 1));
+      l0_[idx].push_back(e);
+      SetBit(l0_bits_, idx);
+    } else if ((day >> kWheelShift) - (day_ >> kWheelShift) <= kWheelBuckets) {
+      const auto idx =
+          static_cast<unsigned>((day >> kWheelShift) & (kWheelBuckets - 1));
+      l1_[idx].push_back(e);
+      SetBit(l1_bits_, idx);
+    } else {
+      overflow_[kept++] = e;
+      if (day < overflow_min_day_) overflow_min_day_ = day;
+    }
+  }
+  overflow_.resize(kept);
+  SortDue();
+}
+
+void EventQueue::WheelAdvance() {
+  // Precondition: the staging run is exhausted and cleared. Moves day_
+  // forward to the next day holding entries and refills due_ (sorted). May
+  // leave due_ empty when everything found was stale; the caller loops.
+  for (;;) {
+    const auto l0_from = static_cast<unsigned>(day_ & (kWheelBuckets - 1));
+    const std::uint64_t hour = day_ >> kWheelShift;
+    const auto l1_from = static_cast<unsigned>(hour & (kWheelBuckets - 1));
+    const unsigned d0 = NextSetBitDistance(
+        l0_bits_, l0_from, static_cast<unsigned>(kWheelBuckets));
+    const unsigned d1 = NextSetBitDistance(
+        l1_bits_, l1_from, static_cast<unsigned>(kWheelBuckets));
+    const std::uint64_t c0 = d0 != 0 ? day_ + d0 : kNoDay;
+    const std::uint64_t c1 = d1 != 0 ? (hour + d1) << kWheelShift : kNoDay;
+    // Overflow first on ties: once day_ reaches an overflow entry's day,
+    // the entry must leave overflow to preserve the "buckets hold only the
+    // future" invariant.
+    if (!overflow_.empty() && overflow_min_day_ <= c0 &&
+        overflow_min_day_ <= c1) {
+      RedistributeOverflow();
+      if (!due_.empty()) return;
+      continue;
+    }
+    // Cascade first when the hour boundary does not trail the next level-0
+    // day: the hour bucket may hold entries for that very day.
+    if (c0 != kNoDay && c0 < c1) {
+      HarvestDay(c0);
+      return;
+    }
+    if (c1 != kNoDay) {
+      CascadeHour(hour + d1);
+      if (!due_.empty()) return;
+      continue;
+    }
+    return;  // Nothing stored anywhere.
+  }
+}
+
+bool EventQueue::WheelPeek() {
+  if (live_events_ == 0) return false;
+  for (;;) {
+    while (due_cursor_ < due_.size()) {
+      if (!IsStale(due_[due_cursor_])) return true;
+      ++due_cursor_;
+      ++stale_discarded_;
+      --wheel_stored_;
+    }
+    due_.clear();
+    due_cursor_ = 0;
+    // live_events_ > 0 guarantees a live entry is stored somewhere, so the
+    // advance loop always makes progress toward it.
+    WheelAdvance();
+  }
+}
+
 EventId EventQueue::Schedule(SimTime when, EventFn fn) {
   BDISK_CHECK_MSG(std::isfinite(when) && when >= 0.0,
                   "event time must be finite and nonnegative");
@@ -125,8 +381,14 @@ EventId EventQueue::Schedule(SimTime when, EventFn fn) {
   s.fn = fn;
   s.live_seq = seq;
   s.next_free = kNilSlot;
-  HeapPush(HeapEntry{MakeKey(when, seq, slot)});
+  const unsigned __int128 key = MakeKey(when, seq, slot);
+  if (kind_ == QueueKind::kHeap) {
+    HeapPush(HeapEntry{key});
+  } else {
+    WheelInsert(key);
+  }
   ++live_events_;
+  ++mutation_epoch_;
   return MakeId(slot, s.generation);
 }
 
@@ -141,18 +403,21 @@ PeriodicId EventQueue::SchedulePeriodic(SimTime first, SimTime interval,
   BDISK_CHECK_MSG(id < kNotPeriodic, "too many periodic timers");
   periodic_.push_back(Periodic{first, interval, next_seq_++, handler, true});
   ++live_periodic_;
+  ++mutation_epoch_;
   return id;
 }
 
 void EventQueue::Cancel(EventId id) {
   const std::uint32_t slot = SlotOf(id);
   // A generation mismatch means the id already fired or was already
-  // cancelled; the heap entry (if any) is skipped lazily in SkipStale().
+  // cancelled; the stored entry (if any) is discarded lazily when the
+  // queue reaches it.
   if (slot >= slots_.size() || slots_[slot].generation != GenerationOf(id)) {
     return;
   }
   FreeSlot(slot);
   --live_events_;
+  ++mutation_epoch_;
 }
 
 void EventQueue::CancelPeriodic(PeriodicId id) {
@@ -160,13 +425,14 @@ void EventQueue::CancelPeriodic(PeriodicId id) {
   if (periodic_[id].live) {
     periodic_[id].live = false;
     --live_periodic_;
+    ++mutation_epoch_;
   }
 }
 
 void EventQueue::FreeSlot(std::uint32_t slot) {
   Slot& s = slots_[slot];
   // Bumping the generation retires every outstanding id in O(1); zeroing
-  // live_seq retires the heap entry. Skip generation 0 on wraparound so
+  // live_seq retires the stored entry. Skip generation 0 on wraparound so
   // ids never collide with kInvalidEventId. The stale fn payload is left
   // in place — EventFn is trivially destructible and the next occupant
   // overwrites it.
@@ -177,11 +443,31 @@ void EventQueue::FreeSlot(std::uint32_t slot) {
 }
 
 bool EventQueue::IsStale(const HeapEntry& entry) const {
-  return slots_[HeapSlotOf(entry.key)].live_seq != SeqOf(entry.key);
+  return slots_[StoredSlotOf(entry.key)].live_seq != SeqOf(entry.key);
 }
 
 void EventQueue::SkipStale() {
-  while (!heap_.empty() && IsStale(heap_.front())) HeapPopFront();
+  while (!heap_.empty() && IsStale(heap_.front())) {
+    HeapPopFront();
+    ++stale_discarded_;
+  }
+}
+
+const EventQueue::HeapEntry* EventQueue::PeekOneShot() {
+  if (kind_ == QueueKind::kHeap) {
+    SkipStale();
+    return heap_.empty() ? nullptr : &heap_.front();
+  }
+  return WheelPeek() ? &due_[due_cursor_] : nullptr;
+}
+
+void EventQueue::PopOneShot() {
+  if (kind_ == QueueKind::kHeap) {
+    HeapPopFront();
+    return;
+  }
+  ++due_cursor_;
+  --wheel_stored_;
 }
 
 int EventQueue::EarliestPeriodic() const {
@@ -198,40 +484,54 @@ int EventQueue::EarliestPeriodic() const {
 }
 
 SimTime EventQueue::NextTime() {
-  SkipStale();
-  SimTime next = heap_.empty() ? kTimeNever : WhenOf(heap_.front().key);
+  const HeapEntry* top = PeekOneShot();
+  SimTime next = top == nullptr ? kTimeNever : WhenOf(top->key);
   const int p = EarliestPeriodic();
   if (p >= 0 && periodic_[p].next < next) next = periodic_[p].next;
   return next;
 }
 
-bool EventQueue::Pop(Fired* fired) {
-  SkipStale();
+bool EventQueue::PeriodicSpan(PeriodicId* id, EventHandler** handler,
+                              SimTime* barrier) {
+  if (live_periodic_ != 1) return false;
   const int p = EarliestPeriodic();
-  const bool have_heap = !heap_.empty();
-  if (!have_heap && p < 0) return false;
+  BDISK_DCHECK(p >= 0);
+  const HeapEntry* top = PeekOneShot();
+  const SimTime limit = top == nullptr ? kTimeNever : WhenOf(top->key);
+  // Strict: at when-ties the (when, seq) order must decide, which is
+  // Pop()'s job.
+  if (!(periodic_[p].next < limit)) return false;
+  *id = static_cast<PeriodicId>(p);
+  *handler = periodic_[p].handler;
+  *barrier = limit;
+  return true;
+}
+
+bool EventQueue::Pop(Fired* fired) {
+  const HeapEntry* top = PeekOneShot();
+  const int p = EarliestPeriodic();
+  if (top == nullptr && p < 0) return false;
   // FIFO among ties: the event with the smaller (when, seq) fires first,
-  // whether it lives in the heap or in the periodic table.
-  // A periodic key with slot bits 0 compares against heap keys exactly as
-  // (when, seq) would: seqs are unique, so the slot bits never decide.
+  // whether it lives in the one-shot store or in the periodic table.
+  // A periodic key with slot bits 0 compares against stored keys exactly
+  // as (when, seq) would: seqs are unique, so the slot bits never decide.
   const bool periodic_wins =
-      p >= 0 && (!have_heap ||
-                 MakeKey(periodic_[p].next, periodic_[p].seq, 0) <
-                     heap_.front().key);
+      p >= 0 &&
+      (top == nullptr ||
+       MakeKey(periodic_[p].next, periodic_[p].seq, 0) < top->key);
   if (periodic_wins) {
     fired->when = periodic_[p].next;
     fired->fn = EventFn(periodic_[p].handler);
     fired->periodic = static_cast<PeriodicId>(p);
     return true;
   }
-  const HeapEntry& top = heap_.front();
-  const std::uint32_t slot = HeapSlotOf(top.key);
-  fired->when = WhenOf(top.key);
+  const std::uint32_t slot = StoredSlotOf(top->key);
+  fired->when = WhenOf(top->key);
   fired->fn = slots_[slot].fn;
   fired->periodic = kNotPeriodic;
   FreeSlot(slot);
   --live_events_;
-  HeapPopFront();
+  PopOneShot();
   return true;
 }
 
@@ -254,6 +554,19 @@ void EventQueue::Clear() {
   free_head_ = kNilSlot;
   live_events_ = 0;
   live_periodic_ = 0;
+  ++mutation_epoch_;
+  due_.clear();
+  due_cursor_ = 0;
+  for (std::vector<HeapEntry>& b : l0_) b.clear();
+  for (std::vector<HeapEntry>& b : l1_) b.clear();
+  overflow_.clear();
+  for (std::size_t i = 0; i < kBitmapWords; ++i) {
+    l0_bits_[i] = 0;
+    l1_bits_[i] = 0;
+  }
+  day_ = 0;
+  overflow_min_day_ = kNoDay;
+  wheel_stored_ = 0;
 }
 
 }  // namespace bdisk::sim

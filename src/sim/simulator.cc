@@ -78,6 +78,37 @@ void Simulator::Run() {
 void Simulator::RunUntil(SimTime deadline) {
   stop_requested_ = false;
   while (!stop_requested_) {
+    if (batch_periodic_) {
+      // Batched periodic span: when a sole live periodic timer fires
+      // strictly before every one-shot event, run its occurrences
+      // back-to-back without touching the queue. Bit-identical to
+      // stepping — each iteration performs exactly what Step() would
+      // (advance clock, count, OnEvent, Rearm) — and bails out to the
+      // generic path the moment a handler mutates the event set, the
+      // barrier is reached (ties need Pop()'s seq tie-break), or the
+      // deadline arrives.
+      PeriodicId pid;
+      EventHandler* handler;
+      SimTime barrier;
+      if (queue_.PeriodicSpan(&pid, &handler, &barrier)) {
+        const std::uint64_t epoch = queue_.MutationEpoch();
+        SimTime next = queue_.PeriodicNextTime(pid);
+        bool fired_any = false;
+        while (next < barrier && next <= deadline) {
+          now_ = next;
+          ++events_executed_;
+          handler->OnEvent();
+          queue_.Rearm(pid);
+          fired_any = true;
+          if (stop_requested_ || queue_.MutationEpoch() != epoch) break;
+          next = queue_.PeriodicNextTime(pid);  // kTimeNever if cancelled.
+        }
+        if (fired_any) {
+          ++periodic_spans_;
+          continue;
+        }
+      }
+    }
     const SimTime next = queue_.NextTime();
     if (next == kTimeNever || next > deadline) break;
     Step();

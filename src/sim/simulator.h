@@ -24,9 +24,23 @@ namespace bdisk::sim {
 /// expirations), which an event-driven kernel reproduces exactly.
 class Simulator {
  public:
-  Simulator() = default;
+  /// `kind` picks the one-shot queue backend (heap or calendar wheel);
+  /// both produce bit-identical trajectories. See sim/event_queue.h.
+  explicit Simulator(QueueKind kind = DefaultQueueKind()) : queue_(kind) {}
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
+
+  /// The event-queue backend this simulator runs on.
+  QueueKind queue_kind() const { return queue_.kind(); }
+
+  /// Toggles batched periodic execution (default on): RunUntil() fires
+  /// consecutive occurrences of a sole live periodic timer in a tight loop
+  /// instead of one Pop() per occurrence, re-deriving the span whenever a
+  /// handler schedules or cancels anything. Bit-identical either way (the
+  /// span never crosses the earliest one-shot event); off is the A/B
+  /// escape hatch.
+  void SetBatchedPeriodic(bool on) { batch_periodic_ = on; }
+  bool BatchedPeriodic() const { return batch_periodic_; }
 
   /// Current simulation time in broadcast units.
   SimTime Now() const { return now_; }
@@ -34,11 +48,18 @@ class Simulator {
   /// Total number of events executed so far.
   std::uint64_t EventsExecuted() const { return events_executed_; }
 
-  /// Kernel profiling: deepest the event heap has ever been, and how many
-  /// periodic-timer occurrences rode the heap-free fast path. Always
-  /// tracked (the cost is one compare per push / one increment per re-arm).
+  /// Kernel profiling: deepest the one-shot event store has ever been, and
+  /// how many periodic-timer occurrences rode the pop-free fast path.
+  /// Always tracked (the cost is one compare per push / one increment per
+  /// re-arm).
   std::size_t HeapHighWater() const { return queue_.HeapHighWater(); }
   std::uint64_t PeriodicRearms() const { return queue_.PeriodicRearms(); }
+
+  /// Kernel profiling: lazily-cancelled event entries physically retired
+  /// (each exactly once — see EventQueue::StaleDiscarded), and how many
+  /// batched periodic spans RunUntil() entered.
+  std::uint64_t StaleDiscarded() const { return queue_.StaleDiscarded(); }
+  std::uint64_t PeriodicSpans() const { return periodic_spans_; }
 
   /// Schedules `fn` at absolute time `when` (must be >= Now()).
   EventId ScheduleAt(SimTime when, EventFn fn);
@@ -108,6 +129,8 @@ class Simulator {
   SimTime now_ = 0.0;
   std::uint64_t events_executed_ = 0;
   bool stop_requested_ = false;
+  bool batch_periodic_ = true;
+  std::uint64_t periodic_spans_ = 0;  // Batched spans entered (profiling).
 
   std::vector<LazySource*> lazy_sources_;
   bool draining_ = false;

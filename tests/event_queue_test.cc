@@ -1,5 +1,9 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -8,6 +12,19 @@
 
 namespace bdisk::sim {
 namespace {
+
+// The whole suite runs against both queue backends: every behavioural
+// guarantee — ordering, FIFO ties, cancellation, id reuse — is
+// backend-independent by design, and the golden trajectory pins depend on
+// that.
+class EventQueueTest : public ::testing::TestWithParam<QueueKind> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Kernel, EventQueueTest,
+    ::testing::Values(QueueKind::kHeap, QueueKind::kWheel),
+    [](const ::testing::TestParamInfo<QueueKind>& param) {
+      return param.param == QueueKind::kHeap ? "Heap" : "Wheel";
+    });
 
 // Pops the next event and returns its fire time; fails the test if empty.
 SimTime PopTime(EventQueue& queue) {
@@ -23,8 +40,8 @@ void PopAndRun(EventQueue& queue) {
   fired.fn();
 }
 
-TEST(EventQueueTest, StartsEmpty) {
-  EventQueue queue;
+TEST_P(EventQueueTest, StartsEmpty) {
+  EventQueue queue(GetParam());
   EXPECT_TRUE(queue.Empty());
   EXPECT_EQ(queue.Size(), 0U);
   EXPECT_EQ(queue.NextTime(), kTimeNever);
@@ -32,8 +49,8 @@ TEST(EventQueueTest, StartsEmpty) {
   EXPECT_FALSE(queue.Pop(&fired));
 }
 
-TEST(EventQueueTest, PopsInTimeOrder) {
-  EventQueue queue;
+TEST_P(EventQueueTest, PopsInTimeOrder) {
+  EventQueue queue(GetParam());
   std::vector<int> fired;
   queue.Schedule(3.0, [&fired] { fired.push_back(3); });
   queue.Schedule(1.0, [&fired] { fired.push_back(1); });
@@ -43,8 +60,8 @@ TEST(EventQueueTest, PopsInTimeOrder) {
   EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
 }
 
-TEST(EventQueueTest, SimultaneousEventsFireInScheduleOrder) {
-  EventQueue queue;
+TEST_P(EventQueueTest, SimultaneousEventsFireInScheduleOrder) {
+  EventQueue queue(GetParam());
   std::vector<int> fired;
   for (int i = 0; i < 10; ++i) {
     queue.Schedule(5.0, [&fired, i] { fired.push_back(i); });
@@ -58,15 +75,15 @@ TEST(EventQueueTest, SimultaneousEventsFireInScheduleOrder) {
   EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
 }
 
-TEST(EventQueueTest, NextTimeReportsEarliest) {
-  EventQueue queue;
+TEST_P(EventQueueTest, NextTimeReportsEarliest) {
+  EventQueue queue(GetParam());
   queue.Schedule(7.0, [] {});
   queue.Schedule(4.0, [] {});
   EXPECT_EQ(queue.NextTime(), 4.0);
 }
 
-TEST(EventQueueTest, CancelPreventsFiring) {
-  EventQueue queue;
+TEST_P(EventQueueTest, CancelPreventsFiring) {
+  EventQueue queue(GetParam());
   bool fired = false;
   const EventId id = queue.Schedule(1.0, [&fired] { fired = true; });
   queue.Schedule(2.0, [] {});
@@ -81,8 +98,8 @@ TEST(EventQueueTest, CancelPreventsFiring) {
   EXPECT_TRUE(queue.Empty());
 }
 
-TEST(EventQueueTest, CancelAfterFireIsHarmless) {
-  EventQueue queue;
+TEST_P(EventQueueTest, CancelAfterFireIsHarmless) {
+  EventQueue queue(GetParam());
   const EventId id = queue.Schedule(1.0, [] {});
   PopAndRun(queue);
   queue.Cancel(id);  // Already fired: must be a no-op.
@@ -94,23 +111,23 @@ TEST(EventQueueTest, CancelAfterFireIsHarmless) {
   EXPECT_EQ(queue.Size(), 1U);
 }
 
-TEST(EventQueueTest, CancelInvalidIdIsHarmless) {
-  EventQueue queue;
+TEST_P(EventQueueTest, CancelInvalidIdIsHarmless) {
+  EventQueue queue(GetParam());
   queue.Cancel(kInvalidEventId);
   queue.Cancel(~0ULL);  // Max generation, max slot: never issued.
   EXPECT_TRUE(queue.Empty());
 }
 
-TEST(EventQueueTest, DoubleCancelIsHarmless) {
-  EventQueue queue;
+TEST_P(EventQueueTest, DoubleCancelIsHarmless) {
+  EventQueue queue(GetParam());
   const EventId id = queue.Schedule(1.0, [] {});
   queue.Cancel(id);
   queue.Cancel(id);
   EXPECT_TRUE(queue.Empty());
 }
 
-TEST(EventQueueTest, ClearDropsEverything) {
-  EventQueue queue;
+TEST_P(EventQueueTest, ClearDropsEverything) {
+  EventQueue queue(GetParam());
   queue.Schedule(1.0, [] {});
   queue.Schedule(2.0, [] {});
   queue.Clear();
@@ -118,8 +135,8 @@ TEST(EventQueueTest, ClearDropsEverything) {
   EXPECT_EQ(queue.NextTime(), kTimeNever);
 }
 
-TEST(EventQueueTest, InterleavedScheduleAndPop) {
-  EventQueue queue;
+TEST_P(EventQueueTest, InterleavedScheduleAndPop) {
+  EventQueue queue(GetParam());
   std::vector<double> times;
   queue.Schedule(1.0, [] {});
   queue.Schedule(5.0, [] {});
@@ -130,8 +147,8 @@ TEST(EventQueueTest, InterleavedScheduleAndPop) {
   EXPECT_EQ(times, (std::vector<double>{1.0, 3.0, 5.0}));
 }
 
-TEST(EventQueueTest, ManyEventsStressOrdering) {
-  EventQueue queue;
+TEST_P(EventQueueTest, ManyEventsStressOrdering) {
+  EventQueue queue(GetParam());
   // Pseudo-random insertion order, ascending pop order.
   for (int i = 0; i < 1000; ++i) {
     queue.Schedule(static_cast<double>((i * 7919) % 1000), [] {});
@@ -146,8 +163,8 @@ TEST(EventQueueTest, ManyEventsStressOrdering) {
 
 // ------------------------------------------------ generation-tagged ids
 
-TEST(EventQueueTest, ReusedSlotDoesNotReviveOldId) {
-  EventQueue queue;
+TEST_P(EventQueueTest, ReusedSlotDoesNotReviveOldId) {
+  EventQueue queue(GetParam());
   // The first event ever scheduled occupies slot 0; cancelling it frees
   // the slot, so the next Schedule reuses it under a bumped generation.
   const EventId first = queue.Schedule(1.0, [] {});
@@ -164,8 +181,8 @@ TEST(EventQueueTest, ReusedSlotDoesNotReviveOldId) {
   EXPECT_EQ(PopTime(queue), 2.0);
 }
 
-TEST(EventQueueTest, IdReuseStressKeepsIdsDistinct) {
-  EventQueue queue;
+TEST_P(EventQueueTest, IdReuseStressKeepsIdsDistinct) {
+  EventQueue queue(GetParam());
   // Churn a single slot hard: every generation must produce a fresh id and
   // every stale id must stay dead.
   std::vector<EventId> ids;
@@ -183,8 +200,8 @@ TEST(EventQueueTest, IdReuseStressKeepsIdsDistinct) {
   }
 }
 
-TEST(EventQueueTest, CancelHeavyChurn) {
-  EventQueue queue;
+TEST_P(EventQueueTest, CancelHeavyChurn) {
+  EventQueue queue(GetParam());
   Rng rng(11);
   std::vector<EventId> live;
   std::size_t cancelled = 0;
@@ -213,8 +230,8 @@ TEST(EventQueueTest, CancelHeavyChurn) {
   for (const EventId id : live) EXPECT_FALSE(queue.IsPending(id));
 }
 
-TEST(EventQueueTest, RescheduleHeavyChurn) {
-  EventQueue queue;
+TEST_P(EventQueueTest, RescheduleHeavyChurn) {
+  EventQueue queue(GetParam());
   Rng rng(13);
   // One logical timer per lane, constantly cancel+rescheduled — the
   // Process::ScheduleWakeup pattern, which exercises slot reuse at the
@@ -240,8 +257,8 @@ TEST(EventQueueTest, RescheduleHeavyChurn) {
   EXPECT_EQ(drained, expected);
 }
 
-TEST(EventQueueTest, SameTimeFifoSurvivesChurnAndReuse) {
-  EventQueue queue;
+TEST_P(EventQueueTest, SameTimeFifoSurvivesChurnAndReuse) {
+  EventQueue queue(GetParam());
   // Interleave same-time scheduling with cancels that free low slots, so
   // later events recycle earlier slots: FIFO order must follow schedule
   // order, not slot order.
@@ -270,8 +287,8 @@ struct CountingHandler : EventHandler {
   void OnEvent() override { ++count; }
 };
 
-TEST(EventQueueTest, PeriodicFiresEveryIntervalWhenRearmed) {
-  EventQueue queue;
+TEST_P(EventQueueTest, PeriodicFiresEveryIntervalWhenRearmed) {
+  EventQueue queue(GetParam());
   CountingHandler handler;
   const PeriodicId timer = queue.SchedulePeriodic(1.0, 1.0, &handler);
   EXPECT_FALSE(queue.Empty());
@@ -289,8 +306,8 @@ TEST(EventQueueTest, PeriodicFiresEveryIntervalWhenRearmed) {
   EXPECT_EQ(queue.Size(), 1U);  // Still armed.
 }
 
-TEST(EventQueueTest, CancelPeriodicStopsFiring) {
-  EventQueue queue;
+TEST_P(EventQueueTest, CancelPeriodicStopsFiring) {
+  EventQueue queue(GetParam());
   CountingHandler handler;
   const PeriodicId timer = queue.SchedulePeriodic(1.0, 1.0, &handler);
   queue.CancelPeriodic(timer);
@@ -301,8 +318,8 @@ TEST(EventQueueTest, CancelPeriodicStopsFiring) {
   EXPECT_TRUE(queue.Empty());
 }
 
-TEST(EventQueueTest, PeriodicAndOneShotsInterleaveFifo) {
-  EventQueue queue;
+TEST_P(EventQueueTest, PeriodicAndOneShotsInterleaveFifo) {
+  EventQueue queue(GetParam());
   std::vector<int> order;
   struct OrderHandler : EventHandler {
     std::vector<int>* order = nullptr;
@@ -331,11 +348,11 @@ TEST(EventQueueTest, PeriodicAndOneShotsInterleaveFifo) {
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
 }
 
-TEST(EventQueueTest, ScheduleDoesNotAllocatePerEventInSteadyState) {
+TEST_P(EventQueueTest, ScheduleDoesNotAllocatePerEventInSteadyState) {
   // Behavioural proxy for the zero-allocation claim: a schedule/pop cycle
   // at constant depth must reuse slab slots instead of growing them —
   // observable as stable ids cycling through the same slot indices.
-  EventQueue queue;
+  EventQueue queue(GetParam());
   for (int i = 0; i < 64; ++i) queue.Schedule(1000.0 + i, [] {});
   std::vector<EventId> seen;
   for (int i = 0; i < 1000; ++i) {
@@ -350,6 +367,255 @@ TEST(EventQueueTest, ScheduleDoesNotAllocatePerEventInSteadyState) {
   // And every id is still unique despite the heavy slot reuse.
   std::sort(seen.begin(), seen.end());
   EXPECT_EQ(std::adjacent_find(seen.begin(), seen.end()), seen.end());
+}
+
+// ------------------------------------------- heap/wheel equivalence
+
+// The core property behind the kernel-matrix pins: driven with an
+// identical schedule/pop/cancel sequence, both backends must pop the
+// identical event stream — same times, same payloads, same FIFO order at
+// equal timestamps — and retire the same number of cancelled carcasses by
+// the time they drain.
+TEST(EventQueueEquivalenceTest, RandomOpsPopIdenticallyOnHeapAndWheel) {
+  EventQueue heap(QueueKind::kHeap);
+  EventQueue wheel(QueueKind::kWheel);
+  Rng rng(20260808);
+  std::vector<int> heap_fired;
+  std::vector<int> wheel_fired;
+  std::vector<std::pair<EventId, EventId>> live;  // (heap id, wheel id).
+  SimTime now = 0.0;
+  int serial = 0;
+  std::uint64_t cancels = 0;
+  for (int step = 0; step < 20000; ++step) {
+    const std::uint64_t op = rng.NextBounded(10);
+    if (op < 5) {
+      // Schedule: a mix of near-future offsets, same-time clusters (25%
+      // land exactly on the current integer slot boundary), multi-day
+      // jumps, and the occasional far horizon.
+      SimTime when;
+      const std::uint64_t shape = rng.NextBounded(8);
+      if (shape < 2) {
+        when = std::floor(now) + 1.0;  // Same-time cluster at a boundary.
+      } else if (shape < 6) {
+        when = now + rng.NextDouble() * 300.0;  // Typical think times.
+      } else if (shape < 7) {
+        when = now + rng.NextDouble() * 5000.0;  // Past the level-0 span.
+      } else {
+        when = now + rng.NextDouble() * 3.0e6;  // Level-1 / overflow land.
+      }
+      const int tag = serial++;
+      const EventId h = heap.Schedule(when, [&heap_fired, tag] {
+        heap_fired.push_back(tag);
+      });
+      const EventId w = wheel.Schedule(when, [&wheel_fired, tag] {
+        wheel_fired.push_back(tag);
+      });
+      live.emplace_back(h, w);
+    } else if (op < 7 && !live.empty()) {
+      const std::size_t victim = rng.NextBounded(live.size());
+      heap.Cancel(live[victim].first);
+      wheel.Cancel(live[victim].second);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
+      ++cancels;
+    } else if (!heap.Empty()) {
+      EventQueue::Fired hf;
+      EventQueue::Fired wf;
+      ASSERT_TRUE(heap.Pop(&hf));
+      ASSERT_TRUE(wheel.Pop(&wf));
+      ASSERT_EQ(hf.when, wf.when);
+      ASSERT_GE(hf.when, now);
+      now = hf.when;
+      hf.fn();
+      wf.fn();
+      ASSERT_EQ(heap_fired.back(), wheel_fired.back());
+      std::erase_if(live, [&heap](const auto& pair) {
+        return !heap.IsPending(pair.first);
+      });
+    }
+    ASSERT_EQ(heap.Size(), wheel.Size());
+  }
+  while (!heap.Empty()) {
+    EventQueue::Fired hf;
+    EventQueue::Fired wf;
+    ASSERT_TRUE(heap.Pop(&hf));
+    ASSERT_TRUE(wheel.Pop(&wf));
+    ASSERT_EQ(hf.when, wf.when);
+    hf.fn();
+    wf.fn();
+  }
+  EXPECT_TRUE(wheel.Empty());
+  EXPECT_EQ(heap_fired, wheel_fired);
+  // Every cancelled event left exactly one carcass, and a full drain
+  // retires each exactly once — on both backends.
+  EXPECT_EQ(heap.StaleDiscarded(), cancels);
+  EXPECT_EQ(wheel.StaleDiscarded(), cancels);
+}
+
+TEST(EventQueueEquivalenceTest, SameTimeFifoTieBreakMatchesAcrossBackends) {
+  // Dense same-time ties with interleaved cancels: the documented FIFO
+  // tie-break (schedule order, not slot order) must agree between the
+  // backends event-for-event.
+  EventQueue heap(QueueKind::kHeap);
+  EventQueue wheel(QueueKind::kWheel);
+  std::vector<int> heap_fired;
+  std::vector<int> wheel_fired;
+  for (int round = 0; round < 20; ++round) {
+    const SimTime when = static_cast<SimTime>(1 + round % 3);
+    std::vector<std::pair<EventId, EventId>> doomed;
+    for (int i = 0; i < 5; ++i) {
+      const int tag = round * 100 + i;
+      doomed.emplace_back(
+          heap.Schedule(when, [&heap_fired, tag] { heap_fired.push_back(tag); }),
+          wheel.Schedule(when,
+                         [&wheel_fired, tag] { wheel_fired.push_back(tag); }));
+    }
+    // Cancel every other one to punch slot-reuse holes.
+    for (std::size_t i = 0; i < doomed.size(); i += 2) {
+      heap.Cancel(doomed[i].first);
+      wheel.Cancel(doomed[i].second);
+    }
+  }
+  while (!heap.Empty()) {
+    EventQueue::Fired hf;
+    EventQueue::Fired wf;
+    ASSERT_TRUE(heap.Pop(&hf));
+    ASSERT_TRUE(wheel.Pop(&wf));
+    ASSERT_EQ(hf.when, wf.when);
+    hf.fn();
+    wf.fn();
+  }
+  EXPECT_EQ(heap_fired, wheel_fired);
+}
+
+// ------------------------------------------- wheel geometry edge cases
+
+TEST_P(EventQueueTest, FarFutureEventsPopInOrder) {
+  // Times spanning every wheel region: the current day, level 0, level 1,
+  // the overflow list, and doubles too large for the day arithmetic
+  // (clamped; ordering falls back to the full key compare).
+  EventQueue queue(GetParam());
+  const double times[] = {0.5,   1.5e9, 1024.0 * 1024.0 + 3.0, 700.0,
+                          1e18,  2.5,   1e300,                 1048000.0,
+                          3e5,   1e9};
+  for (const double t : times) queue.Schedule(t, [] {});
+  std::vector<double> sorted(std::begin(times), std::end(times));
+  std::sort(sorted.begin(), sorted.end());
+  for (const double expected : sorted) {
+    EXPECT_EQ(queue.NextTime(), expected);
+    EXPECT_EQ(PopTime(queue), expected);
+  }
+  EXPECT_TRUE(queue.Empty());
+}
+
+TEST_P(EventQueueTest, RolloverAcrossManyDaysAndHours) {
+  // March a periodic-free workload across several thousand "days" so the
+  // level-0 ring wraps multiple times and at least three hour boundaries
+  // cascade; inserts stay interleaved with pops so the due-run insert path
+  // (day <= current) is exercised too.
+  EventQueue queue(GetParam());
+  Rng rng(7);
+  SimTime now = 0.0;
+  std::size_t popped = 0;
+  for (int i = 0; i < 64; ++i) {
+    queue.Schedule(now + rng.NextDouble() * 64.0, [] {});
+  }
+  while (popped < 10000) {
+    EventQueue::Fired fired;
+    ASSERT_TRUE(queue.Pop(&fired));
+    ASSERT_GE(fired.when, now);
+    now = fired.when;
+    ++popped;
+    // Replacement keeps depth constant; occasional same-day inserts land
+    // in the sorted due run rather than a bucket.
+    const double offset = rng.NextBounded(4) == 0 ? rng.NextDouble() * 0.5
+                                                  : rng.NextDouble() * 64.0;
+    queue.Schedule(now + offset, [] {});
+  }
+  EXPECT_GT(now, 3072.0);  // Crossed the 1024-day ring at least three times.
+}
+
+TEST_P(EventQueueTest, StaleEntriesRetiredOnceDespiteBucketReuse) {
+  // A cancelled event's carcass sits in a wheel bucket; after the wheel
+  // passes its day, the same bucket index is reused by a day exactly one
+  // ring revolution later. The carcass must be discarded (and counted)
+  // exactly once, and never resurface to double-count when the bucket
+  // recycles — the `obs` kernel counters depend on this.
+  EventQueue queue(GetParam());
+  const EventId doomed = queue.Schedule(2000.0, [] {});
+  queue.Cancel(doomed);
+  EXPECT_EQ(queue.StaleDiscarded(), 0U);  // Retired lazily, not eagerly.
+  queue.Schedule(2100.0, [] {});
+  EXPECT_EQ(PopTime(queue), 2100.0);  // Sweeps day 2000's carcass.
+  EXPECT_EQ(queue.StaleDiscarded(), 1U);
+  // Same bucket index, one revolution later (2000 + 1024).
+  queue.Schedule(3024.0, [] {});
+  EXPECT_EQ(PopTime(queue), 3024.0);
+  EXPECT_TRUE(queue.Empty());
+  EXPECT_EQ(queue.StaleDiscarded(), 1U);  // Not double-counted.
+}
+
+// ------------------------------------------- batched periodic spans
+
+TEST_P(EventQueueTest, PeriodicSpanRequiresSoleTimerStrictlyBeforeBarrier) {
+  EventQueue queue(GetParam());
+  CountingHandler handler;
+  PeriodicId id = EventQueue::kNotPeriodic;
+  EventHandler* out_handler = nullptr;
+  SimTime barrier = 0.0;
+  EXPECT_FALSE(queue.PeriodicSpan(&id, &out_handler, &barrier));  // No timer.
+
+  const PeriodicId timer = queue.SchedulePeriodic(1.0, 1.0, &handler);
+  ASSERT_TRUE(queue.PeriodicSpan(&id, &out_handler, &barrier));
+  EXPECT_EQ(id, timer);
+  EXPECT_EQ(out_handler, &handler);
+  EXPECT_EQ(barrier, kTimeNever);  // No one-shots at all.
+
+  // A one-shot strictly after the next occurrence: span holds, barrier is
+  // its time.
+  const EventId later = queue.Schedule(5.5, [] {});
+  ASSERT_TRUE(queue.PeriodicSpan(&id, &out_handler, &barrier));
+  EXPECT_EQ(barrier, 5.5);
+
+  // A one-shot tied with the next occurrence: the seq tie-break must go
+  // through Pop(), so no span.
+  const EventId tie = queue.Schedule(1.0, [] {});
+  EXPECT_FALSE(queue.PeriodicSpan(&id, &out_handler, &barrier));
+  queue.Cancel(tie);
+  ASSERT_TRUE(queue.PeriodicSpan(&id, &out_handler, &barrier));
+
+  // A second live periodic timer disables spans entirely.
+  CountingHandler other;
+  const PeriodicId second = queue.SchedulePeriodic(0.5, 2.0, &other);
+  EXPECT_FALSE(queue.PeriodicSpan(&id, &out_handler, &barrier));
+  queue.CancelPeriodic(second);
+  ASSERT_TRUE(queue.PeriodicSpan(&id, &out_handler, &barrier));
+  queue.Cancel(later);
+  ASSERT_TRUE(queue.PeriodicSpan(&id, &out_handler, &barrier));
+  EXPECT_EQ(barrier, kTimeNever);
+}
+
+TEST_P(EventQueueTest, MutationEpochTracksLiveSetChanges) {
+  EventQueue queue(GetParam());
+  CountingHandler handler;
+  const std::uint64_t e0 = queue.MutationEpoch();
+  const EventId id = queue.Schedule(1.0, [] {});
+  EXPECT_NE(queue.MutationEpoch(), e0);  // Schedule bumps.
+  const std::uint64_t e1 = queue.MutationEpoch();
+  queue.Cancel(id);
+  EXPECT_NE(queue.MutationEpoch(), e1);  // Effective cancel bumps.
+  const std::uint64_t e2 = queue.MutationEpoch();
+  queue.Cancel(id);                      // Stale cancel: no-op.
+  EXPECT_EQ(queue.MutationEpoch(), e2);
+  const PeriodicId timer = queue.SchedulePeriodic(1.0, 1.0, &handler);
+  const std::uint64_t e3 = queue.MutationEpoch();
+  EXPECT_NE(e3, e2);
+  // Pop + Rearm are the span's own steady state: no bump.
+  EventQueue::Fired fired;
+  ASSERT_TRUE(queue.Pop(&fired));
+  queue.Rearm(fired.periodic);
+  EXPECT_EQ(queue.MutationEpoch(), e3);
+  queue.CancelPeriodic(timer);
+  EXPECT_NE(queue.MutationEpoch(), e3);
 }
 
 }  // namespace

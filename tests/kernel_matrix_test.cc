@@ -1,0 +1,218 @@
+// Kernel-matrix invariance: the event-queue backend (`kernel.queue`) and
+// batched slot execution (`kernel.batch_slots`) are pure wall-clock knobs.
+// Every cell of the {heap, wheel} x {batched, stepped} matrix must produce
+// the bit-identical simulated trajectory — metrics, counters, and the full
+// trace stream — fused or unfused, with and without an active fault plan.
+// CI runs the whole suite under BDISK_KERNEL_QUEUE=heap and =wheel on top
+// of this, so the matrix is pinned both in-process and across processes.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "core/system.h"
+#include "obs/trace_sink.h"
+
+namespace bdisk {
+namespace {
+
+struct Cell {
+  core::KernelQueue queue;
+  bool batch;
+};
+
+const Cell kMatrix[] = {
+    {core::KernelQueue::kHeap, true},
+    {core::KernelQueue::kHeap, false},
+    {core::KernelQueue::kWheel, true},
+    {core::KernelQueue::kWheel, false},
+};
+
+std::string CellName(const Cell& cell) {
+  std::string name =
+      cell.queue == core::KernelQueue::kHeap ? "heap" : "wheel";
+  name += cell.batch ? "/batched" : "/stepped";
+  return name;
+}
+
+core::SteadyStateProtocol SmallProtocol() {
+  core::SteadyStateProtocol protocol;
+  protocol.post_fill_accesses = 100;
+  protocol.min_measured_accesses = 500;
+  protocol.max_measured_accesses = 1500;
+  protocol.batch_size = 250;
+  protocol.tolerance = 0.1;
+  return protocol;
+}
+
+core::SystemConfig SmallLoadedConfig() {
+  core::SystemConfig config;
+  config.mode = core::DeliveryMode::kIpp;
+  config.server_db_size = 100;
+  config.disks = broadcast::DiskConfig{{10, 40, 50}, {3, 2, 1}};
+  config.cache_size = 10;
+  config.server_queue_size = 10;
+  config.mc_think_time = 5.0;
+  config.think_time_ratio = 50.0;
+  config.pull_bw = 0.5;
+  config.thres_perc = 0.1;
+  config.seed = 20260808;
+  return config;
+}
+
+core::RunResult RunCell(core::SystemConfig config, const Cell& cell) {
+  config.kernel_queue = cell.queue;
+  config.kernel_batch_slots = cell.batch;
+  core::System system(config);
+  return system.RunSteadyState(SmallProtocol());
+}
+
+// Trajectory fields only: kernel accounting is compared separately, since
+// profile counters (heap high water, stale-discard timing, span counts) are
+// backend-specific by design.
+void ExpectSameTrajectory(const core::RunResult& a, const core::RunResult& b,
+                          const std::string& label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(a.mean_response, b.mean_response);
+  EXPECT_EQ(a.response_stats.Variance(), b.response_stats.Variance());
+  EXPECT_EQ(a.response_stats.Count(), b.response_stats.Count());
+  EXPECT_EQ(a.response_p50, b.response_p50);
+  EXPECT_EQ(a.response_p90, b.response_p90);
+  EXPECT_EQ(a.response_p99, b.response_p99);
+  EXPECT_EQ(a.response_max, b.response_max);
+  EXPECT_EQ(a.mc_accesses, b.mc_accesses);
+  EXPECT_EQ(a.mc_hit_rate, b.mc_hit_rate);
+  EXPECT_EQ(a.mc_pulls_sent, b.mc_pulls_sent);
+  EXPECT_EQ(a.mc_retries_sent, b.mc_retries_sent);
+  EXPECT_EQ(a.mc_invalidations, b.mc_invalidations);
+  EXPECT_EQ(a.vc_requests_generated, b.vc_requests_generated);
+  EXPECT_EQ(a.vc_cache_hits, b.vc_cache_hits);
+  EXPECT_EQ(a.vc_filtered, b.vc_filtered);
+  EXPECT_EQ(a.vc_submitted, b.vc_submitted);
+  EXPECT_EQ(a.updates_generated, b.updates_generated);
+  EXPECT_EQ(a.requests_submitted, b.requests_submitted);
+  EXPECT_EQ(a.requests_accepted, b.requests_accepted);
+  EXPECT_EQ(a.requests_coalesced, b.requests_coalesced);
+  EXPECT_EQ(a.requests_dropped, b.requests_dropped);
+  EXPECT_EQ(a.requests_shed, b.requests_shed);
+  EXPECT_EQ(a.requests_dropped_outage, b.requests_dropped_outage);
+  EXPECT_EQ(a.queue_depth_high_water, b.queue_depth_high_water);
+  EXPECT_EQ(a.fault_slots_lost, b.fault_slots_lost);
+  EXPECT_EQ(a.fault_slots_corrupted, b.fault_slots_corrupted);
+  EXPECT_EQ(a.fault_requests_lost, b.fault_requests_lost);
+  EXPECT_EQ(a.fault_requests_delayed, b.fault_requests_delayed);
+  EXPECT_EQ(a.outage_slots, b.outage_slots);
+  EXPECT_EQ(a.mc_timeouts_fired, b.mc_timeouts_fired);
+  EXPECT_EQ(a.mc_fallbacks, b.mc_fallbacks);
+  EXPECT_EQ(a.push_slot_frac, b.push_slot_frac);
+  EXPECT_EQ(a.pull_slot_frac, b.pull_slot_frac);
+  EXPECT_EQ(a.idle_slot_frac, b.idle_slot_frac);
+  EXPECT_EQ(a.sim_time_end, b.sim_time_end);
+  EXPECT_EQ(a.converged, b.converged);
+  // Dispatched-event count is part of the trajectory contract: the span
+  // loop must count occurrences exactly like per-event stepping, and the
+  // backend must never execute a stale carcass.
+  EXPECT_EQ(a.kernel.events_executed, b.kernel.events_executed);
+  EXPECT_EQ(a.kernel.lazy_arrivals_fused, b.kernel.lazy_arrivals_fused);
+  EXPECT_EQ(a.kernel.periodic_rearms, b.kernel.periodic_rearms);
+}
+
+void ExpectMatrixInvariant(const core::SystemConfig& config) {
+  const core::RunResult reference = RunCell(config, kMatrix[0]);
+  for (std::size_t i = 1; i < std::size(kMatrix); ++i) {
+    const core::RunResult cell = RunCell(config, kMatrix[i]);
+    ExpectSameTrajectory(reference, cell,
+                         CellName(kMatrix[0]) + " vs " + CellName(kMatrix[i]));
+    // Batched cells actually batch; stepped cells actually step.
+    if (kMatrix[i].batch) {
+      EXPECT_GT(cell.kernel.periodic_spans, 0U) << CellName(kMatrix[i]);
+    } else {
+      EXPECT_EQ(cell.kernel.periodic_spans, 0U) << CellName(kMatrix[i]);
+    }
+  }
+  EXPECT_GT(reference.kernel.periodic_spans, 0U);
+}
+
+TEST(KernelMatrixTest, TrajectoryInvariantAcrossQueueAndBatching) {
+  ExpectMatrixInvariant(SmallLoadedConfig());
+}
+
+TEST(KernelMatrixTest, TrajectoryInvariantUnfused) {
+  // The unfused VC path schedules every arrival as a one-shot — far more
+  // churn through the wheel buckets, and spans break at every arrival.
+  core::SystemConfig config = SmallLoadedConfig();
+  config.vc_fusion = false;
+  ExpectMatrixInvariant(config);
+}
+
+TEST(KernelMatrixTest, TrajectoryInvariantWithActiveFaultPlan) {
+  // An *active* plan: fault code draws randomness, injects slot loss and
+  // outages, delays requests, and drives the MC retry/timeout engine —
+  // all of it must land identically on every matrix cell. (The inert-plan
+  // case is the default-config test above; see ROBUSTNESS.md.)
+  core::SystemConfig config = SmallLoadedConfig();
+  config.fault.slot_loss = 0.05;
+  config.fault.request_loss = 0.05;
+  config.fault.request_delay = 2.0;
+  config.fault.outage_start = 200.0;
+  config.fault.outage_duration = 25.0;
+  config.fault.outage_period = 400.0;
+  config.fault.mc_timeout = 50.0;
+  ASSERT_TRUE(config.fault.Enabled());
+  ASSERT_EQ(config.Validate(), "");
+  ExpectMatrixInvariant(config);
+}
+
+TEST(KernelMatrixTest, TrajectoryInvariantWithUpdatesAndAdaptation) {
+  // Volatile data plus both controllers: the densest event mix (update
+  // wakeups, controller windows, invalidation barriers) the system has.
+  core::SystemConfig config = SmallLoadedConfig();
+  config.update_rate = 0.2;
+  config.adaptive_pull_bw = true;
+  config.adaptive_threshold = true;
+  ExpectMatrixInvariant(config);
+}
+
+// The strongest pin: the complete trace stream — every span record, in
+// order, with timestamps and payloads — must be byte-for-byte identical
+// across the matrix.
+TEST(KernelMatrixTest, TraceStreamsIdenticalAcrossMatrix) {
+  core::SystemConfig config = SmallLoadedConfig();
+  config.update_rate = 0.2;
+
+  std::vector<obs::SpanRecord> reference;
+  for (std::size_t i = 0; i < std::size(kMatrix); ++i) {
+    config.kernel_queue = kMatrix[i].queue;
+    config.kernel_batch_slots = kMatrix[i].batch;
+    core::System system(config);
+    obs::TraceSink sink(1 << 21);
+    system.AttachTrace(&sink);
+    system.RunSteadyState(SmallProtocol());
+    ASSERT_EQ(sink.DroppedEvents(), 0U) << CellName(kMatrix[i]);
+    if (i == 0) {
+      reference = sink.Events();
+      ASSERT_GT(reference.size(), 0U);
+      continue;
+    }
+    const std::vector<obs::SpanRecord>& events = sink.Events();
+    ASSERT_EQ(events.size(), reference.size()) << CellName(kMatrix[i]);
+    for (std::size_t r = 0; r < events.size(); ++r) {
+      ASSERT_EQ(events[r].time, reference[r].time)
+          << CellName(kMatrix[i]) << " record " << r;
+      ASSERT_EQ(events[r].event, reference[r].event)
+          << CellName(kMatrix[i]) << " record " << r;
+      ASSERT_EQ(events[r].client, reference[r].client)
+          << CellName(kMatrix[i]) << " record " << r;
+      ASSERT_EQ(events[r].page, reference[r].page)
+          << CellName(kMatrix[i]) << " record " << r;
+      ASSERT_EQ(events[r].value, reference[r].value)
+          << CellName(kMatrix[i]) << " record " << r;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bdisk

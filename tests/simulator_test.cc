@@ -1,5 +1,6 @@
 #include "sim/simulator.h"
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -158,6 +159,105 @@ TEST(SimulatorTest, PeriodicInterleavesWithOneShotsDeterministically) {
   // t=2: the one-shot was scheduled (seq drawn) before the periodic's
   // re-arm, so it precedes the second periodic fire.
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 0}));
+}
+
+// Runs a workload that mixes one periodic slot timer with handler-driven
+// one-shot scheduling (the System's actual shape) and records every fire.
+// `batched` toggles the span fast path; the trace must not depend on it.
+std::vector<double> RunMixedWorkload(QueueKind kind, bool batched,
+                                     std::uint64_t* spans_out) {
+  Simulator sim(kind);
+  sim.SetBatchedPeriodic(batched);
+  std::vector<double> trace;
+  // The periodic handler occasionally schedules a one-shot (a "pull
+  // arrival") that lands mid-span and must break the batch exactly there.
+  struct SlotHandler : EventHandler {
+    Simulator* sim;
+    std::vector<double>* trace;
+    int slot = 0;
+    void OnEvent() override {
+      trace->push_back(sim->Now());
+      ++slot;
+      if (slot % 7 == 0) {
+        Simulator* s = sim;
+        std::vector<double>* t = trace;
+        s->ScheduleAfter(2.5, [s, t] { t->push_back(-s->Now()); });
+      }
+    }
+  } handler;
+  handler.sim = &sim;
+  handler.trace = &trace;
+  sim.SchedulePeriodic(1.0, &handler);
+  sim.RunUntil(500.0);
+  EXPECT_EQ(sim.Now(), 500.0);
+  if (spans_out != nullptr) *spans_out = sim.PeriodicSpans();
+  return trace;
+}
+
+TEST(SimulatorTest, BatchedPeriodicSpansMatchSteppedExecution) {
+  for (const QueueKind kind : {QueueKind::kHeap, QueueKind::kWheel}) {
+    std::uint64_t batched_spans = 0;
+    std::uint64_t stepped_spans = 0;
+    const std::vector<double> batched =
+        RunMixedWorkload(kind, /*batched=*/true, &batched_spans);
+    const std::vector<double> stepped =
+        RunMixedWorkload(kind, /*batched=*/false, &stepped_spans);
+    EXPECT_EQ(batched, stepped);  // Bit-identical trajectory.
+    EXPECT_GT(batched_spans, 0U);  // The fast path actually engaged...
+    EXPECT_EQ(stepped_spans, 0U);  // ...and the A/B switch actually works.
+  }
+}
+
+TEST(SimulatorTest, BatchedSpanCountsEventsIdentically) {
+  // events_executed feeds the obs kernel profile and the fusion invariant;
+  // the span loop must bump it exactly like Step() would.
+  for (const bool batched : {true, false}) {
+    Simulator sim;
+    sim.SetBatchedPeriodic(batched);
+    PeriodicCounter counter(&sim);
+    sim.SchedulePeriodic(2.0, &counter);
+    sim.RunUntil(100.0);
+    EXPECT_EQ(sim.EventsExecuted(), 50U);
+    EXPECT_EQ(counter.fire_times.size(), 50U);
+  }
+}
+
+TEST(SimulatorTest, BatchedSpanHonoursStopAndDeadline) {
+  Simulator sim;
+  ASSERT_TRUE(sim.BatchedPeriodic());  // Default on.
+  struct Stopper : EventHandler {
+    Simulator* sim;
+    int fires = 0;
+    void OnEvent() override {
+      if (++fires == 3) sim->Stop();
+    }
+  } stopper;
+  stopper.sim = &sim;
+  sim.SchedulePeriodic(1.0, &stopper);
+  sim.Run();
+  EXPECT_EQ(stopper.fires, 3);
+  EXPECT_EQ(sim.Now(), 3.0);
+  // Resuming with a deadline mid-interval: the span must not overshoot.
+  sim.RunUntil(5.5);
+  EXPECT_EQ(stopper.fires, 5);
+  EXPECT_EQ(sim.Now(), 5.5);
+}
+
+TEST(SimulatorTest, BatchedSpanStopsWhenHandlerCancelsTheTimer) {
+  Simulator sim;
+  struct SelfCancel : EventHandler {
+    Simulator* sim;
+    PeriodicId id = 0;
+    int fires = 0;
+    void OnEvent() override {
+      if (++fires == 4) sim->CancelPeriodic(id);
+    }
+  } handler;
+  handler.sim = &sim;
+  handler.id = sim.SchedulePeriodic(1.0, &handler);
+  sim.RunUntil(100.0);
+  EXPECT_EQ(handler.fires, 4);
+  EXPECT_EQ(sim.PendingEvents(), 0U);
 }
 
 // A minimal Process subclass exercising the wakeup machinery.
