@@ -10,6 +10,7 @@
 #include "core/system.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/phase_profiler.h"
 #include "obs/trace_sink.h"
 #include "obs/windowed_collector.h"
 
@@ -23,8 +24,18 @@ core::SystemConfig BenchConfig(double think_time_ratio) {
   return config;
 }
 
+core::SystemConfig BenchConfigWithQueue(double think_time_ratio,
+                                        core::KernelQueue queue) {
+  core::SystemConfig config = BenchConfig(think_time_ratio);
+  config.kernel_queue = queue;
+  return config;
+}
+
 // Baseline: observability fully detached. All hook pointers stay null, so
-// the hot path pays one branch per hook site and nothing else.
+// the hot path pays one branch per hook site and nothing else. The
+// unsuffixed arm runs the default kernel (calendar wheel) and is the
+// baseline for every attach arm; DetachedHeap pins the heap backend so
+// ProfilerHeap has a like-for-like partner.
 void BM_EndToEndSlots_Detached(benchmark::State& state) {
   for (auto _ : state) {
     state.PauseTiming();
@@ -39,6 +50,25 @@ void BM_EndToEndSlots_Detached(benchmark::State& state) {
   state.SetLabel("items = broadcast units");
 }
 BENCHMARK(BM_EndToEndSlots_Detached)
+    ->Arg(10)
+    ->Arg(250)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EndToEndSlots_DetachedHeap(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::System system(BenchConfigWithQueue(
+        static_cast<double>(state.range(0)), core::KernelQueue::kHeap));
+    system.mc().Start();
+    if (system.vc() != nullptr) system.vc()->Start();
+    state.ResumeTiming();
+    system.simulator().RunUntil(20000.0);
+    benchmark::DoNotOptimize(system.server().TotalSlots());
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+  state.SetLabel("items = broadcast units");
+}
+BENCHMARK(BM_EndToEndSlots_DetachedHeap)
     ->Arg(10)
     ->Arg(250)
     ->Unit(benchmark::kMillisecond);
@@ -126,6 +156,41 @@ void BM_EndToEndSlots_Windows(benchmark::State& state) {
   state.SetLabel("items = broadcast units");
 }
 BENCHMARK(BM_EndToEndSlots_Windows)
+    ->Arg(10)
+    ->Arg(250)
+    ->Unit(benchmark::kMillisecond);
+
+// Wall-clock phase profiler attached, on each event-queue backend: every
+// instrumentation frame pays its counter bump, sampled frames pay the
+// timestamps. The acceptance bound (OBSERVABILITY.md §7) is < 5% over
+// Detached at EndToEndSlots/250.
+template <core::KernelQueue kQueue>
+void BM_EndToEndSlots_Profiler(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::System system(BenchConfigWithQueue(
+        static_cast<double>(state.range(0)), kQueue));
+    obs::PhaseProfiler profiler;
+    system.AttachProfiler(&profiler);
+    system.mc().Start();
+    if (system.vc() != nullptr) system.vc()->Start();
+    state.ResumeTiming();
+    system.simulator().RunUntil(20000.0);
+    benchmark::DoNotOptimize(system.server().TotalSlots());
+    state.PauseTiming();
+    benchmark::DoNotOptimize(profiler.Calls(obs::Phase::kRun));
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+  state.SetLabel("items = broadcast units");
+}
+BENCHMARK_TEMPLATE(BM_EndToEndSlots_Profiler, core::KernelQueue::kHeap)
+    ->Name("BM_EndToEndSlots_ProfilerHeap")
+    ->Arg(10)
+    ->Arg(250)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_TEMPLATE(BM_EndToEndSlots_Profiler, core::KernelQueue::kWheel)
+    ->Name("BM_EndToEndSlots_ProfilerWheel")
     ->Arg(10)
     ->Arg(250)
     ->Unit(benchmark::kMillisecond);

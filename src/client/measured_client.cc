@@ -101,6 +101,8 @@ void MeasuredClient::OnWakeup() {
 }
 
 void MeasuredClient::MakeRequest() {
+  obs::PhaseScope prof(simulator()->phase_profiler(),
+                       obs::Phase::kMcRequest);
   const PageId page = generator_.Next(rng_);
   ++total_accesses_;
   if (sink_ != nullptr) {
@@ -261,6 +263,8 @@ void MeasuredClient::CompleteAccess(double response_time) {
 
 void MeasuredClient::OnBroadcast(PageId page, server::SlotKind kind,
                                  sim::SimTime now) {
+  obs::PhaseScope prof(simulator()->phase_profiler(),
+                       obs::Phase::kMcDelivery);
   if (robust_ && backchannel_dead_ && kind == server::SlotKind::kPull) {
     // Snooped proof of life: a pull slot means the server is answering
     // requests again — revive the backchannel for everyone listening.

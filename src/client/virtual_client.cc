@@ -61,6 +61,11 @@ void VirtualClient::OnInvalidate(PageId page, sim::SimTime /*now*/) {
 }
 
 std::uint64_t VirtualClient::CatchUp(sim::SimTime horizon) {
+  if (next_arrival_ > horizon) return 0;
+  // The ~41 ns/arrival hot path (ROADMAP): one frame per non-empty drain,
+  // arrivals as ops — never a per-arrival timestamp.
+  obs::PhaseScope prof(simulator_->phase_profiler(),
+                       obs::Phase::kVcArrival);
   std::uint64_t processed = 0;
   while (next_arrival_ <= horizon) {
     const sim::SimTime at = next_arrival_;
@@ -68,10 +73,14 @@ std::uint64_t VirtualClient::CatchUp(sim::SimTime horizon) {
     next_arrival_ = at + think_.Next(rng_);
     ++processed;
   }
+  prof.AddOps(processed);
   return processed;
 }
 
 void VirtualClient::OnEvent() {
+  obs::PhaseScope prof(simulator_->phase_profiler(),
+                       obs::Phase::kVcArrival);
+  prof.AddOps(1);
   const sim::SimTime now = simulator_->Now();
   ProcessArrival(now);
   wakeup_ = simulator_->ScheduleAfter(think_.Next(rng_), this);

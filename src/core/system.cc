@@ -294,6 +294,19 @@ void System::AttachWindowedCollector(obs::WindowedCollector* collector) {
   mc_->SetWindowedCollector(collector);
 }
 
+void System::AttachProfiler(obs::PhaseProfiler* profiler) {
+  BDISK_CHECK_MSG(!ran_, "attach observability before running");
+  BDISK_CHECK_MSG(profiler != nullptr, "AttachProfiler needs a profiler");
+  profiler_ = profiler;
+  profiler->SetBackend(simulator_.queue_kind() == sim::QueueKind::kHeap
+                           ? "heap"
+                           : "wheel");
+  simulator_.SetPhaseProfiler(profiler);
+  server_->SetPhaseProfiler(profiler);
+  // The clients read the profiler through the simulator pointer they
+  // already hold, so no per-client wiring is needed.
+}
+
 void System::AttachFlightRecorder(obs::FlightRecorder* recorder) {
   BDISK_CHECK_MSG(!ran_, "attach observability before running");
   BDISK_CHECK_MSG(recorder != nullptr,
@@ -386,6 +399,10 @@ void System::SnapshotMetrics(obs::MetricsRegistry* registry) const {
         static_cast<double>(simulator_.HeapHighWater()));
   gauge("kernel.wall_seconds", wall_seconds_);
   gauge("kernel.sim_time_end", simulator_.Now());
+
+  // prof.* is wall-clock data (nondeterministic across runs); comparators
+  // skip it via obs::kNondeterministicMetricSubstrings.
+  if (profiler_ != nullptr) profiler_->MergeInto(registry);
 }
 
 void System::TimedRun(sim::SimTime max_sim_time) {
@@ -398,6 +415,9 @@ void System::TimedRun(sim::SimTime max_sim_time) {
   // in Windows() and snapshots (outside the timed region by a hair, but
   // Finish() is O(1) either way).
   if (collector_ != nullptr) collector_->Finish();
+  // Anchor the profiler's closing calibration point as close to the run as
+  // possible (idempotent; exports would otherwise do it lazily).
+  if (profiler_ != nullptr) profiler_->Finalize();
 }
 
 RunResult System::CollectResult(bool converged) const {

@@ -20,6 +20,7 @@
 #include "fault/fault_injector.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/phase_profiler.h"
 #include "obs/trace_sink.h"
 #include "obs/windowed_collector.h"
 #include "server/broadcast_server.h"
@@ -135,6 +136,14 @@ class System {
   /// AttachMetrics.
   void AttachWindowedCollector(obs::WindowedCollector* collector);
 
+  /// Attaches the wall-clock phase `profiler` (not owned) to the kernel,
+  /// the server, and (via the simulator pointer the clients already hold)
+  /// the virtual and measured clients. Call before Run*. The profiler is
+  /// finalized (clock anchored) when the run ends; its `prof.*` section is
+  /// merged into SnapshotMetrics() output. Same bit-identity guarantee as
+  /// AttachMetrics: no randomness, no events — only wall-clock reads.
+  void AttachProfiler(obs::PhaseProfiler* profiler);
+
   /// Arms the anomaly flight `recorder` (not owned): completed telemetry
   /// windows are evaluated against its triggers, and on fire the dump
   /// carries a full SnapshotMetrics() document plus the trailing trace
@@ -207,6 +216,7 @@ class System {
   std::unique_ptr<fault::FaultInjector> injector_;
   obs::WindowedCollector* collector_ = nullptr;  // Not owned.
   obs::TraceSink* sink_ = nullptr;               // Not owned.
+  obs::PhaseProfiler* profiler_ = nullptr;       // Not owned.
   bool ran_ = false;
   double wall_seconds_ = 0.0;
 };

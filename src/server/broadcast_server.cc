@@ -104,11 +104,17 @@ SubmitResult BroadcastServer::SubmitRequestAt(PageId page,
     // Backchannel transit faults first: a request lost on the wire never
     // reaches the server, and a delayed one arrives later (the queue
     // outcome is decided — and traced — at arrival time).
-    if (injector_->JudgeRequestLost()) {
+    bool lost;
+    double delay;
+    {
+      obs::PhaseScope judge_prof(profiler_, obs::Phase::kFaultJudge);
+      lost = injector_->JudgeRequestLost();
+      delay = lost ? 0.0 : injector_->JudgeRequestDelay();
+    }
+    if (lost) {
       RecordFaultSubmit(SubmitResult::kLostChannel, page, client, at);
       return SubmitResult::kLostChannel;
     }
-    const double delay = injector_->JudgeRequestDelay();
     if (delay > 0.0) {
       BroadcastServer* self = this;
       simulator_->ScheduleAfter(delay, [self, page, client] {
@@ -123,6 +129,7 @@ SubmitResult BroadcastServer::SubmitRequestAt(PageId page,
 
 SubmitResult BroadcastServer::SubmitArrived(PageId page, std::uint32_t client,
                                             sim::SimTime at) {
+  obs::PhaseScope prof(profiler_, obs::Phase::kServerQueue);
   if (injector_ != nullptr) {
     // Outage windows discard arrivals outright (blackout and brownout
     // alike: the request processor is what is down).
@@ -238,6 +245,7 @@ std::uint32_t BroadcastServer::DistanceToNextPush(PageId page) const {
 }
 
 void BroadcastServer::OnSlotBoundary() {
+  obs::PhaseScope prof(profiler_, obs::Phase::kServerSlot);
   // Barrier: the slot decision below reads the pull queue, and snoopers
   // react to the delivery; both must see every fused arrival up to now.
   simulator_->CatchUpLazySources();
@@ -250,7 +258,11 @@ void BroadcastServer::OnSlotBoundary() {
       // is received, checksummed, and discarded — same client-visible
       // outcome, separate books. Robust clients recover via retry (pull)
       // or the next cycle (push).
-      const fault::SlotFate fate = injector_->JudgeSlot();
+      fault::SlotFate fate;
+      {
+        obs::PhaseScope judge_prof(profiler_, obs::Phase::kFaultJudge);
+        fate = injector_->JudgeSlot();
+      }
       if (fate != fault::SlotFate::kDelivered) {
         deliver = false;
         const bool lost = fate == fault::SlotFate::kLost;
@@ -279,6 +291,7 @@ void BroadcastServer::OnSlotBoundary() {
 }
 
 void BroadcastServer::ChooseNextSlot() {
+  obs::PhaseScope prof(profiler_, obs::Phase::kServerMux);
   ++total_slots_;
   // Fault layer: outage windows and the degraded-mode push fallback. All
   // of this is skipped (and costs one pointer compare) with no injector.

@@ -11,6 +11,7 @@
 #include "broadcast/schedule_cursor.h"
 #include "fault/fault_injector.h"
 #include "obs/metrics.h"
+#include "obs/phase_profiler.h"
 #include "obs/trace_sink.h"
 #include "obs/windowed_collector.h"
 #include "server/pull_queue.h"
@@ -108,6 +109,15 @@ class BroadcastServer : public sim::EventHandler {
     collector_ = collector;
   }
 
+  /// Attaches the wall-clock phase profiler (not owned; null detaches).
+  /// Frames: server.slot around each slot boundary, server.mux around the
+  /// push/pull decision, server.queue around each queue submit, and
+  /// fault.judge around injector judgements. Same cost discipline as the
+  /// trace sink.
+  void SetPhaseProfiler(obs::PhaseProfiler* profiler) {
+    profiler_ = profiler;
+  }
+
   /// Attaches the fault injector (not owned; null detaches — the default,
   /// and the zero-overhead path: one pointer check per slot and submit).
   /// With an injector attached the server (1) rolls each non-idle slot's
@@ -200,6 +210,7 @@ class BroadcastServer : public sim::EventHandler {
   sim::TraceRecorder* trace_ = nullptr;
   obs::TraceSink* sink_ = nullptr;
   obs::WindowedCollector* collector_ = nullptr;
+  obs::PhaseProfiler* profiler_ = nullptr;
 
   // Fault-injection state (inert while injector_ is null). The watermark
   // depths and shed distance are resolved once in SetFaultInjector.

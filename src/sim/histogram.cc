@@ -16,6 +16,12 @@ Histogram::Histogram(double lo, double hi, std::size_t buckets)
 }
 
 void Histogram::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
   ++count_;
   if (x < lo_) {
     ++underflow_;
@@ -35,6 +41,8 @@ void Histogram::Reset() {
   underflow_ = 0;
   overflow_ = 0;
   count_ = 0;
+  min_ = 0.0;
+  max_ = 0.0;
 }
 
 double Histogram::BucketLow(std::size_t i) const {
@@ -44,18 +52,21 @@ double Histogram::BucketLow(std::size_t i) const {
 double Histogram::Quantile(double q) const {
   BDISK_CHECK_MSG(q >= 0.0 && q <= 1.0, "quantile must be in [0,1]");
   if (count_ == 0) return lo_;
+  const auto clamp = [this](double v) {
+    return std::min(std::max(v, min_), max_);
+  };
   const double target = q * static_cast<double>(count_);
   double cum = static_cast<double>(underflow_);
-  if (cum >= target) return lo_;
+  if (cum >= target) return clamp(lo_);
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     const double next = cum + static_cast<double>(counts_[i]);
     if (next >= target && counts_[i] > 0) {
       const double frac = (target - cum) / static_cast<double>(counts_[i]);
-      return BucketLow(i) + frac * width_;
+      return clamp(BucketLow(i) + frac * width_);
     }
     cum = next;
   }
-  return hi_;
+  return clamp(hi_);
 }
 
 std::string Histogram::ToAscii(std::size_t max_width) const {

@@ -39,8 +39,14 @@ class Histogram {
   /// Lower edge of cell i.
   double BucketLow(std::size_t i) const;
 
+  /// Smallest / largest observation recorded since construction or Reset().
+  /// Meaningful only when Count() > 0.
+  double Min() const { return min_; }
+  double Max() const { return max_; }
+
   /// Value below which `q` (in [0,1]) of the observations fall, interpolated
-  /// within the containing bucket. Returns lo/hi bounds for extreme q.
+  /// within the containing bucket and clamped to the observed [Min, Max], so
+  /// a low-count histogram can never report a percentile outside the data.
   double Quantile(double q) const;
 
   /// Multi-line ASCII rendering (for example programs and debugging).
@@ -54,6 +60,8 @@ class Histogram {
   std::uint64_t underflow_ = 0;
   std::uint64_t overflow_ = 0;
   std::uint64_t count_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
 };
 
 }  // namespace bdisk::sim

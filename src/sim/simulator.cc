@@ -8,11 +8,13 @@ namespace bdisk::sim {
 
 EventId Simulator::ScheduleAt(SimTime when, EventFn fn) {
   BDISK_CHECK_MSG(when >= now_, "cannot schedule an event in the past");
+  obs::PhaseScope prof(profiler_, obs::Phase::kQueueSchedule);
   return queue_.Schedule(when, fn);
 }
 
 EventId Simulator::ScheduleAfter(SimTime delay, EventFn fn) {
   BDISK_CHECK_MSG(delay >= 0.0, "negative delay");
+  obs::PhaseScope prof(profiler_, obs::Phase::kQueueSchedule);
   return queue_.Schedule(now_ + delay, fn);
 }
 
@@ -38,6 +40,7 @@ void Simulator::CatchUpLazySources() {
   // timestamp order, so the nested call has nothing left to add.
   if (draining_ || lazy_sources_.empty()) return;
   draining_ = true;
+  obs::PhaseScope prof(profiler_, obs::Phase::kDrain);
   std::uint64_t processed = 0;
   if (lazy_sources_.size() == 1) {
     processed = lazy_sources_.front()->CatchUp(now_);
@@ -65,10 +68,12 @@ void Simulator::CatchUpLazySources() {
   }
   lazy_arrivals_fused_ += processed;
   if (processed > 0) ++lazy_drains_;
+  prof.AddOps(processed);
   draining_ = false;
 }
 
 void Simulator::Run() {
+  obs::PhaseScope prof(profiler_, obs::Phase::kRun);
   stop_requested_ = false;
   while (!stop_requested_ && Step()) {
   }
@@ -76,6 +81,7 @@ void Simulator::Run() {
 }
 
 void Simulator::RunUntil(SimTime deadline) {
+  obs::PhaseScope prof(profiler_, obs::Phase::kRun);
   stop_requested_ = false;
   while (!stop_requested_) {
     if (batch_periodic_) {
@@ -91,20 +97,22 @@ void Simulator::RunUntil(SimTime deadline) {
       EventHandler* handler;
       SimTime barrier;
       if (queue_.PeriodicSpan(&pid, &handler, &barrier)) {
+        obs::PhaseScope span_prof(profiler_, obs::Phase::kKernelSpan);
         const std::uint64_t epoch = queue_.MutationEpoch();
         SimTime next = queue_.PeriodicNextTime(pid);
-        bool fired_any = false;
+        std::uint64_t fired = 0;
         while (next < barrier && next <= deadline) {
           now_ = next;
           ++events_executed_;
           handler->OnEvent();
           queue_.Rearm(pid);
-          fired_any = true;
+          ++fired;
           if (stop_requested_ || queue_.MutationEpoch() != epoch) break;
           next = queue_.PeriodicNextTime(pid);  // kTimeNever if cancelled.
         }
-        if (fired_any) {
+        if (fired > 0) {
           ++periodic_spans_;
+          span_prof.AddOps(fired);
           continue;
         }
       }
@@ -123,6 +131,7 @@ void Simulator::RunUntil(SimTime deadline) {
 bool Simulator::Step() {
   EventQueue::Fired fired;
   if (!queue_.Pop(&fired)) return false;
+  obs::PhaseScope prof(profiler_, obs::Phase::kQueuePop);
   BDISK_DCHECK(fired.when >= now_);
   now_ = fired.when;
   ++events_executed_;

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/phase_profiler.h"
 #include "sim/event_queue.h"
 #include "sim/lazy_source.h"
 #include "sim/types.h"
@@ -100,6 +101,16 @@ class Simulator {
   std::uint64_t LazyArrivalsFused() const { return lazy_arrivals_fused_; }
   std::uint64_t LazyDrains() const { return lazy_drains_; }
 
+  /// Attaches a wall-clock phase profiler (not owned; null detaches). The
+  /// profiler header is dependency-free by design — only its inline hot
+  /// path is used here, so bdisk_sim takes no obs link dependency — and
+  /// attaching never changes the trajectory (null-checked scopes, no RNG,
+  /// no events; same contract as the obs trace hooks).
+  void SetPhaseProfiler(obs::PhaseProfiler* profiler) {
+    profiler_ = profiler;
+  }
+  obs::PhaseProfiler* phase_profiler() const { return profiler_; }
+
   /// Cancels a pending event; no-op if it already fired.
   void Cancel(EventId id) { queue_.Cancel(id); }
 
@@ -136,6 +147,8 @@ class Simulator {
   bool draining_ = false;
   std::uint64_t lazy_arrivals_fused_ = 0;
   std::uint64_t lazy_drains_ = 0;
+
+  obs::PhaseProfiler* profiler_ = nullptr;
 };
 
 }  // namespace bdisk::sim

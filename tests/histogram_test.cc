@@ -46,31 +46,60 @@ TEST(HistogramTest, MedianOfUniformFill) {
 
 TEST(HistogramTest, QuantileInterpolatesExactlyAtBucketEdges) {
   // Two occupied buckets separated by an empty one: quantiles that land on
-  // a cumulative-count boundary must sit exactly on the bucket edge, and
-  // interior quantiles interpolate linearly within the bucket.
+  // a cumulative-count boundary sit on the bucket edge, interior quantiles
+  // interpolate linearly within the bucket, and the result never leaves the
+  // observed [Min, Max] envelope.
   Histogram h(0.0, 10.0, 5);  // Cells of width 2.
   for (int i = 0; i < 10; ++i) h.Add(1.0);  // Bucket [0, 2).
   for (int i = 0; i < 10; ++i) h.Add(5.0);  // Bucket [4, 6).
-  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 1.0);   // Clamped up to Min().
   EXPECT_DOUBLE_EQ(h.Quantile(0.25), 1.0);  // Middle of the first bucket.
   EXPECT_DOUBLE_EQ(h.Quantile(0.5), 2.0);   // Upper edge of the first.
   EXPECT_DOUBLE_EQ(h.Quantile(0.75), 5.0);  // Middle of the second bucket.
-  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 6.0);   // Upper edge of the second.
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 5.0);   // Clamped down to Max().
 }
 
-TEST(HistogramTest, QuantileWithUnderflowPinsToLo) {
+TEST(HistogramTest, QuantileWithUnderflowClampsToObservations) {
   Histogram h(0.0, 10.0, 5);
   h.Add(-5.0);  // Underflow counts toward the cumulative total at lo.
   h.Add(1.0);
   EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
-  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 2.0);
+  // Interpolation alone would say 2.0 (the upper edge of the containing
+  // bucket), but no observation exceeds 1.0.
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 1.0);
 }
 
-TEST(HistogramTest, QuantileAllOverflowReturnsHi) {
+TEST(HistogramTest, QuantileAllOverflowReturnsObservedValue) {
+  // Pre-clamp this reported hi (10.0), a value 5x below the single real
+  // observation. The [Min, Max] clamp pins it to the data instead.
   Histogram h(0.0, 10.0, 5);
   h.Add(50.0);
-  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 10.0);
-  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 10.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 50.0);
+}
+
+TEST(HistogramTest, TracksMinAndMaxAcrossRange) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(-1.0);
+  h.Add(3.0);
+  h.Add(50.0);
+  EXPECT_DOUBLE_EQ(h.Min(), -1.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 50.0);
+  h.Reset();
+  h.Add(4.0);
+  EXPECT_DOUBLE_EQ(h.Min(), 4.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 4.0);
+}
+
+TEST(HistogramTest, LowCountQuantileNeverExceedsMax) {
+  // The OBSERVABILITY.md §1 quirk this guards against: with one in-range
+  // observation, bucket interpolation lands at the middle/upper reaches of
+  // the containing cell, above the only value ever recorded.
+  Histogram h(0.0, 1000.0, 10);  // Cells of width 100.
+  h.Add(7.0);
+  EXPECT_LE(h.Quantile(0.5), 7.0);
+  EXPECT_LE(h.Quantile(0.99), 7.0);
+  EXPECT_GE(h.Quantile(0.01), 7.0);
 }
 
 TEST(HistogramTest, QuantileEmptyReturnsLo) {

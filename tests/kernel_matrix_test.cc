@@ -14,6 +14,7 @@
 
 #include "core/experiment.h"
 #include "core/system.h"
+#include "obs/phase_profiler.h"
 #include "obs/trace_sink.h"
 
 namespace bdisk {
@@ -211,6 +212,62 @@ TEST(KernelMatrixTest, TraceStreamsIdenticalAcrossMatrix) {
       ASSERT_EQ(events[r].value, reference[r].value)
           << CellName(kMatrix[i]) << " record " << r;
     }
+  }
+}
+
+// Profiler arm: attaching the wall-clock phase profiler is a pure
+// wall-clock knob too. Every matrix cell must produce the bit-identical
+// RunResult *and* trace stream with the profiler attached as without —
+// under an active fault plan, so the fault.judge instrumentation sites
+// (which straddle the injector's RNG draws) are exercised.
+TEST(KernelMatrixTest, ProfilerAttachLeavesTrajectoryBitIdentical) {
+  core::SystemConfig config = SmallLoadedConfig();
+  config.update_rate = 0.2;
+  config.fault.slot_loss = 0.05;
+  config.fault.request_loss = 0.05;
+  config.fault.request_delay = 2.0;
+  config.fault.mc_timeout = 50.0;
+  ASSERT_TRUE(config.fault.Enabled());
+
+  for (const Cell& cell : kMatrix) {
+    config.kernel_queue = cell.queue;
+    config.kernel_batch_slots = cell.batch;
+
+    core::System plain(config);
+    obs::TraceSink plain_sink(1 << 21);
+    plain.AttachTrace(&plain_sink);
+    const core::RunResult reference = plain.RunSteadyState(SmallProtocol());
+
+    core::System profiled(config);
+    obs::TraceSink profiled_sink(1 << 21);
+    obs::PhaseProfiler profiler;
+    profiled.AttachTrace(&profiled_sink);
+    profiled.AttachProfiler(&profiler);
+    const core::RunResult result = profiled.RunSteadyState(SmallProtocol());
+
+    ExpectSameTrajectory(reference, result,
+                         CellName(cell) + " profiler off vs on");
+    const std::vector<obs::SpanRecord>& a = plain_sink.Events();
+    const std::vector<obs::SpanRecord>& b = profiled_sink.Events();
+    ASSERT_EQ(a.size(), b.size()) << CellName(cell);
+    for (std::size_t r = 0; r < a.size(); ++r) {
+      ASSERT_EQ(a[r].time, b[r].time) << CellName(cell) << " record " << r;
+      ASSERT_EQ(a[r].event, b[r].event) << CellName(cell) << " record " << r;
+      ASSERT_EQ(a[r].client, b[r].client)
+          << CellName(cell) << " record " << r;
+      ASSERT_EQ(a[r].page, b[r].page) << CellName(cell) << " record " << r;
+      ASSERT_EQ(a[r].value, b[r].value)
+          << CellName(cell) << " record " << r;
+    }
+
+    // The profile actually observed the run: every frame closed, the
+    // fused-arrival and slot phases fired, and the fault sites were hit.
+    EXPECT_EQ(profiler.OpenDepth(), 0) << CellName(cell);
+    EXPECT_GT(profiler.Calls(obs::Phase::kRun), 0U) << CellName(cell);
+    EXPECT_GT(profiler.Calls(obs::Phase::kServerSlot), 0U) << CellName(cell);
+    EXPECT_GT(profiler.Calls(obs::Phase::kVcArrival), 0U) << CellName(cell);
+    EXPECT_GT(profiler.Calls(obs::Phase::kFaultJudge), 0U) << CellName(cell);
+    EXPECT_GT(profiler.Ops(obs::Phase::kVcArrival), 0U) << CellName(cell);
   }
 }
 

@@ -9,15 +9,17 @@
 //   bdisk_compare baseline.json fresh.json
 //   bdisk_compare baseline.json fresh.json --tolerance 2.5 --all
 //
-// Wall-clock metrics (any name containing "wall") are ignored by default —
-// they measure the host, not the simulation; --ignore adds further
-// substrings.
+// Wall-clock metrics — the whole `prof.*` family and `kernel.wall_seconds`
+// (obs::kNondeterministicMetricSubstrings) — are ignored by default: they
+// measure the host, not the simulation. --ignore adds further substrings;
+// --include-nondeterministic compares them anyway.
 
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iterator>
 #include <limits>
 #include <map>
 #include <sstream>
@@ -25,6 +27,7 @@
 #include <vector>
 
 #include "obs/json.h"
+#include "obs/phase_profiler.h"
 
 namespace {
 
@@ -35,7 +38,11 @@ void PrintUsage() {
       "usage: bdisk_compare BASELINE.json CURRENT.json [options]\n"
       "  --tolerance PCT  allowed per-metric delta in percent (default 0)\n"
       "  --ignore SUBSTR  skip metrics whose name contains SUBSTR\n"
-      "                   (repeatable; \"wall\" is always ignored)\n"
+      "                   (repeatable)\n"
+      "  --include-nondeterministic\n"
+      "                   compare wall-clock metrics too (prof.*,\n"
+      "                   kernel.wall_seconds); skipped by default because\n"
+      "                   they measure the host, not the simulation\n"
       "  --all            print unchanged metrics too\n"
       "exit: 0 within tolerance, 1 regression, 2 usage/parse error\n");
 }
@@ -120,7 +127,11 @@ int main(int argc, char** argv) {
   std::string baseline_path;
   std::string current_path;
   double tolerance = 0.0;
-  std::vector<std::string> ignore = {"wall"};
+  // One shared list of host-measuring metric families, defined next to the
+  // profiler that produces most of them.
+  std::vector<std::string> ignore(
+      std::begin(bdisk::obs::kNondeterministicMetricSubstrings),
+      std::end(bdisk::obs::kNondeterministicMetricSubstrings));
   bool print_all = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -146,6 +157,12 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--ignore") {
       ignore.emplace_back(next_value("--ignore"));
+    } else if (arg == "--include-nondeterministic") {
+      for (const char* needle :
+           bdisk::obs::kNondeterministicMetricSubstrings) {
+        ignore.erase(std::remove(ignore.begin(), ignore.end(), needle),
+                     ignore.end());
+      }
     } else if (arg == "--all") {
       print_all = true;
     } else if (!arg.empty() && arg[0] == '-') {

@@ -32,7 +32,9 @@
 #include "core/table_printer.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/phase_profiler.h"
 #include "obs/progress.h"
+#include "obs/span_assembler.h"
 #include "obs/trace_sink.h"
 #include "obs/windowed_collector.h"
 
@@ -50,8 +52,15 @@ void PrintUsage() {
       "  --csv              emit CSV instead of a table\n"
       "  --quick            short measurement protocol\n"
       "  --metrics-json F   write a metrics-registry snapshot (JSON) to F\n"
+      "                     (\"-\" writes to stdout)\n"
       "  --trace F          write a structured trace to F (JSONL, or CSV\n"
       "                     when F ends in .csv)\n"
+      "  --profile F        write a wall-clock phase profile (bdisk-prof-v1\n"
+      "                     JSON) to F; see tools/bdisk_prof\n"
+      "  --profile-folded F write folded stacks to F (flamegraph.pl input)\n"
+      "  --chrome-trace F   write Chrome trace-event JSON to F (\"-\" for\n"
+      "                     stdout): wall-clock phase slices plus sim-time\n"
+      "                     request spans\n"
       "  --windows W        windowed telemetry with window width W (the\n"
       "                     \"window.*\" series in --metrics-json output)\n"
       "  --flight-recorder SPEC\n"
@@ -67,6 +76,10 @@ void PrintUsage() {
 }
 
 bool WriteFileOrComplain(const std::string& path, const std::string& body) {
+  if (path == "-") {
+    std::fwrite(body.data(), 1, body.size(), stdout);
+    return true;
+  }
   std::ofstream file(path);
   if (!file) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -108,6 +121,9 @@ int main(int argc, char** argv) {
   bool recommend = false;
   std::string metrics_json_path;
   std::string trace_path;
+  std::string profile_path;
+  std::string folded_path;
+  std::string chrome_trace_path;
   bool progress = false;
   bool windows = false;
 
@@ -171,6 +187,12 @@ int main(int argc, char** argv) {
       metrics_json_path = next_value("--metrics-json");
     } else if (arg == "--trace") {
       trace_path = next_value("--trace");
+    } else if (arg == "--profile") {
+      profile_path = next_value("--profile");
+    } else if (arg == "--profile-folded") {
+      folded_path = next_value("--profile-folded");
+    } else if (arg == "--chrome-trace") {
+      chrome_trace_path = next_value("--chrome-trace");
     } else if (arg == "--progress") {
       progress = true;
     } else if (arg == "--windows" || arg.rfind("--windows=", 0) == 0) {
@@ -259,8 +281,10 @@ int main(int argc, char** argv) {
   }
 
   const bool recorder_armed = !config.flight_recorder.empty();
+  const bool profiled = !profile_path.empty() || !folded_path.empty() ||
+                        !chrome_trace_path.empty();
   const bool observed = !metrics_json_path.empty() || !trace_path.empty() ||
-                        progress || windows || recorder_armed;
+                        progress || windows || recorder_armed || profiled;
   std::vector<core::SweepOutcome> outcomes;
   if (!observed) {
     try {
@@ -274,17 +298,23 @@ int main(int argc, char** argv) {
     // the observed path runs a single point inline instead of sweeping.
     if (points.size() != 1) {
       std::fprintf(stderr,
-                   "--metrics-json/--trace/--progress need a single-point "
-                   "run; drop --sweep or give it one value\n");
+                   "--metrics-json/--trace/--profile/--progress need a "
+                   "single-point run; drop --sweep or give it one value\n");
       return 2;
     }
     core::System system(points[0].config);
     obs::MetricsRegistry registry;
     obs::TraceSink sink;
+    obs::PhaseProfiler profiler;
     if (!metrics_json_path.empty()) system.AttachMetrics(&registry);
     // The flight recorder's dump wants the trailing trace, so arming it
     // attaches the sink even without --trace (no file is written then).
-    if (!trace_path.empty() || recorder_armed) system.AttachTrace(&sink);
+    // The Chrome trace's sim-time track is assembled from the same sink.
+    if (!trace_path.empty() || recorder_armed ||
+        !chrome_trace_path.empty()) {
+      system.AttachTrace(&sink);
+    }
+    if (profiled) system.AttachProfiler(&profiler);
     std::optional<obs::WindowedCollector> collector;
     std::optional<obs::FlightRecorder> recorder;
     if (windows || recorder_armed) {
@@ -341,6 +371,23 @@ int main(int argc, char** argv) {
       const std::string body =
           EndsWith(trace_path, ".csv") ? sink.ToCsv() : sink.ToJsonl();
       if (!WriteFileOrComplain(trace_path, body)) return 1;
+    }
+    if (!profile_path.empty()) {
+      if (!WriteFileOrComplain(profile_path, profiler.ToProfJson())) {
+        return 1;
+      }
+    }
+    if (!folded_path.empty()) {
+      if (!WriteFileOrComplain(folded_path, profiler.ToFolded())) return 1;
+    }
+    if (!chrome_trace_path.empty()) {
+      obs::SpanAssembler assembler(sink.DroppedEvents() > 0);
+      assembler.FeedAll(sink.Events());
+      const std::vector<obs::RequestSpan> spans = assembler.Finish();
+      if (!WriteFileOrComplain(chrome_trace_path,
+                               profiler.ToChromeTrace(&spans))) {
+        return 1;
+      }
     }
     if (recorder && recorder->Fired()) {
       if (!recorder->LastError().empty()) {
