@@ -47,6 +47,16 @@ class BroadcastProgram {
   /// through PageAt() call-by-call.
   const PageId* ScheduleData() const { return schedule_.data(); }
 
+  /// The raw CSR occurrence index: page p's sorted slot positions are
+  /// OccPositionsData()[OccOffsetsData()[p] .. OccOffsetsData()[p+1]).
+  /// Hot readers (schedule cursor, DistanceSnapshot) cache these two
+  /// pointers once and run DistanceToNext's lower_bound inline, skipping
+  /// the per-query indirection through the program object.
+  const std::uint32_t* OccOffsetsData() const { return occ_offsets_.data(); }
+  const std::uint32_t* OccPositionsData() const {
+    return occ_positions_.data();
+  }
+
   /// True iff `page` appears somewhere on the schedule.
   bool Contains(PageId page) const { return Frequency(page) > 0; }
 

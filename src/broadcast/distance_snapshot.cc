@@ -1,0 +1,23 @@
+#include "broadcast/distance_snapshot.h"
+
+#include <algorithm>
+
+namespace bdisk::broadcast {
+
+DistanceSnapshot::DistanceSnapshot(const BroadcastProgram& program)
+    : occ_offsets_(program.OccOffsetsData()),
+      occ_positions_(program.OccPositionsData()),
+      length_(program.Length()),
+      memo_dist_(program.DbSize(), 0),
+      memo_epoch_(program.DbSize(), 0) {}
+
+std::uint32_t DistanceSnapshot::Resolve(PageId page) const {
+  const std::uint32_t* first = occ_positions_ + occ_offsets_[page];
+  const std::uint32_t* last = occ_positions_ + occ_offsets_[page + 1];
+  if (first == last) return BroadcastProgram::kNeverBroadcast;
+  const std::uint32_t* it = std::lower_bound(first, last, pos_);
+  if (it != last) return *it - pos_;
+  return length_ - pos_ + *first;
+}
+
+}  // namespace bdisk::broadcast

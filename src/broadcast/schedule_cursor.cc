@@ -7,7 +7,10 @@ namespace bdisk::broadcast {
 ScheduleCursor::ScheduleCursor(const BroadcastProgram* program)
     : program_(program),
       data_(program != nullptr ? program->ScheduleData() : nullptr),
-      length_(program != nullptr ? program->Length() : 0) {
+      length_(program != nullptr ? program->Length() : 0),
+      occ_offsets_(program != nullptr ? program->OccOffsetsData() : nullptr),
+      occ_positions_(program != nullptr ? program->OccPositionsData()
+                                        : nullptr) {
   BDISK_CHECK_MSG(program != nullptr, "cursor needs a program");
   BDISK_CHECK_MSG(!program->Empty(),
                   "cursor over an empty program (pure pull has no cursor)");

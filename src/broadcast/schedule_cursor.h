@@ -1,6 +1,7 @@
 #ifndef BDISK_BROADCAST_SCHEDULE_CURSOR_H_
 #define BDISK_BROADCAST_SCHEDULE_CURSOR_H_
 
+#include <algorithm>
 #include <cstdint>
 
 #include "broadcast/broadcast_program.h"
@@ -37,8 +38,19 @@ class ScheduleCursor {
   /// ThresPerc * MajorCycleSize; it is a lower bound on real slots since
   /// interleaved pull responses delay the schedule (paper footnote 7 makes
   /// the converse point for the client's wait).
+  ///
+  /// Runs over the CSR occurrence pointers cached at construction, like
+  /// Advance(): two offset loads, one lower_bound over the page's sorted
+  /// occurrence run, no indirection through the program.
   std::uint32_t DistanceToNext(PageId page) const {
-    return program_->DistanceToNext(pos_, page);
+    const std::uint32_t* first = occ_positions_ + occ_offsets_[page];
+    const std::uint32_t* last = occ_positions_ + occ_offsets_[page + 1];
+    if (first == last) return BroadcastProgram::kNeverBroadcast;
+    // First occurrence at or after pos_, else wrap to the first of the
+    // next cycle.
+    const std::uint32_t* it = std::lower_bound(first, last, pos_);
+    if (it != last) return *it - pos_;
+    return length_ - pos_ + *first;
   }
 
   /// The underlying program.
@@ -48,6 +60,8 @@ class ScheduleCursor {
   const BroadcastProgram* program_;
   const PageId* data_;     // == program_->ScheduleData(), cached.
   std::uint32_t length_;   // == program_->Length(), cached.
+  const std::uint32_t* occ_offsets_;    // CSR index, cached.
+  const std::uint32_t* occ_positions_;  // CSR index, cached.
   std::uint32_t pos_ = 0;
 };
 

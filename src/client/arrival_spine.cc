@@ -1,0 +1,16 @@
+#include "client/arrival_spine.h"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace bdisk::client {
+
+bool DefaultArrivalSpineOn() {
+  static const bool on = [] {
+    const char* env = std::getenv("BDISK_ARRIVAL_SPINE");
+    return env == nullptr || std::string_view(env) != "off";
+  }();
+  return on;
+}
+
+}  // namespace bdisk::client

@@ -18,7 +18,9 @@ VirtualClient::VirtualClient(sim::Simulator* simulator,
       filter_(options.thres_perc, server->program().Length()),
       warm_cached_(pattern.DbSize(), false),
       ideal_warm_(pattern.DbSize(), false),
-      rng_(rng) {
+      rng_(rng),
+      spine_(options.fused && options.spine),
+      snapshot_(server->program()) {
   BDISK_CHECK_MSG(simulator != nullptr, "client needs a simulator");
   BDISK_CHECK_MSG(server != nullptr, "client needs a server");
   BDISK_CHECK_MSG(options.think_time_ratio > 0.0,
@@ -32,6 +34,14 @@ VirtualClient::VirtualClient(sim::Simulator* simulator,
     BDISK_CHECK_MSG(p < pattern.DbSize(), "warm page out of range");
     warm_cached_[p] = true;
     ideal_warm_[p] = true;
+  }
+  if (spine_) {
+    // Whole-cycle threshold-decision table: one bit test per arrival
+    // instead of an occurrence search. Null (empty program, or a
+    // degenerate cycle too large for the bitset) falls back to the
+    // snapshot's memoized per-page search.
+    span_table_ = broadcast::CycleSpanTable::BuildIfFeasible(
+        server->program(), filter_.ThresholdSlots());
   }
 }
 
@@ -62,10 +72,18 @@ void VirtualClient::OnInvalidate(PageId page, sim::SimTime /*now*/) {
 
 std::uint64_t VirtualClient::CatchUp(sim::SimTime horizon) {
   if (next_arrival_ > horizon) return 0;
-  // The ~41 ns/arrival hot path (ROADMAP): one frame per non-empty drain,
-  // arrivals as ops — never a per-arrival timestamp.
+  // The VC arrival hot path (ROADMAP): one frame per non-empty drain,
+  // arrivals as ops — never a per-arrival timestamp. The frame semantics
+  // are identical for the scalar and spine drains.
   obs::PhaseScope prof(simulator_->phase_profiler(),
                        obs::Phase::kVcArrival);
+  const std::uint64_t processed =
+      spine_ ? DrainSpine(horizon) : DrainScalar(horizon);
+  prof.AddOps(processed);
+  return processed;
+}
+
+std::uint64_t VirtualClient::DrainScalar(sim::SimTime horizon) {
   std::uint64_t processed = 0;
   while (next_arrival_ <= horizon) {
     const sim::SimTime at = next_arrival_;
@@ -73,7 +91,72 @@ std::uint64_t VirtualClient::CatchUp(sim::SimTime horizon) {
     next_arrival_ = at + think_.Next(rng_);
     ++processed;
   }
-  prof.AddOps(processed);
+  return processed;
+}
+
+std::uint64_t VirtualClient::DrainSpine(sim::SimTime horizon) {
+  ++spine_batches_;
+  // Barrier-frozen snapshot: the cursor cannot move during a drain (it
+  // only advances in the server's slot decision, which runs after the
+  // CatchUpLazySources barrier), so one position serves the whole batch —
+  // and, via the epoch memo, consecutive drains within the same slot.
+  snapshot_.Freeze(server_->SchedulePosition());
+  const std::uint32_t pos = snapshot_.Position();
+  const broadcast::CycleSpanTable* table = span_table_.get();
+  const std::uint8_t* ideal = ideal_warm_.data();
+  std::uint8_t* warm = warm_cached_.data();
+  const double steady_perc = options_.steady_state_perc;
+  // The VC's think time is always exponential (see the ctor); drawing
+  // through NextExponential directly skips ThinkTime's per-draw kind
+  // branch without touching the draw stream.
+  const double think_mean = think_.Mean();
+  // Fused draw+classify pass. The RNG state and the arrival clock live in
+  // locals (registers) for the whole drain — FillArrivalBatch's bulk-draw
+  // loop with the classify folded in, which measures faster than filling
+  // SoA scratch and re-walking it (the columns' store/reload round-trip
+  // costs more than the classify saves; the draw order per arrival —
+  // page, steady coin, think — is the same either way). Arrivals stay
+  // sequential because warm re-fetches are order-dependent: an arrival
+  // can re-warm a page a later arrival in the same drain then hits. Only
+  // the rare submit arrivals (typically a few percent) take the call into
+  // the server, in timestamp order.
+  sim::Rng local = rng_;
+  sim::SimTime next = next_arrival_;
+  std::uint64_t processed = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t filtered = 0;
+  while (next <= horizon) {
+    const sim::SimTime at = next;
+    const PageId page = generator_.Next(local);
+    const unsigned s = local.NextBernoulli(steady_perc) ? 1U : 0U;
+    next = at + local.NextExponential(think_mean);
+    const unsigned w = warm[page];
+    const unsigned hit = s & w;
+    const unsigned miss = hit ^ 1U;
+    const unsigned pull =
+        table != nullptr
+            ? static_cast<unsigned>(table->ShouldPull(page, pos))
+            : static_cast<unsigned>(
+                  filter_.ShouldPull(snapshot_.Distance(page)));
+    hits += hit;
+    filtered += miss & (pull ^ 1U);
+    // Steady misses re-fetch: the page re-enters the represented warm
+    // caches iff it belongs to the warm set. (warm ⊆ ideal always, so
+    // OR-ing the re-fetch bit equals the scalar path's assignment.)
+    warm[page] = static_cast<std::uint8_t>(w | (miss & s & ideal[page]));
+    if ((miss & pull) != 0U) {
+      // SubmitRequestAt never re-enters the VC (it does not drain lazy
+      // sources), so the register-resident locals stay coherent.
+      server_->SubmitRequestAt(page, obs::kVirtualClientId, at);
+      ++submitted_;
+    }
+    ++processed;
+  }
+  rng_ = local;
+  next_arrival_ = next;
+  generated_ += processed;
+  cache_hits_ += hits;
+  filtered_ += filtered;
   return processed;
 }
 

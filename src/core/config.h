@@ -37,6 +37,15 @@ const char* DeliveryModeName(DeliveryMode mode);
 /// BDISK_KERNEL_QUEUE environment variable says otherwise.
 enum class KernelQueue { kAuto, kHeap, kWheel };
 
+/// Batched-arrival-spine selection (`sim.arrival_spine`). On and off
+/// produce bit-identical trajectories — the kernel-matrix spine axis pins
+/// that — so this only moves wall-clock time. kAuto defers to
+/// client::DefaultArrivalSpineOn(): on, unless the BDISK_ARRIVAL_SPINE
+/// environment variable says "off". Only meaningful on the fused VC path;
+/// anything that forces unfused (vc_fusion=false, fault.request_delay>0)
+/// bypasses the spine regardless.
+enum class ArrivalSpine { kAuto, kOn, kOff };
+
 /// Complete description of one simulated configuration. Field defaults are
 /// the paper's Table 3 settings.
 struct SystemConfig {
@@ -118,6 +127,8 @@ struct SystemConfig {
   /// (sim::Simulator::SetBatchedPeriodic). Bit-identical either way; off
   /// is the A/B escape hatch.
   bool kernel_batch_slots = true;
+  /// Batched virtual-client arrival drains; see ArrivalSpine above.
+  ArrivalSpine arrival_spine = ArrivalSpine::kAuto;
 
   // --- Observability (no effect on the simulated trajectory) ---
   /// Windowed-telemetry window width in broadcast units

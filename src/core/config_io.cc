@@ -127,6 +127,18 @@ std::string ApplyConfigOption(const std::string& raw_key,
     }
     return "";
   }
+  if (key == "sim.arrival_spine") {
+    if (value == "auto") {
+      config->arrival_spine = ArrivalSpine::kAuto;
+    } else if (value == "on") {
+      config->arrival_spine = ArrivalSpine::kOn;
+    } else if (value == "off") {
+      config->arrival_spine = ArrivalSpine::kOff;
+    } else {
+      return "sim.arrival_spine must be auto, on, or off";
+    }
+    return "";
+  }
   if (key == "disk_sizes") {
     return ParseU32List(value, &config->disks.sizes) ? "" : bad_value();
   }
@@ -379,6 +391,11 @@ std::string ConfigToText(const SystemConfig& config) {
       << "\n";
   out << "kernel.batch_slots = "
       << (config.kernel_batch_slots ? "true" : "false") << "\n";
+  out << "sim.arrival_spine = "
+      << (config.arrival_spine == ArrivalSpine::kOn    ? "on"
+          : config.arrival_spine == ArrivalSpine::kOff ? "off"
+                                                       : "auto")
+      << "\n";
   out << "obs_window = " << config.obs_window << "\n";
   if (!config.flight_recorder.empty()) {
     out << "flight_recorder = " << config.flight_recorder << "\n";

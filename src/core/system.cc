@@ -217,6 +217,12 @@ System::System(const SystemConfig& config,
     // fault.request_delay re-times submissions through the event heap; the
     // fused batch path cannot represent that, so delay forces unfused.
     vc_options.fused = config.vc_fusion && config.fault.request_delay == 0.0;
+    // The batched spine rides the fused drain; unfused bypasses it. kAuto
+    // defers to the BDISK_ARRIVAL_SPINE environment variable (default on).
+    vc_options.spine =
+        config.arrival_spine == ArrivalSpine::kAuto
+            ? client::DefaultArrivalSpineOn()
+            : config.arrival_spine == ArrivalSpine::kOn;
     vc_ = std::make_unique<client::VirtualClient>(
         &simulator_, server_.get(), artifacts_->canonical_pattern,
         TopValuedPages(vc_values, config.cache_size), vc_options, vc_rng);

@@ -59,6 +59,7 @@ void BroadcastServer::SetFaultInjector(fault::FaultInjector* injector) {
   shed_enter_depth_ = 0;
   shed_exit_depth_ = 0;
   shed_distance_ = 0;
+  shed_table_.reset();
   degraded_pull_bw_mult_ = 1.0;
   degraded_ = false;
   if (injector == nullptr) return;
@@ -75,6 +76,11 @@ void BroadcastServer::SetFaultInjector(fault::FaultInjector* injector) {
     shed_distance_ = plan.shed_distance > 0
                          ? plan.shed_distance
                          : program_->Length();
+    // Threshold-change invalidation point: the shed horizon is fixed here,
+    // so the per-cycle decision table is rebuilt here too (the program
+    // itself is immutable for the server's lifetime).
+    shed_table_ =
+        broadcast::CycleSpanTable::BuildIfFeasible(*program_, shed_distance_);
     degraded_pull_bw_mult_ = plan.degraded_pull_bw;
   }
 }
@@ -142,8 +148,14 @@ SubmitResult BroadcastServer::SubmitArrived(PageId page, std::uint32_t client,
     // near-enough push slot (the schedule is their safety net); requests
     // for unscheduled pages are never shed — pull is their only path.
     if (degraded_) {
-      const std::uint32_t distance = DistanceToNextPush(page);
-      if (distance <= shed_distance_) {
+      // "Near a push slot" via the precomputed span table when available
+      // (one bit test), else the cursor's occurrence search. Identical
+      // decisions: the table bit is `distance > shed_distance_`.
+      const bool near_push =
+          shed_table_ != nullptr
+              ? !shed_table_->ShouldPull(page, cursor_->Position())
+              : DistanceToNextPush(page) <= shed_distance_;
+      if (near_push) {
         queue_.NoteShed();
         RecordFaultSubmit(SubmitResult::kShedOverload, page, client, at);
         return SubmitResult::kShedOverload;

@@ -9,6 +9,7 @@
 #include "broadcast/broadcast_program.h"
 #include "broadcast/page.h"
 #include "broadcast/schedule_cursor.h"
+#include "broadcast/span_table.h"
 #include "fault/fault_injector.h"
 #include "obs/metrics.h"
 #include "obs/phase_profiler.h"
@@ -218,6 +219,12 @@ class BroadcastServer : public sim::EventHandler {
   std::uint32_t shed_enter_depth_ = 0;  // 0 = degraded mode disabled.
   std::uint32_t shed_exit_depth_ = 0;
   std::uint32_t shed_distance_ = 0;
+  // Precomputed per-cycle shed decisions (`distance > shed_distance_` as
+  // one bit per page x position); rebuilt whenever SetFaultInjector
+  // re-resolves the shed threshold, null when infeasible (empty program /
+  // oversized cycle) — the shed check then falls back to the cursor's
+  // occurrence search.
+  std::unique_ptr<const broadcast::CycleSpanTable> shed_table_;
   double degraded_pull_bw_mult_ = 1.0;
   bool degraded_ = false;
   bool outage_active_ = false;

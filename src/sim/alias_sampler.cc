@@ -53,9 +53,4 @@ AliasSampler::AliasSampler(const std::vector<double>& weights) {
   for (const std::uint32_t i : small) prob_[i] = 1.0;
 }
 
-std::size_t AliasSampler::Sample(Rng& rng) const {
-  const std::size_t bucket = rng.NextBounded(prob_.size());
-  return rng.NextDouble() < prob_[bucket] ? bucket : alias_[bucket];
-}
-
 }  // namespace bdisk::sim

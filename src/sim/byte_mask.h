@@ -25,6 +25,14 @@ class ByteMask {
       *byte_ = value ? 1 : 0;
       return *this;
     }
+    /// `mask_a[i] = mask_b[j]` assigns the *value*, as
+    /// std::vector<bool>::reference does. Without this the implicit copy
+    /// assignment would silently rebind the proxy instead of writing the
+    /// mask — a no-op at the call site.
+    Ref& operator=(const Ref& other) {
+      *byte_ = *other.byte_;
+      return *this;
+    }
     operator bool() const { return *byte_ != 0; }
 
    private:
@@ -41,6 +49,11 @@ class ByteMask {
   Ref operator[](std::size_t i) { return Ref(&bytes_[i]); }
 
   std::size_t size() const { return bytes_.size(); }
+
+  /// Raw byte access for batched hot loops (0 = false, nonzero = true).
+  /// Writers must store exactly 0 or 1 to keep operator[] reads canonical.
+  const std::uint8_t* data() const { return bytes_.data(); }
+  std::uint8_t* data() { return bytes_.data(); }
 
  private:
   std::vector<std::uint8_t> bytes_;

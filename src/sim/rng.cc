@@ -1,16 +1,8 @@
 #include "sim/rng.h"
 
-#include <cmath>
-
-#include "sim/check.h"
-
 namespace bdisk::sim {
 
 namespace {
-
-inline std::uint64_t Rotl(std::uint64_t x, int k) {
-  return (x << k) | (x >> (64 - k));
-}
 
 // SplitMix64: used to expand a 64-bit seed into the 256-bit xoshiro state.
 inline std::uint64_t SplitMix64(std::uint64_t* state) {
@@ -28,51 +20,6 @@ Rng::Rng(std::uint64_t seed) {
   // An all-zero state would be absorbing; SplitMix64 cannot produce four
   // zero outputs in a row, but keep the guard for safety.
   if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
-}
-
-std::uint64_t Rng::Next() {
-  const std::uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
-  const std::uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = Rotl(s_[3], 45);
-  return result;
-}
-
-double Rng::NextDouble() {
-  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
-}
-
-std::uint64_t Rng::NextBounded(std::uint64_t bound) {
-  BDISK_DCHECK(bound > 0);
-  // Lemire's nearly-divisionless unbiased method.
-  std::uint64_t x = Next();
-  __uint128_t m = static_cast<__uint128_t>(x) * bound;
-  auto low = static_cast<std::uint64_t>(m);
-  if (low < bound) {
-    const std::uint64_t threshold = -bound % bound;
-    while (low < threshold) {
-      x = Next();
-      m = static_cast<__uint128_t>(x) * bound;
-      low = static_cast<std::uint64_t>(m);
-    }
-  }
-  return static_cast<std::uint64_t>(m >> 64);
-}
-
-bool Rng::NextBernoulli(double p) {
-  if (p <= 0.0) return false;
-  if (p >= 1.0) return true;
-  return NextDouble() < p;
-}
-
-double Rng::NextExponential(double mean) {
-  BDISK_DCHECK(mean > 0.0);
-  // Inverse CDF; 1 - u avoids log(0) since NextDouble() < 1.
-  return -mean * std::log1p(-NextDouble());
 }
 
 Rng Rng::Split() { return Rng(Next() ^ 0xD2B74407B1CE6E93ULL); }

@@ -1,7 +1,10 @@
 #ifndef BDISK_SIM_RNG_H_
 #define BDISK_SIM_RNG_H_
 
+#include <cmath>
 #include <cstdint>
+
+#include "sim/check.h"
 
 namespace bdisk::sim {
 
@@ -11,6 +14,12 @@ namespace bdisk::sim {
 /// std::mt19937_64's state size and speed are a poor fit. Deterministic for
 /// a given seed, so every experiment in this repo is exactly reproducible.
 /// Satisfies the C++ UniformRandomBitGenerator concept.
+///
+/// The draw methods are defined inline: the batched arrival spine copies
+/// the generator into a local and draws millions of times per run, and
+/// keeping the state in registers across a fill loop is worth more than
+/// any single algorithmic change in that path (DESIGN.md § "The batched
+/// arrival spine").
 class Rng {
  public:
   using result_type = std::uint64_t;
@@ -26,20 +35,54 @@ class Rng {
   result_type operator()() { return Next(); }
 
   /// Next 64 uniformly distributed bits.
-  std::uint64_t Next();
+  std::uint64_t Next() {
+    const std::uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
 
   /// Uniform double in [0, 1) with 53 bits of precision.
-  double NextDouble();
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
 
   /// Uniform integer in [0, bound), bound > 0. Uses Lemire's unbiased
   /// multiply-shift rejection method.
-  std::uint64_t NextBounded(std::uint64_t bound);
+  std::uint64_t NextBounded(std::uint64_t bound) {
+    BDISK_DCHECK(bound > 0);
+    std::uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = -bound % bound;
+      while (low < threshold) {
+        x = Next();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
 
   /// Bernoulli trial: true with probability `p` (clamped to [0,1]).
-  bool NextBernoulli(double p);
+  bool NextBernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return NextDouble() < p;
+  }
 
   /// Exponentially distributed variate with the given mean (> 0).
-  double NextExponential(double mean);
+  double NextExponential(double mean) {
+    BDISK_DCHECK(mean > 0.0);
+    // Inverse CDF; 1 - u avoids log(0) since NextDouble() < 1.
+    return -mean * std::log1p(-NextDouble());
+  }
 
   /// Creates an independent child stream; deterministic given this
   /// generator's current state. Useful for giving each model component its
@@ -47,6 +90,10 @@ class Rng {
   Rng Split();
 
  private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
   std::uint64_t s_[4];
 };
 

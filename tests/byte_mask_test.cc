@@ -1,0 +1,66 @@
+#include "sim/byte_mask.h"
+
+#include <gtest/gtest.h>
+
+namespace bdisk::sim {
+namespace {
+
+TEST(ByteMaskTest, ConstructReadWrite) {
+  ByteMask mask(4, false);
+  EXPECT_EQ(mask.size(), 4U);
+  EXPECT_FALSE(mask[0]);
+  mask[2] = true;
+  EXPECT_TRUE(mask[2]);
+  mask[2] = false;
+  EXPECT_FALSE(mask[2]);
+  const ByteMask filled(3, true);
+  EXPECT_TRUE(filled[0] && filled[1] && filled[2]);
+}
+
+TEST(ByteMaskTest, RefToRefAssignmentWritesTheValue) {
+  // Regression: `mask_a[i] = mask_b[j]` with both masks non-const yields
+  // Ref = Ref. The implicit copy assignment would rebind the proxy's
+  // pointer — a silent no-op on the mask — instead of writing the value
+  // the way std::vector<bool>::reference does. The VC's re-warm rule
+  // (`warm_cached_[page] = ideal_warm_[page]`) depends on the value
+  // semantics.
+  ByteMask dst(3, false);
+  ByteMask src(3, true);
+  dst[1] = src[1];
+  EXPECT_TRUE(dst[1]);
+  EXPECT_FALSE(dst[0]);
+  src[2] = false;
+  dst[0] = true;
+  dst[0] = src[2];  // Assigning false must also stick.
+  EXPECT_FALSE(dst[0]);
+  // And the source is untouched either way.
+  EXPECT_TRUE(src[1]);
+  EXPECT_FALSE(src[2]);
+}
+
+TEST(ByteMaskTest, SelfMaskRefAssignment) {
+  ByteMask mask(2, false);
+  mask[0] = true;
+  mask[1] = mask[0];  // Same-mask Ref = Ref.
+  EXPECT_TRUE(mask[1]);
+  mask[0] = mask[0];  // Self-assignment is a no-op, not a corruption.
+  EXPECT_TRUE(mask[0]);
+}
+
+TEST(ByteMaskTest, DataIsCanonicalZeroOrOne) {
+  ByteMask mask(4, false);
+  mask[1] = true;
+  ByteMask other(4, true);
+  mask[3] = other[0];
+  const std::uint8_t* bytes = mask.data();
+  EXPECT_EQ(bytes[0], 0);
+  EXPECT_EQ(bytes[1], 1);
+  EXPECT_EQ(bytes[2], 0);
+  EXPECT_EQ(bytes[3], 1);
+  // Raw writes surface through operator[] reads.
+  mask.data()[2] = 1;
+  EXPECT_TRUE(mask[2]);
+}
+
+}  // namespace
+}  // namespace bdisk::sim

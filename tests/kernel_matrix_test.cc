@@ -1,12 +1,15 @@
-// Kernel-matrix invariance: the event-queue backend (`kernel.queue`) and
-// batched slot execution (`kernel.batch_slots`) are pure wall-clock knobs.
-// Every cell of the {heap, wheel} x {batched, stepped} matrix must produce
+// Kernel-matrix invariance: the event-queue backend (`kernel.queue`),
+// batched slot execution (`kernel.batch_slots`), and the batched arrival
+// spine (`sim.arrival_spine`) are pure wall-clock knobs. Every cell of the
+// {heap, wheel} x {batched, stepped} x {spine on, off} matrix must produce
 // the bit-identical simulated trajectory — metrics, counters, and the full
 // trace stream — fused or unfused, with and without an active fault plan.
-// CI runs the whole suite under BDISK_KERNEL_QUEUE=heap and =wheel on top
-// of this, so the matrix is pinned both in-process and across processes.
+// CI runs the whole suite under BDISK_KERNEL_QUEUE=heap and =wheel (and a
+// BDISK_ARRIVAL_SPINE=on TSan leg) on top of this, so the matrix is pinned
+// both in-process and across processes.
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -23,19 +26,25 @@ namespace {
 struct Cell {
   core::KernelQueue queue;
   bool batch;
+  bool spine;
 };
 
 const Cell kMatrix[] = {
-    {core::KernelQueue::kHeap, true},
-    {core::KernelQueue::kHeap, false},
-    {core::KernelQueue::kWheel, true},
-    {core::KernelQueue::kWheel, false},
+    {core::KernelQueue::kHeap, true, true},
+    {core::KernelQueue::kHeap, true, false},
+    {core::KernelQueue::kHeap, false, true},
+    {core::KernelQueue::kHeap, false, false},
+    {core::KernelQueue::kWheel, true, true},
+    {core::KernelQueue::kWheel, true, false},
+    {core::KernelQueue::kWheel, false, true},
+    {core::KernelQueue::kWheel, false, false},
 };
 
 std::string CellName(const Cell& cell) {
   std::string name =
       cell.queue == core::KernelQueue::kHeap ? "heap" : "wheel";
   name += cell.batch ? "/batched" : "/stepped";
+  name += cell.spine ? "/spine" : "/scalar";
   return name;
 }
 
@@ -64,11 +73,13 @@ core::SystemConfig SmallLoadedConfig() {
   return config;
 }
 
-core::RunResult RunCell(core::SystemConfig config, const Cell& cell) {
-  config.kernel_queue = cell.queue;
-  config.kernel_batch_slots = cell.batch;
-  core::System system(config);
-  return system.RunSteadyState(SmallProtocol());
+// Pins the cell explicitly (kOn/kOff, never kAuto) so the in-process
+// matrix is immune to the BDISK_ARRIVAL_SPINE environment override.
+void ApplyCell(core::SystemConfig* config, const Cell& cell) {
+  config->kernel_queue = cell.queue;
+  config->kernel_batch_slots = cell.batch;
+  config->arrival_spine =
+      cell.spine ? core::ArrivalSpine::kOn : core::ArrivalSpine::kOff;
 }
 
 // Trajectory fields only: kernel accounting is compared separately, since
@@ -122,19 +133,37 @@ void ExpectSameTrajectory(const core::RunResult& a, const core::RunResult& b,
 }
 
 void ExpectMatrixInvariant(const core::SystemConfig& config) {
-  const core::RunResult reference = RunCell(config, kMatrix[0]);
-  for (std::size_t i = 1; i < std::size(kMatrix); ++i) {
-    const core::RunResult cell = RunCell(config, kMatrix[i]);
-    ExpectSameTrajectory(reference, cell,
-                         CellName(kMatrix[0]) + " vs " + CellName(kMatrix[i]));
+  std::optional<core::RunResult> reference;
+  for (std::size_t i = 0; i < std::size(kMatrix); ++i) {
+    core::SystemConfig cell_config = config;
+    ApplyCell(&cell_config, kMatrix[i]);
+    core::System system(cell_config);
+    const core::RunResult cell = system.RunSteadyState(SmallProtocol());
+    // Spine cells actually take spine drains — unless something (unfused
+    // VC, fault request_delay) bypasses the fused path, in which case
+    // they must not take any.
+    if (system.vc() != nullptr) {
+      const bool engaged = kMatrix[i].spine && system.vc()->Fused();
+      EXPECT_EQ(system.vc()->SpineActive(), engaged) << CellName(kMatrix[i]);
+      if (engaged) {
+        EXPECT_GT(system.vc()->SpineBatches(), 0U) << CellName(kMatrix[i]);
+      } else {
+        EXPECT_EQ(system.vc()->SpineBatches(), 0U) << CellName(kMatrix[i]);
+      }
+    }
     // Batched cells actually batch; stepped cells actually step.
     if (kMatrix[i].batch) {
       EXPECT_GT(cell.kernel.periodic_spans, 0U) << CellName(kMatrix[i]);
     } else {
       EXPECT_EQ(cell.kernel.periodic_spans, 0U) << CellName(kMatrix[i]);
     }
+    if (!reference.has_value()) {
+      reference = cell;
+      continue;
+    }
+    ExpectSameTrajectory(*reference, cell,
+                         CellName(kMatrix[0]) + " vs " + CellName(kMatrix[i]));
   }
-  EXPECT_GT(reference.kernel.periodic_spans, 0U);
 }
 
 TEST(KernelMatrixTest, TrajectoryInvariantAcrossQueueAndBatching) {
@@ -177,6 +206,31 @@ TEST(KernelMatrixTest, TrajectoryInvariantWithUpdatesAndAdaptation) {
   ExpectMatrixInvariant(config);
 }
 
+// fault.request_delay forces the unfused VC path (delayed arrivals need
+// their own heap events), which must bypass the spine entirely no matter
+// what `sim.arrival_spine` asks for — and the bypassed run must still be
+// bit-identical to an explicit spine-off run.
+TEST(KernelMatrixTest, FaultDelayForcesUnfusedAndBypassesSpine) {
+  core::SystemConfig config = SmallLoadedConfig();
+  config.update_rate = 0.2;
+  config.fault.request_delay = 2.0;
+  ASSERT_TRUE(config.fault.Enabled());
+  ASSERT_EQ(config.Validate(), "");
+
+  config.arrival_spine = core::ArrivalSpine::kOn;
+  core::System forced(config);
+  ASSERT_NE(forced.vc(), nullptr);
+  EXPECT_FALSE(forced.vc()->Fused());
+  EXPECT_FALSE(forced.vc()->SpineActive());
+  const core::RunResult on = forced.RunSteadyState(SmallProtocol());
+  EXPECT_EQ(forced.vc()->SpineBatches(), 0U);
+
+  config.arrival_spine = core::ArrivalSpine::kOff;
+  core::System off_system(config);
+  const core::RunResult off = off_system.RunSteadyState(SmallProtocol());
+  ExpectSameTrajectory(on, off, "forced-unfused spine on vs off");
+}
+
 // The strongest pin: the complete trace stream — every span record, in
 // order, with timestamps and payloads — must be byte-for-byte identical
 // across the matrix.
@@ -186,8 +240,7 @@ TEST(KernelMatrixTest, TraceStreamsIdenticalAcrossMatrix) {
 
   std::vector<obs::SpanRecord> reference;
   for (std::size_t i = 0; i < std::size(kMatrix); ++i) {
-    config.kernel_queue = kMatrix[i].queue;
-    config.kernel_batch_slots = kMatrix[i].batch;
+    ApplyCell(&config, kMatrix[i]);
     core::System system(config);
     obs::TraceSink sink(1 << 21);
     system.AttachTrace(&sink);
@@ -230,8 +283,7 @@ TEST(KernelMatrixTest, ProfilerAttachLeavesTrajectoryBitIdentical) {
   ASSERT_TRUE(config.fault.Enabled());
 
   for (const Cell& cell : kMatrix) {
-    config.kernel_queue = cell.queue;
-    config.kernel_batch_slots = cell.batch;
+    ApplyCell(&config, cell);
 
     core::System plain(config);
     obs::TraceSink plain_sink(1 << 21);
