@@ -5,12 +5,17 @@
 // against BM_EndToEndSlots_Metrics. Results are recorded in
 // BENCH_obs.json alongside BENCH_kernel.json.
 
+#include <memory>
+#include <string>
+
 #include <benchmark/benchmark.h>
 
 #include "core/system.h"
 #include "obs/flight_recorder.h"
+#include "obs/frame_sink.h"
 #include "obs/metrics.h"
 #include "obs/phase_profiler.h"
+#include "obs/telemetry_bus.h"
 #include "obs/trace_sink.h"
 #include "obs/windowed_collector.h"
 
@@ -191,6 +196,46 @@ BENCHMARK_TEMPLATE(BM_EndToEndSlots_Profiler, core::KernelQueue::kHeap)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_TEMPLATE(BM_EndToEndSlots_Profiler, core::KernelQueue::kWheel)
     ->Name("BM_EndToEndSlots_ProfilerWheel")
+    ->Arg(10)
+    ->Arg(250)
+    ->Unit(benchmark::kMillisecond);
+
+// Streaming telemetry bus on top of the full analysis tier (the Windows
+// stack above, unchanged, plus the bus): live bdisk-frame-v1 frames
+// through the real file write path (/dev/null, so serialization and
+// write() cost is measured without disk noise). This is what `bdisk_sim
+// --windows --frames` runs; the acceptance bound (OBSERVABILITY.md §8) is
+// < 5% added over the Windows stack — compare against
+// BM_EndToEndSlots_Windows, which this arm extends by exactly the bus.
+void BM_EndToEndSlots_FrameBus(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::System system(BenchConfig(static_cast<double>(state.range(0))));
+    obs::MetricsRegistry registry;
+    obs::WindowedCollector collector(100.0);
+    obs::FlightTriggers triggers;
+    triggers.queue_depth = 1e18;  // Armed, evaluated, never fires.
+    obs::FlightRecorder recorder(triggers, "bench-flight-");
+    std::string error;
+    obs::TelemetryBus bus(obs::MakeFrameSink("/dev/null", &error));
+    system.AttachMetrics(&registry);
+    system.AttachWindowedCollector(&collector);
+    system.AttachFlightRecorder(&recorder);
+    system.AttachTelemetryBus(&bus);
+    system.mc().Start();
+    if (system.vc() != nullptr) system.vc()->Start();
+    state.ResumeTiming();
+    system.simulator().RunUntil(20000.0);
+    benchmark::DoNotOptimize(system.server().TotalSlots());
+    state.PauseTiming();
+    collector.Finish();
+    benchmark::DoNotOptimize(bus.FramesEmitted());
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+  state.SetLabel("items = broadcast units");
+}
+BENCHMARK(BM_EndToEndSlots_FrameBus)
     ->Arg(10)
     ->Arg(250)
     ->Unit(benchmark::kMillisecond);

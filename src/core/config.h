@@ -138,6 +138,13 @@ struct SystemConfig {
   /// queue_depth>90"; empty = disarmed. Validated against
   /// obs::ParseFlightTriggerSpec.
   std::string flight_recorder;
+  /// Flight-recorder dump budget: the recorder re-arms after each dump
+  /// until this many have been written (1 = classic one-shot).
+  std::uint32_t flight_recorder_max_dumps = 1;
+  /// Streaming-telemetry frame destination ("-" stdout, "unix:PATH"
+  /// datagram socket, else file path; see obs::MakeFrameSink). Empty =
+  /// no telemetry bus.
+  std::string frames;
 
   // --- Fault injection / robustness (bdisk::fault; see ROBUSTNESS.md) ---
   /// Deterministic fault plan: channel loss/corruption, backchannel faults,

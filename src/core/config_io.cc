@@ -181,6 +181,23 @@ std::string ApplyConfigOption(const std::string& raw_key,
     }
     return "";
   }
+  if (key == "flight_recorder_max_dumps") {
+    std::uint32_t parsed = 0;
+    if (!ParseU32(value, &parsed)) return bad_value();
+    if (parsed < 1) return "flight_recorder_max_dumps must be >= 1";
+    config->flight_recorder_max_dumps = parsed;
+    return "";
+  }
+  if (key == "frames") {
+    // Destination grammar only; the sink itself is opened by the CLI at
+    // attach time ("-" stdout, "unix:PATH" datagram socket, else a file).
+    if (value == "off") {
+      config->frames.clear();
+    } else {
+      config->frames = value;
+    }
+    return "";
+  }
 
   // fault.* doubles carry eager range checks so a bad plan fails at parse
   // time with the offending key named, not later at System construction.
@@ -399,6 +416,13 @@ std::string ConfigToText(const SystemConfig& config) {
   out << "obs_window = " << config.obs_window << "\n";
   if (!config.flight_recorder.empty()) {
     out << "flight_recorder = " << config.flight_recorder << "\n";
+  }
+  if (config.flight_recorder_max_dumps != 1) {
+    out << "flight_recorder_max_dumps = " << config.flight_recorder_max_dumps
+        << "\n";
+  }
+  if (!config.frames.empty()) {
+    out << "frames = " << config.frames << "\n";
   }
   if (config.fault.Enabled()) {
     // An inert (all-default) plan is omitted entirely so pre-fault config

@@ -319,6 +319,7 @@ void System::AttachFlightRecorder(obs::FlightRecorder* recorder) {
                   "AttachFlightRecorder needs a recorder");
   BDISK_CHECK_MSG(collector_ != nullptr,
                   "attach a windowed collector before the flight recorder");
+  recorder_ = recorder;
   collector_->SetFlightRecorder(recorder);
   recorder->SetTraceSink(sink_);
   recorder->SetSnapshot([this] {
@@ -326,6 +327,74 @@ void System::AttachFlightRecorder(obs::FlightRecorder* recorder) {
     SnapshotMetrics(&registry);
     return registry.ToJson();
   });
+  if (bus_ != nullptr) recorder->SetTelemetryBus(bus_);
+}
+
+void System::AttachTelemetryBus(obs::TelemetryBus* bus) {
+  BDISK_CHECK_MSG(!ran_, "attach observability before running");
+  BDISK_CHECK_MSG(bus != nullptr, "AttachTelemetryBus needs a bus");
+  BDISK_CHECK_MSG(collector_ != nullptr,
+                  "attach a windowed collector before the telemetry bus");
+  bus_ = bus;
+  // SetProbe captures the base counter vector immediately: the server's
+  // constructor already made the first slot decision, so counters are not
+  // zero at attach time. Frames carry deltas from this base, and run_end
+  // republishes it so a consumer can reconcile base + sum(deltas) against
+  // the final snapshot exactly.
+  bus->SetProbe([this] { return ProbeTelemetryCounters(); });
+  collector_->SetTelemetryBus(bus);
+  server_->SetTelemetryBus(bus);
+  if (recorder_ != nullptr) recorder_->SetTelemetryBus(bus);
+}
+
+std::vector<obs::CounterSample> System::ProbeTelemetryCounters() const {
+  // Names match SnapshotMetrics keys one-for-one so bdisk_top --check
+  // --snapshot can reconcile a frame stream against the final
+  // bdisk-metrics-v1 document without any mapping table.
+  std::vector<obs::CounterSample> samples;
+  samples.reserve(14);
+  const server::PullQueue& queue = server_->queue();
+  samples.push_back({"server.slots_push", server_->PushSlots()});
+  samples.push_back({"server.slots_pull", server_->PullSlots()});
+  samples.push_back({"server.slots_idle", server_->IdleSlots()});
+  samples.push_back({"server.queue.submitted", queue.SubmittedCount()});
+  samples.push_back({"server.queue.accepted", queue.AcceptedCount()});
+  samples.push_back({"server.queue.coalesced", queue.CoalescedCount()});
+  samples.push_back({"server.queue.dropped", queue.DroppedCount()});
+  samples.push_back({"client.mc.accesses", mc_->TotalAccesses()});
+  samples.push_back({"client.mc.pulls_sent", mc_->PullRequestsSent()});
+  if (injector_) {
+    samples.push_back({"fault.slots_lost", injector_->SlotsLost()});
+    samples.push_back({"fault.slots_corrupted", injector_->SlotsCorrupted()});
+    samples.push_back({"fault.requests_lost", injector_->RequestsLost()});
+    samples.push_back({"fault.requests_shed", queue.ShedCount()});
+    samples.push_back(
+        {"fault.requests_dropped_outage", queue.OutageDropCount()});
+  }
+  return samples;
+}
+
+std::vector<std::pair<std::string, std::string>> System::TelemetryProvenance()
+    const {
+  // Only trajectory-relevant knobs: kernel backend / batching / spine
+  // selection is deliberately excluded so frame streams stay byte-identical
+  // across the kernel matrix.
+  std::vector<std::pair<std::string, std::string>> p;
+  p.emplace_back("mode", DeliveryModeName(config_.mode));
+  p.emplace_back("db_size", std::to_string(config_.server_db_size));
+  p.emplace_back("seed", std::to_string(config_.seed));
+  {
+    std::ostringstream os;
+    os << config_.think_time_ratio;
+    p.emplace_back("think_time_ratio", os.str());
+  }
+  {
+    std::ostringstream os;
+    os << config_.obs_window;
+    p.emplace_back("obs_window", os.str());
+  }
+  p.emplace_back("fault", config_.fault.Enabled() ? "on" : "off");
+  return p;
 }
 
 void System::SnapshotMetrics(obs::MetricsRegistry* registry) const {
@@ -395,6 +464,11 @@ void System::SnapshotMetrics(obs::MetricsRegistry* registry) const {
 
   if (collector_ != nullptr) collector_->PublishTo(registry);
 
+  if (bus_ != nullptr) {
+    counter("obs.frames_emitted", bus_->FramesEmitted());
+    counter("obs.frames_dropped", bus_->FramesDropped());
+  }
+
   counter("kernel.events_executed", simulator_.EventsExecuted());
   counter("kernel.periodic_rearms", simulator_.PeriodicRearms());
   counter("kernel.lazy_arrivals_fused", simulator_.LazyArrivalsFused());
@@ -412,6 +486,9 @@ void System::SnapshotMetrics(obs::MetricsRegistry* registry) const {
 }
 
 void System::TimedRun(sim::SimTime max_sim_time) {
+  if (bus_ != nullptr) {
+    bus_->EmitRunStart(simulator_.Now(), TelemetryProvenance());
+  }
   const auto start = std::chrono::steady_clock::now();
   simulator_.RunUntil(max_sim_time);
   wall_seconds_ = std::chrono::duration<double>(
@@ -424,6 +501,10 @@ void System::TimedRun(sim::SimTime max_sim_time) {
   // Anchor the profiler's closing calibration point as close to the run as
   // possible (idempotent; exports would otherwise do it lazily).
   if (profiler_ != nullptr) profiler_->Finalize();
+  // run_end goes out after Finish() so the final partial window's frame
+  // precedes it; it carries the closing deltas that make the stream
+  // reconcile exactly even when trailing window frames were dropped.
+  if (bus_ != nullptr) bus_->EmitRunEnd(simulator_.Now());
 }
 
 RunResult System::CollectResult(bool converged) const {

@@ -151,6 +151,17 @@ class System {
   /// first; call AttachTrace before this to include the trace.
   void AttachFlightRecorder(obs::FlightRecorder* recorder);
 
+  /// Attaches the streaming telemetry `bus` (not owned): each completed
+  /// telemetry window becomes a `window` frame (counter deltas measured by
+  /// a probe over the same lifetime counters SnapshotMetrics exports, so
+  /// frame deltas reconcile exactly against the final snapshot), and run
+  /// start/end, degraded-mode edges, and flight-recorder fires become
+  /// lifecycle frames. Requires AttachWindowedCollector first; order
+  /// relative to AttachFlightRecorder does not matter. Same bit-identity
+  /// guarantee as AttachMetrics: the bus consumes no randomness and
+  /// schedules no events.
+  void AttachTelemetryBus(obs::TelemetryBus* bus);
+
   /// Copies every lifetime counter and the MC response histogram into
   /// `registry`, so ToJson() yields one self-contained snapshot. Counters
   /// are cheap to keep always-on in their components; snapshotting at
@@ -214,9 +225,14 @@ class System {
   std::unique_ptr<adaptive::ClientController> client_controller_;
   std::unique_ptr<server::UpdateGenerator> update_generator_;
   std::unique_ptr<fault::FaultInjector> injector_;
+  std::vector<obs::CounterSample> ProbeTelemetryCounters() const;
+  std::vector<std::pair<std::string, std::string>> TelemetryProvenance() const;
+
   obs::WindowedCollector* collector_ = nullptr;  // Not owned.
   obs::TraceSink* sink_ = nullptr;               // Not owned.
   obs::PhaseProfiler* profiler_ = nullptr;       // Not owned.
+  obs::FlightRecorder* recorder_ = nullptr;      // Not owned.
+  obs::TelemetryBus* bus_ = nullptr;             // Not owned.
   bool ran_ = false;
   double wall_seconds_ = 0.0;
 };

@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "obs/json.h"
+#include "obs/telemetry_bus.h"
+#include "sim/check.h"
 
 namespace bdisk::obs {
 
@@ -82,12 +84,17 @@ std::string ParseFlightTriggerSpec(const std::string& spec,
 }
 
 FlightRecorder::FlightRecorder(const FlightTriggers& triggers,
-                               std::string path_prefix)
-    : triggers_(triggers), path_prefix_(std::move(path_prefix)) {}
+                               std::string path_prefix,
+                               std::uint32_t max_dumps)
+    : triggers_(triggers),
+      path_prefix_(std::move(path_prefix)),
+      max_dumps_(max_dumps) {
+  BDISK_CHECK_MSG(max_dumps_ >= 1, "flight recorder max_dumps must be >= 1");
+}
 
 void FlightRecorder::OnWindow(const WindowStats& window) {
   ++windows_evaluated_;
-  if (fired_) return;
+  if (disarmed_) return;
   if (window.DropRate() > triggers_.drop_rate) {
     Fire(window, "drop_rate", triggers_.drop_rate, window.DropRate());
   } else if (window.response_p99 > triggers_.p99) {
@@ -197,8 +204,13 @@ std::string FlightRecorder::BuildDump(const WindowStats& window,
 
 void FlightRecorder::Fire(const WindowStats& window, const char* trigger,
                           double threshold, double value) {
-  fired_ = true;
   ++fire_count_;
+  // Multi-shot: stay armed until the dump budget is spent. Each firing
+  // window has a distinct end time, so filenames never collide.
+  disarmed_ = fire_count_ >= max_dumps_;
+  if (bus_ != nullptr) {
+    bus_->OnFlightFire(window.end, trigger, threshold, value, fire_count_);
+  }
   char stamp[48];
   std::snprintf(stamp, sizeof(stamp), "t%.0f.json", window.end);
   const std::string path = path_prefix_ + stamp;

@@ -37,19 +37,25 @@ struct FlightTriggers {
 std::string ParseFlightTriggerSpec(const std::string& spec,
                                    FlightTriggers* out);
 
+class TelemetryBus;
+
 /// An anomaly flight recorder: watches completed telemetry windows and, on
 /// the first window that crosses a trigger, dumps the trailing trace window
 /// and a full metrics snapshot to a timestamped JSON file
 /// ("<prefix>t<sim-time>.json", schema "bdisk-flight-v1").
 ///
-/// One-shot by design — the interesting state is what led up to the FIRST
-/// anomaly; later windows of a sustained overload would only overwrite it.
-/// Re-arm explicitly with Rearm() to capture another. Evaluation is pure
+/// One-shot by default — the interesting state is what led up to the FIRST
+/// anomaly; later windows of a sustained overload would only repeat it.
+/// `max_dumps` > 1 re-arms automatically after each dump until that many
+/// have been written (each with a distinct window-end timestamp in its
+/// filename), so a sustained overload keeps its later anomalies too.
+/// Re-arm explicitly with Rearm() to capture more. Evaluation is pure
 /// observation: no randomness, no events, so an armed-but-silent recorder
 /// keeps the trajectory bit-identical.
 class FlightRecorder {
  public:
-  FlightRecorder(const FlightTriggers& triggers, std::string path_prefix);
+  FlightRecorder(const FlightTriggers& triggers, std::string path_prefix,
+                 std::uint32_t max_dumps = 1);
 
   /// Trailing trace source for dumps (null = dump without trace).
   void SetTraceSink(const TraceSink* sink) { sink_ = sink; }
@@ -62,6 +68,9 @@ class FlightRecorder {
     snapshot_ = std::move(snapshot);
   }
 
+  /// Streams a `flight_fire` frame on each dump (null detaches).
+  void SetTelemetryBus(TelemetryBus* bus) { bus_ = bus; }
+
   /// Evaluates one completed window (WindowedCollector calls this).
   void OnWindow(const WindowStats& window);
 
@@ -70,11 +79,14 @@ class FlightRecorder {
   std::string BuildDump(const WindowStats& window, const char* trigger,
                         double threshold, double value) const;
 
-  void Rearm() { fired_ = false; }
+  void Rearm() { disarmed_ = false; }
 
-  bool Fired() const { return fired_; }
+  /// True while the recorder will not fire again on its own (every
+  /// automatic shot spent; Rearm() grants another).
+  bool Fired() const { return disarmed_; }
   std::uint64_t WindowsEvaluated() const { return windows_evaluated_; }
   std::uint64_t FireCount() const { return fire_count_; }
+  std::uint32_t MaxDumps() const { return max_dumps_; }
 
   /// Path of the last dump written; empty if none (or if the write failed,
   /// in which case LastError() says why).
@@ -87,9 +99,11 @@ class FlightRecorder {
 
   FlightTriggers triggers_;
   std::string path_prefix_;
+  std::uint32_t max_dumps_;
   const TraceSink* sink_ = nullptr;
   std::function<std::string()> snapshot_;
-  bool fired_ = false;
+  TelemetryBus* bus_ = nullptr;
+  bool disarmed_ = false;
   std::uint64_t windows_evaluated_ = 0;
   std::uint64_t fire_count_ = 0;
   std::string dump_path_;

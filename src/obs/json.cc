@@ -1,11 +1,37 @@
 #include "obs/json.h"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <utility>
 
 namespace bdisk::obs {
+
+namespace {
+
+// Most keys and values (metric names, schema tags) contain nothing that
+// needs escaping; detecting that up front lets the writer append them
+// without the per-string allocation JsonEscape pays.
+bool NeedsEscape(const std::string& text) {
+  for (const char c : text) {
+    if (c == '"' || c == '\\' || static_cast<unsigned char>(c) < 0x20) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool NeedsEscape(const char* text) {
+  for (const char* p = text; *p != '\0'; ++p) {
+    if (*p == '"' || *p == '\\' || static_cast<unsigned char>(*p) < 0x20) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
 
 std::string JsonEscape(const std::string& text) {
   std::string out;
@@ -79,7 +105,26 @@ void JsonWriter::Key(const std::string& key) {
     has_element_.back() = true;
   }
   out_ += '"';
-  out_ += JsonEscape(key);
+  if (NeedsEscape(key)) {
+    out_ += JsonEscape(key);
+  } else {
+    out_ += key;
+  }
+  out_ += "\":";
+  pending_key_ = true;
+}
+
+void JsonWriter::Key(const char* key) {
+  if (!has_element_.empty()) {
+    if (has_element_.back()) out_ += ',';
+    has_element_.back() = true;
+  }
+  out_ += '"';
+  if (NeedsEscape(key)) {
+    out_ += JsonEscape(key);
+  } else {
+    out_ += key;
+  }
   out_ += "\":";
   pending_key_ = true;
 }
@@ -90,19 +135,29 @@ void JsonWriter::Value(double v) {
     out_ += "null";
     return;
   }
+  // Shortest round-trippable decimal form (parses back to the same bits,
+  // like %.17g, but without the trailing noise digits and ~10x faster —
+  // the telemetry bus serializes a dozen doubles per window frame).
   char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  out_ += buf;
+  const std::to_chars_result result =
+      std::to_chars(buf, buf + sizeof(buf), v);
+  out_.append(buf, result.ptr);
 }
 
 void JsonWriter::Value(std::uint64_t v) {
   Separate();
-  out_ += std::to_string(v);
+  char buf[24];
+  const std::to_chars_result result =
+      std::to_chars(buf, buf + sizeof(buf), v);
+  out_.append(buf, result.ptr);
 }
 
 void JsonWriter::Value(std::int64_t v) {
   Separate();
-  out_ += std::to_string(v);
+  char buf[24];
+  const std::to_chars_result result =
+      std::to_chars(buf, buf + sizeof(buf), v);
+  out_.append(buf, result.ptr);
 }
 
 void JsonWriter::Value(bool v) {
@@ -113,11 +168,24 @@ void JsonWriter::Value(bool v) {
 void JsonWriter::Value(const std::string& v) {
   Separate();
   out_ += '"';
-  out_ += JsonEscape(v);
+  if (NeedsEscape(v)) {
+    out_ += JsonEscape(v);
+  } else {
+    out_ += v;
+  }
   out_ += '"';
 }
 
-void JsonWriter::Value(const char* v) { Value(std::string(v)); }
+void JsonWriter::Value(const char* v) {
+  Separate();
+  out_ += '"';
+  if (NeedsEscape(v)) {
+    out_ += JsonEscape(v);
+  } else {
+    out_ += v;
+  }
+  out_ += '"';
+}
 
 void JsonWriter::Null() {
   Separate();

@@ -1,6 +1,7 @@
 #ifndef BDISK_OBS_JSON_H_
 #define BDISK_OBS_JSON_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <utility>
@@ -18,8 +19,9 @@ std::string JsonEscape(const std::string& text);
 /// Append-only: the caller opens objects/arrays, emits keys and values, and
 /// closes scopes in order. The writer tracks comma placement; it does not
 /// validate nesting beyond a depth stack, so misuse produces malformed JSON
-/// rather than a crash. Doubles are emitted with %.17g (round-trippable);
-/// non-finite doubles become null (JSON has no Infinity/NaN).
+/// rather than a crash. Doubles are emitted in shortest round-trippable
+/// form (std::to_chars: parses back to the identical bits); non-finite
+/// doubles become null (JSON has no Infinity/NaN).
 class JsonWriter {
  public:
   JsonWriter() = default;
@@ -30,8 +32,23 @@ class JsonWriter {
   void EndArray();
 
   /// Emits `"key":` inside an object; the next Begin*/Value call attaches
-  /// its value.
+  /// its value. The const char* overload appends in place — no temporary
+  /// std::string for the literal metric names the hot emitters pass.
   void Key(const std::string& key);
+  void Key(const char* key);
+
+  /// Pre-sizes the output buffer (the telemetry bus knows its frames run
+  /// ~1 KiB; one allocation instead of a doubling chain).
+  void Reserve(std::size_t bytes) { out_.reserve(bytes); }
+
+  /// Resets to an empty document, keeping the output buffer's capacity —
+  /// what lets a per-window emitter reuse one writer with zero
+  /// steady-state allocations.
+  void Clear() {
+    out_.clear();
+    has_element_.clear();
+    pending_key_ = false;
+  }
 
   void Value(double v);
   void Value(std::uint64_t v);

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "obs/flight_recorder.h"
+#include "obs/telemetry_bus.h"
 #include "sim/check.h"
 
 namespace bdisk::obs {
@@ -49,6 +50,7 @@ void WindowedCollector::CloseCurrent() {
     ring_.pop_front();
     ++windows_evicted_;
   }
+  if (bus_ != nullptr) bus_->OnWindow(ring_.back());
   if (recorder_ != nullptr) recorder_->OnWindow(ring_.back());
   response_hist_.Reset();  // In place — no allocation per window.
 }

@@ -11,6 +11,7 @@
 namespace bdisk::obs {
 
 class FlightRecorder;
+class TelemetryBus;
 
 /// What a slot decision carried (mirrors the server's MUX outcome without
 /// making obs depend on server types).
@@ -86,6 +87,11 @@ class WindowedCollector {
   /// Forward completed windows to `recorder` for trigger evaluation
   /// (null detaches).
   void SetFlightRecorder(FlightRecorder* recorder) { recorder_ = recorder; }
+
+  /// Stream completed windows to `bus` as `window` frames (null detaches).
+  /// The bus is notified before the flight recorder, so a window's frame
+  /// always precedes any flight_fire frame it provokes.
+  void SetTelemetryBus(TelemetryBus* bus) { bus_ = bus; }
 
   /// Instrumentation feeds (call sites hold a null-checked raw pointer).
   /// Inline on purpose: these run once per slot / submit / access, and the
@@ -180,6 +186,7 @@ class WindowedCollector {
   std::uint64_t windows_completed_ = 0;
   std::uint64_t windows_evicted_ = 0;
   FlightRecorder* recorder_ = nullptr;
+  TelemetryBus* bus_ = nullptr;
 };
 
 }  // namespace bdisk::obs

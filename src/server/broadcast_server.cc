@@ -236,6 +236,9 @@ void BroadcastServer::UpdateDegraded() {
                     obs::kNoClient, obs::kNoTracePage,
                     static_cast<double>(depth));
     }
+    if (telemetry_bus_ != nullptr) {
+      telemetry_bus_->OnDegraded(simulator_->Now(), /*entering=*/true, depth);
+    }
   } else if (degraded_ && depth <= shed_exit_depth_) {
     degraded_ = false;
     ++degraded_exits_;
@@ -243,6 +246,9 @@ void BroadcastServer::UpdateDegraded() {
       sink_->Record(simulator_->Now(), obs::SpanEvent::kDegradedExit,
                     obs::kNoClient, obs::kNoTracePage,
                     static_cast<double>(depth));
+    }
+    if (telemetry_bus_ != nullptr) {
+      telemetry_bus_->OnDegraded(simulator_->Now(), /*entering=*/false, depth);
     }
   }
 }

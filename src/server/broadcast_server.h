@@ -15,6 +15,7 @@
 #include "obs/phase_profiler.h"
 #include "obs/trace_sink.h"
 #include "obs/windowed_collector.h"
+#include "obs/telemetry_bus.h"
 #include "server/pull_queue.h"
 #include "sim/rng.h"
 #include "sim/simulator.h"
@@ -109,6 +110,12 @@ class BroadcastServer : public sim::EventHandler {
   void SetWindowedCollector(obs::WindowedCollector* collector) {
     collector_ = collector;
   }
+
+  /// Attaches the streaming telemetry bus (not owned; null detaches) for
+  /// degraded-mode enter/exit frames. Same cost discipline as the trace
+  /// sink: one pointer check per hysteresis edge, no randomness, no
+  /// events.
+  void SetTelemetryBus(obs::TelemetryBus* bus) { telemetry_bus_ = bus; }
 
   /// Attaches the wall-clock phase profiler (not owned; null detaches).
   /// Frames: server.slot around each slot boundary, server.mux around the
@@ -211,6 +218,7 @@ class BroadcastServer : public sim::EventHandler {
   sim::TraceRecorder* trace_ = nullptr;
   obs::TraceSink* sink_ = nullptr;
   obs::WindowedCollector* collector_ = nullptr;
+  obs::TelemetryBus* telemetry_bus_ = nullptr;
   obs::PhaseProfiler* profiler_ = nullptr;
 
   // Fault-injection state (inert while injector_ is null). The watermark

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -96,6 +97,50 @@ TEST(FlightRecorderTest, FiresOnceOnThresholdCrossingAndRearms) {
   recorder.Rearm();
   recorder.OnWindow(bad);
   EXPECT_EQ(recorder.FireCount(), 2U);
+}
+
+TEST(FlightRecorderTest, MultiShotRearmsItselfUntilDumpBudgetSpent) {
+  FlightTriggers triggers;
+  triggers.drop_rate = 0.25;
+  FlightRecorder recorder(triggers, "flight_multi_test_", /*max_dumps=*/3);
+  EXPECT_EQ(recorder.MaxDumps(), 3U);
+
+  WindowStats bad = QuietWindow(0.0);
+  bad.submits = 10;
+  bad.accepted = 5;
+  bad.dropped = 5;  // Drop rate 0.5 > 0.25 on every window below.
+
+  std::vector<std::string> dump_paths;
+  for (int shot = 1; shot <= 3; ++shot) {
+    recorder.OnWindow(bad);
+    EXPECT_EQ(recorder.FireCount(), static_cast<std::uint64_t>(shot));
+    // Self re-arms between dumps; disarmed only once the budget is spent.
+    EXPECT_EQ(recorder.Fired(), shot == 3);
+    dump_paths.push_back(recorder.DumpPath());
+    bad.start += 100.0;
+    bad.end += 100.0;
+  }
+  // Budget spent: a fourth bad window does not fire.
+  recorder.OnWindow(bad);
+  EXPECT_EQ(recorder.FireCount(), 3U);
+
+  // Each shot wrote its own file (distinct window-end timestamps).
+  EXPECT_NE(dump_paths[0], dump_paths[1]);
+  EXPECT_NE(dump_paths[1], dump_paths[2]);
+  for (const std::string& path : dump_paths) {
+    std::ifstream file(path);
+    EXPECT_TRUE(file.good()) << path;
+    std::remove(path.c_str());
+  }
+
+  // Rearm() still grants one more fire after the budget is spent.
+  recorder.Rearm();
+  bad.start += 100.0;
+  bad.end += 100.0;
+  recorder.OnWindow(bad);
+  EXPECT_EQ(recorder.FireCount(), 4U);
+  EXPECT_TRUE(recorder.Fired());
+  std::remove(recorder.DumpPath().c_str());
 }
 
 TEST(FlightRecorderTest, DumpCarriesWindowTriggerMetricsAndTrace) {

@@ -9,6 +9,7 @@
 // both in-process and across processes.
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -17,8 +18,11 @@
 
 #include "core/experiment.h"
 #include "core/system.h"
+#include "obs/frame_sink.h"
 #include "obs/phase_profiler.h"
+#include "obs/telemetry_bus.h"
 #include "obs/trace_sink.h"
+#include "obs/windowed_collector.h"
 
 namespace bdisk {
 namespace {
@@ -320,6 +324,66 @@ TEST(KernelMatrixTest, ProfilerAttachLeavesTrajectoryBitIdentical) {
     EXPECT_GT(profiler.Calls(obs::Phase::kVcArrival), 0U) << CellName(cell);
     EXPECT_GT(profiler.Calls(obs::Phase::kFaultJudge), 0U) << CellName(cell);
     EXPECT_GT(profiler.Ops(obs::Phase::kVcArrival), 0U) << CellName(cell);
+  }
+}
+
+// Telemetry-bus arm: streaming bdisk-frame-v1 frames is a pure observer
+// too. Every matrix cell must produce the bit-identical RunResult *and*
+// trace stream with the bus attached as without — and, because frame
+// provenance carries only trajectory-relevant fields (never kernel-backend
+// knobs) and the wall clock is suppressed, the frame streams themselves
+// must be byte-identical across all eight cells.
+TEST(KernelMatrixTest, TelemetryBusAttachLeavesTrajectoryBitIdentical) {
+  core::SystemConfig config = SmallLoadedConfig();
+  config.fault.slot_loss = 0.05;
+  config.fault.request_loss = 0.05;
+  ASSERT_TRUE(config.fault.Enabled());
+
+  std::vector<std::string> reference_frames;
+  for (const Cell& cell : kMatrix) {
+    ApplyCell(&config, cell);
+
+    core::System plain(config);
+    obs::TraceSink plain_sink(1 << 21);
+    plain.AttachTrace(&plain_sink);
+    const core::RunResult reference = plain.RunSteadyState(SmallProtocol());
+
+    core::System observed(config);
+    obs::TraceSink observed_sink(1 << 21);
+    auto frame_sink = std::make_unique<obs::CaptureFrameSink>();
+    obs::CaptureFrameSink* capture = frame_sink.get();
+    obs::WindowedCollector collector(config.obs_window);
+    obs::TelemetryBus bus(std::move(frame_sink));
+    bus.EnableWallClock(false);
+    observed.AttachTrace(&observed_sink);
+    observed.AttachWindowedCollector(&collector);
+    observed.AttachTelemetryBus(&bus);
+    const core::RunResult result = observed.RunSteadyState(SmallProtocol());
+
+    ExpectSameTrajectory(reference, result, CellName(cell) + " bus off vs on");
+    const std::vector<obs::SpanRecord>& a = plain_sink.Events();
+    const std::vector<obs::SpanRecord>& b = observed_sink.Events();
+    ASSERT_EQ(a.size(), b.size()) << CellName(cell);
+    for (std::size_t r = 0; r < a.size(); ++r) {
+      ASSERT_EQ(a[r].time, b[r].time) << CellName(cell) << " record " << r;
+      ASSERT_EQ(a[r].event, b[r].event) << CellName(cell) << " record " << r;
+      ASSERT_EQ(a[r].client, b[r].client)
+          << CellName(cell) << " record " << r;
+      ASSERT_EQ(a[r].page, b[r].page) << CellName(cell) << " record " << r;
+      ASSERT_EQ(a[r].value, b[r].value)
+          << CellName(cell) << " record " << r;
+    }
+
+    // The stream observed the run, with nothing dropped by a memory sink.
+    EXPECT_GT(bus.WindowFrames(), 0U) << CellName(cell);
+    EXPECT_EQ(bus.FramesDropped(), 0U) << CellName(cell);
+    if (reference_frames.empty()) {
+      reference_frames = capture->frames();
+      ASSERT_GT(reference_frames.size(), 2U);
+      continue;
+    }
+    // Byte-identical frames across kernel backends.
+    EXPECT_EQ(capture->frames(), reference_frames) << CellName(cell);
   }
 }
 

@@ -25,13 +25,19 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/config_io.h"
 #include "core/system.h"
 #include "core/table_printer.h"
+#include "obs/frame_sink.h"
+#include "obs/telemetry_bus.h"
+#include "obs/windowed_collector.h"
 
 namespace {
 
@@ -48,6 +54,9 @@ void PrintUsage() {
       "  --seed N           root RNG seed\n"
       "  --quick            short measurement protocol\n"
       "  --csv              emit CSV instead of a table\n"
+      "  --frames DEST      stream live bdisk-frame-v1 frames (\"-\" stdout,\n"
+      "                     \"unix:PATH\" datagram, else file); needs a\n"
+      "                     single --loss point — one stream is one run\n"
       "  --help             this message\n"
       "exits 1 when any point hangs, drops accounting, or fails to\n"
       "inject at a nonzero loss rate.\n");
@@ -130,6 +139,13 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--seed") {
       base.seed = std::strtoull(next_value("--seed"), nullptr, 10);
+    } else if (arg == "--frames") {
+      const std::string error =
+          core::ApplyConfigOption("frames", next_value("--frames"), &base);
+      if (!error.empty()) {
+        std::fprintf(stderr, "--frames: %s\n", error.c_str());
+        return 2;
+      }
     } else if (arg == "--quick") {
       quick = true;
     } else if (arg == "--csv") {
@@ -148,6 +164,12 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (losses.empty()) losses = {0.0, 0.02, 0.05, 0.1, 0.2};
+  if (!base.frames.empty() && losses.size() != 1) {
+    std::fprintf(stderr,
+                 "--frames needs a single --loss point (a frame stream "
+                 "describes exactly one run)\n");
+    return 2;
+  }
   for (const double loss : losses) {
     if (loss < 0.0 || loss > 1.0) {
       std::fprintf(stderr, "loss rate %g out of [0,1]\n", loss);
@@ -179,8 +201,29 @@ int main(int argc, char** argv) {
     }
 
     core::System system(config);
+    std::optional<obs::WindowedCollector> collector;
+    std::optional<obs::TelemetryBus> bus;
+    if (!config.frames.empty()) {
+      std::string sink_error;
+      std::unique_ptr<obs::FrameSink> frame_sink =
+          obs::MakeFrameSink(config.frames, &sink_error);
+      if (frame_sink == nullptr) {
+        std::fprintf(stderr, "--frames %s: %s\n", config.frames.c_str(),
+                     sink_error.c_str());
+        return 2;
+      }
+      collector.emplace(config.obs_window);
+      system.AttachWindowedCollector(&*collector);
+      bus.emplace(std::move(frame_sink));
+      system.AttachTelemetryBus(&*bus);
+    }
     const core::RunResult r = system.RunSteadyState(protocol);
     point.result = r;
+    if (bus && bus->FramesDropped() > 0) {
+      std::fprintf(stderr, "telemetry: %llu of %llu frames dropped\n",
+                   static_cast<unsigned long long>(bus->FramesDropped()),
+                   static_cast<unsigned long long>(bus->FramesEmitted()));
+    }
 
     // No hung requests: the run must end because the measured client hit
     // its access quota (simulator_.Stop()), not because the clock ran out

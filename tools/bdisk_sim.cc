@@ -19,9 +19,11 @@
 #include <cstring>
 #include <exception>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/advisor.h"
@@ -31,10 +33,12 @@
 #include "core/system.h"
 #include "core/table_printer.h"
 #include "obs/flight_recorder.h"
+#include "obs/frame_sink.h"
 #include "obs/metrics.h"
 #include "obs/phase_profiler.h"
 #include "obs/progress.h"
 #include "obs/span_assembler.h"
+#include "obs/telemetry_bus.h"
 #include "obs/trace_sink.h"
 #include "obs/windowed_collector.h"
 
@@ -67,6 +71,13 @@ void PrintUsage() {
       "                     arm the anomaly flight recorder; SPEC is a\n"
       "                     comma list of drop_rate>X, p99>X, queue_depth>X\n"
       "                     (config-file keys: obs_window, flight_recorder)\n"
+      "  --flight-recorder-max-dumps N\n"
+      "                     dump budget: re-arm after each dump until N\n"
+      "                     dumps are written (default 1 = one-shot)\n"
+      "  --frames DEST      stream live bdisk-frame-v1 JSONL frames to DEST\n"
+      "                     (\"-\" stdout, \"unix:PATH\" datagram socket —\n"
+      "                     see tools/bdisk_top — else a file); implies\n"
+      "                     windowed telemetry\n"
       "  --progress         periodic heartbeat on stderr (sim-time,\n"
       "                     events/s, done%%, ETA)\n"
       "  --print-config     print the effective configuration and exit\n"
@@ -208,6 +219,18 @@ int main(int argc, char** argv) {
         return 2;
       }
       windows = true;
+    } else if (arg == "--flight-recorder-max-dumps" ||
+               arg.rfind("--flight-recorder-max-dumps=", 0) == 0) {
+      const std::string value =
+          arg == "--flight-recorder-max-dumps"
+              ? next_value("--flight-recorder-max-dumps")
+              : arg.substr(std::strlen("--flight-recorder-max-dumps="));
+      const std::string err =
+          core::ApplyConfigOption("flight_recorder_max_dumps", value, &config);
+      if (!err.empty()) {
+        std::fprintf(stderr, "--flight-recorder-max-dumps: %s\n", err.c_str());
+        return 2;
+      }
     } else if (arg == "--flight-recorder" ||
                arg.rfind("--flight-recorder=", 0) == 0) {
       const std::string value =
@@ -218,6 +241,15 @@ int main(int argc, char** argv) {
           core::ApplyConfigOption("flight_recorder", value, &config);
       if (!err.empty()) {
         std::fprintf(stderr, "--flight-recorder: %s\n", err.c_str());
+        return 2;
+      }
+    } else if (arg == "--frames" || arg.rfind("--frames=", 0) == 0) {
+      const std::string value = arg == "--frames"
+                                    ? next_value("--frames")
+                                    : arg.substr(std::strlen("--frames="));
+      const std::string err = core::ApplyConfigOption("frames", value, &config);
+      if (!err.empty()) {
+        std::fprintf(stderr, "--frames: %s\n", err.c_str());
         return 2;
       }
     } else if (arg == "--csv") {
@@ -281,10 +313,12 @@ int main(int argc, char** argv) {
   }
 
   const bool recorder_armed = !config.flight_recorder.empty();
+  const bool frames_on = !config.frames.empty();
   const bool profiled = !profile_path.empty() || !folded_path.empty() ||
                         !chrome_trace_path.empty();
   const bool observed = !metrics_json_path.empty() || !trace_path.empty() ||
-                        progress || windows || recorder_armed || profiled;
+                        progress || windows || recorder_armed || profiled ||
+                        frames_on;
   std::vector<core::SweepOutcome> outcomes;
   if (!observed) {
     try {
@@ -317,7 +351,8 @@ int main(int argc, char** argv) {
     if (profiled) system.AttachProfiler(&profiler);
     std::optional<obs::WindowedCollector> collector;
     std::optional<obs::FlightRecorder> recorder;
-    if (windows || recorder_armed) {
+    std::optional<obs::TelemetryBus> bus;
+    if (windows || recorder_armed || frames_on) {
       collector.emplace(points[0].config.obs_window);
       system.AttachWindowedCollector(&*collector);
     }
@@ -329,8 +364,21 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "flight_recorder: %s\n", trigger_error.c_str());
         return 2;
       }
-      recorder.emplace(triggers, "bdisk-flight-");
+      recorder.emplace(triggers, "bdisk-flight-",
+                       points[0].config.flight_recorder_max_dumps);
       system.AttachFlightRecorder(&*recorder);
+    }
+    if (frames_on) {
+      std::string sink_error;
+      std::unique_ptr<obs::FrameSink> frame_sink =
+          obs::MakeFrameSink(points[0].config.frames, &sink_error);
+      if (frame_sink == nullptr) {
+        std::fprintf(stderr, "--frames %s: %s\n",
+                     points[0].config.frames.c_str(), sink_error.c_str());
+        return 2;
+      }
+      bus.emplace(std::move(frame_sink));
+      system.AttachTelemetryBus(&*bus);
     }
     std::optional<obs::ProgressReporter> reporter;
     if (progress) {
@@ -389,14 +437,22 @@ int main(int argc, char** argv) {
         return 1;
       }
     }
-    if (recorder && recorder->Fired()) {
+    if (recorder && recorder->FireCount() > 0) {
       if (!recorder->LastError().empty()) {
         std::fprintf(stderr, "flight recorder fired but dump failed: %s\n",
                      recorder->LastError().c_str());
       } else {
-        std::fprintf(stderr, "flight recorder fired: %s\n",
+        std::fprintf(stderr, "flight recorder fired %llu time(s), last: %s\n",
+                     static_cast<unsigned long long>(recorder->FireCount()),
                      recorder->DumpPath().c_str());
       }
+    }
+    if (bus && bus->FramesDropped() > 0) {
+      std::fprintf(stderr,
+                   "telemetry: %llu of %llu frames dropped (receiver too "
+                   "slow; seq gaps carry the deltas forward)\n",
+                   static_cast<unsigned long long>(bus->FramesDropped()),
+                   static_cast<unsigned long long>(bus->FramesEmitted()));
     }
   }
 

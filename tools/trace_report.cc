@@ -50,9 +50,12 @@ using bdisk::obs::SpanRecord;
 void PrintUsage() {
   std::printf(
       "usage: trace_report FILE.jsonl [--spans] [--top N] [--bins N]\n"
-      "                    [--examples N] [--truncated]\n"
+      "                    [--examples N] [--truncated] [--csv FILE]\n"
       "  --spans       request-lifecycle attribution report (waterfalls,\n"
       "                phase breakdown, per-page and per-band tables)\n"
+      "  --csv FILE    with --spans: also export the phase breakdown and\n"
+      "                the per-page / per-band attribution tables as one\n"
+      "                long-format CSV (\"-\" for stdout)\n"
       "  --top N       pages in the per-page tables (default 10)\n"
       "  --bins N      slot-utilization time bins (default 20)\n"
       "  --examples N  example spans/waterfalls to print (default 5)\n"
@@ -187,7 +190,18 @@ void PrintPerPageAttribution(const std::map<std::uint32_t, PageAgg>& pages,
 // count, cut where cumulative requests cross each 20% of the total. Band 1
 // is the empirically hottest slice — the observable stand-in for the
 // access-probability deciles the workload generator used.
-void PrintPerBandAttribution(const std::map<std::uint32_t, PageAgg>& pages) {
+struct BandRow {
+  int band = 0;
+  std::size_t pages = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t hits = 0;
+  double response_sum = 0.0;
+  double queue_wait_sum = 0.0;
+  double broadcast_wait_sum = 0.0;
+};
+
+std::vector<BandRow> ComputeBands(
+    const std::map<std::uint32_t, PageAgg>& pages) {
   std::vector<std::pair<std::uint32_t, PageAgg>> ranked(pages.begin(),
                                                         pages.end());
   std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
@@ -198,40 +212,111 @@ void PrintPerBandAttribution(const std::map<std::uint32_t, PageAgg>& pages) {
   });
   std::uint64_t total_requests = 0;
   for (const auto& [page, agg] : ranked) total_requests += agg.requests;
-  if (total_requests == 0) return;
+  std::vector<BandRow> rows;
+  if (total_requests == 0) return rows;
 
   constexpr int kBands = 5;
-  std::printf("\nper-probability-band attribution (%d bands of ~%d%% "
-              "request mass, hottest first)\n",
-              kBands, 100 / kBands);
-  std::printf("%6s %8s %9s %7s %10s %10s %10s\n", "band", "pages",
-              "requests", "hit%", "mean resp", "q-wait", "bc-wait");
   std::size_t i = 0;
   std::uint64_t cumulative = 0;
   for (int band = 1; band <= kBands && i < ranked.size(); ++band) {
     const std::uint64_t limit =
         total_requests * static_cast<std::uint64_t>(band) / kBands;
-    std::uint64_t requests = 0, hits = 0;
-    double resp = 0.0, qw = 0.0, bw = 0.0;
-    std::size_t band_pages = 0;
-    while (i < ranked.size() && (cumulative < limit || band_pages == 0)) {
+    BandRow row;
+    row.band = band;
+    while (i < ranked.size() && (cumulative < limit || row.pages == 0)) {
       const PageAgg& a = ranked[i].second;
       cumulative += a.requests;
-      requests += a.requests;
-      hits += a.hits;
-      resp += a.response_sum;
-      qw += a.queue_wait_sum;
-      bw += a.broadcast_wait_sum;
-      ++band_pages;
+      row.requests += a.requests;
+      row.hits += a.hits;
+      row.response_sum += a.response_sum;
+      row.queue_wait_sum += a.queue_wait_sum;
+      row.broadcast_wait_sum += a.broadcast_wait_sum;
+      ++row.pages;
       ++i;
     }
-    if (requests == 0) continue;
-    const double n = static_cast<double>(requests);
-    std::printf("%6d %8zu %9" PRIu64 " %6.1f%% %10.2f %10.2f %10.2f\n",
-                band, band_pages, requests,
-                100.0 * static_cast<double>(hits) / n, resp / n, qw / n,
-                bw / n);
+    if (row.requests > 0) rows.push_back(row);
   }
+  return rows;
+}
+
+void PrintPerBandAttribution(const std::map<std::uint32_t, PageAgg>& pages) {
+  const std::vector<BandRow> rows = ComputeBands(pages);
+  if (rows.empty()) return;
+  std::printf("\nper-probability-band attribution (5 bands of ~20%% "
+              "request mass, hottest first)\n");
+  std::printf("%6s %8s %9s %7s %10s %10s %10s\n", "band", "pages",
+              "requests", "hit%", "mean resp", "q-wait", "bc-wait");
+  for (const BandRow& row : rows) {
+    const double n = static_cast<double>(row.requests);
+    std::printf("%6d %8zu %9" PRIu64 " %6.1f%% %10.2f %10.2f %10.2f\n",
+                row.band, row.pages, row.requests,
+                100.0 * static_cast<double>(row.hits) / n,
+                row.response_sum / n, row.queue_wait_sum / n,
+                row.broadcast_wait_sum / n);
+  }
+}
+
+// Long-format CSV of the --spans report: one rectangular table whose
+// `section` column distinguishes the phase breakdown ("phase"), the
+// per-page attribution ("page", every page — no top-N clipping), and the
+// request-mass bands ("band"). Spreadsheet- and pandas-friendly.
+bool WriteSpansCsv(const std::string& path, const PhaseBreakdown& b,
+                   const std::map<std::uint32_t, PageAgg>& pages) {
+  std::string body;
+  body +=
+      "section,key,pages,requests,hit_pct,mean_response,mean_queue_wait,"
+      "mean_broadcast_wait,mean_transmit,max_response\n";
+  char line[256];
+  const auto append_row = [&body, &line](const char* section,
+                                         const std::string& key,
+                                         std::size_t page_count,
+                                         std::uint64_t requests,
+                                         double hit_pct, double mean_response,
+                                         double queue_wait,
+                                         double broadcast_wait) {
+    std::snprintf(line, sizeof(line),
+                  "%s,%s,%zu,%" PRIu64 ",%.4f,%.6g,%.6g,%.6g,,\n", section,
+                  key.c_str(), page_count, requests, hit_pct, mean_response,
+                  queue_wait, broadcast_wait);
+    body += line;
+  };
+  std::snprintf(line, sizeof(line),
+                "phase,all,%zu,%" PRIu64 ",%.4f,%.6g,%.6g,%.6g,%.6g,\n",
+                pages.size(), b.spans,
+                b.spans == 0 ? 0.0
+                             : 100.0 * static_cast<double>(b.hits) /
+                                   static_cast<double>(b.spans),
+                b.mean_response, b.mean_queue_wait, b.mean_broadcast_wait,
+                b.mean_transmit);
+  body += line;
+  for (const auto& [page, a] : pages) {
+    const double n = static_cast<double>(a.requests);
+    std::snprintf(line, sizeof(line),
+                  "page,%" PRIu32 ",1,%" PRIu64 ",%.4f,%.6g,%.6g,%.6g,,%.6g\n",
+                  page, a.requests,
+                  100.0 * static_cast<double>(a.hits) / n, a.MeanResponse(),
+                  a.queue_wait_sum / n, a.broadcast_wait_sum / n,
+                  a.response_max);
+    body += line;
+  }
+  for (const BandRow& row : ComputeBands(pages)) {
+    const double n = static_cast<double>(row.requests);
+    append_row("band", std::to_string(row.band), row.pages, row.requests,
+               100.0 * static_cast<double>(row.hits) / n,
+               row.response_sum / n, row.queue_wait_sum / n,
+               row.broadcast_wait_sum / n);
+  }
+  if (path == "-") {
+    std::fwrite(body.data(), 1, body.size(), stdout);
+    return true;
+  }
+  std::ofstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  file << body;
+  return true;
 }
 
 }  // namespace
@@ -243,6 +328,7 @@ int main(int argc, char** argv) {
   std::size_t examples = 5;
   bool spans_mode = false;
   bool force_truncated = false;
+  std::string csv_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -260,6 +346,8 @@ int main(int argc, char** argv) {
       spans_mode = true;
     } else if (arg == "--truncated") {
       force_truncated = true;
+    } else if (arg == "--csv") {
+      csv_path = next_value("--csv");
     } else if (arg == "--top") {
       top_n = static_cast<std::size_t>(std::atol(next_value("--top")));
     } else if (arg == "--bins") {
@@ -280,6 +368,10 @@ int main(int argc, char** argv) {
   }
   if (path.empty() || bins == 0) {
     PrintUsage();
+    return 2;
+  }
+  if (!csv_path.empty() && !spans_mode) {
+    std::fprintf(stderr, "--csv needs --spans (it exports that report)\n");
     return 2;
   }
 
@@ -319,11 +411,18 @@ int main(int argc, char** argv) {
   }
 
   if (spans_mode) {
-    PrintWaterfalls(spans, examples);
-    PrintPhaseBreakdown(breakdown);
     const std::map<std::uint32_t, PageAgg> pages = AggregateByPage(spans);
-    PrintPerPageAttribution(pages, top_n);
-    PrintPerBandAttribution(pages);
+    // --csv - claims stdout for the CSV; the human report goes away.
+    if (csv_path != "-") {
+      PrintWaterfalls(spans, examples);
+      PrintPhaseBreakdown(breakdown);
+      PrintPerPageAttribution(pages, top_n);
+      PrintPerBandAttribution(pages);
+    }
+    if (!csv_path.empty() &&
+        !WriteSpansCsv(csv_path, breakdown, pages)) {
+      return 2;
+    }
   } else {
     // --- Per-page latency table (delivery-ranked, legacy report) ---------
     const std::map<std::uint32_t, PageAgg> pages = AggregateByPage(spans);
