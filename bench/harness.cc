@@ -2,8 +2,8 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 
+#include "core/provenance.h"
 #include "core/table_printer.h"
 
 namespace bdisk::bench {
@@ -13,54 +13,16 @@ bool QuickMode() {
   return quick != nullptr && quick[0] != '\0';
 }
 
-const char* BuildType() {
-#ifdef BDISK_BENCH_BUILD_TYPE
-  return BDISK_BENCH_BUILD_TYPE[0] != '\0' ? BDISK_BENCH_BUILD_TYPE
-                                           : "unspecified";
-#else
-  return "unknown";
-#endif
-}
+// Provenance moved to core::provenance so the live-serve tools share the
+// same stamp and gate; the bench-facing names stay as thin delegates.
+const char* BuildType() { return core::BuildType(); }
 
-const char* GitRev() {
-#ifdef BDISK_BENCH_GIT_REV
-  return BDISK_BENCH_GIT_REV;
-#else
-  return "unknown";
-#endif
-}
+const char* GitRev() { return core::GitRev(); }
 
-bool OptimizedBuild() {
-#ifdef NDEBUG
-  // NDEBUG alone is not enough: an empty CMAKE_BUILD_TYPE also defines
-  // nothing but compiles at -O0. Require an explicit Release-family config.
-  const char* type = BuildType();
-  return std::strncmp(type, "Rel", 3) == 0 ||
-         std::strcmp(type, "MinSizeRel") == 0;
-#else
-  return false;
-#endif
-}
+bool OptimizedBuild() { return core::OptimizedBuild(); }
 
 void RequireOptimizedBuild(const char* binary_name) {
-  if (OptimizedBuild()) return;
-  const char* allow = std::getenv("BDISK_BENCH_ALLOW_DEBUG");
-  if (allow != nullptr && allow[0] != '\0') {
-    std::fprintf(stderr,
-                 "[%s] WARNING: %s build (rev %s) — numbers are NOT "
-                 "comparable to recorded baselines "
-                 "(BDISK_BENCH_ALLOW_DEBUG set)\n",
-                 binary_name, BuildType(), GitRev());
-    return;
-  }
-  std::fprintf(stderr,
-               "[%s] refusing to run: built as '%s', not Release (rev %s).\n"
-               "Benchmark records must come from optimized builds; rebuild "
-               "with\n  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release\n"
-               "or set BDISK_BENCH_ALLOW_DEBUG=1 to run anyway (results "
-               "tagged, never record them).\n",
-               binary_name, BuildType(), GitRev());
-  std::exit(2);
+  core::RequireOptimizedBuild(binary_name);
 }
 
 unsigned SweepThreads() {

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "sim/check.h"
+#include "transport/transport.h"
 
 namespace bdisk::client {
 
@@ -90,7 +91,7 @@ void MeasuredClient::OnWakeup() {
           sink_->Record(Now(), obs::SpanEvent::kRetry, obs::kMeasuredClientId,
                         waiting_page_);
         }
-        server_->SubmitRequest(waiting_page_, obs::kMeasuredClientId);
+        SubmitPull(waiting_page_);
         ++retries_sent_;
       }
       ScheduleWakeup(options_.retry_interval);
@@ -150,7 +151,7 @@ void MeasuredClient::MakeRequest() {
       if (robust_) {
         SendRobustPull(page);
       } else {
-        server_->SubmitRequest(page, obs::kMeasuredClientId);
+        SubmitPull(page);
         ++pull_requests_sent_;
       }
       if (!waiting_unscheduled_) {
@@ -170,8 +171,16 @@ void MeasuredClient::MakeRequest() {
   }
 }
 
-void MeasuredClient::SendRobustPull(PageId page) {
+void MeasuredClient::SubmitPull(PageId page) {
+  if (transport_ != nullptr) {
+    transport_->SubmitPull(page, obs::kMeasuredClientId);
+    return;
+  }
   server_->SubmitRequest(page, obs::kMeasuredClientId);
+}
+
+void MeasuredClient::SendRobustPull(PageId page) {
+  SubmitPull(page);
   ++pull_requests_sent_;
   if (backchannel_dead_) {
     ++probes_sent_;
@@ -184,16 +193,13 @@ void MeasuredClient::SendRobustPull(PageId page) {
 }
 
 void MeasuredClient::ArmRobustTimeout() {
-  double t = robust_->timeout;
-  for (std::uint32_t i = 0; i < attempt_; ++i) t *= robust_->backoff;
-  t = std::min(t, robust_->backoff_cap);
-  if (robust_->jitter > 0.0) {
-    // Deterministic jitter from the dedicated stream: decorrelates retry
-    // storms across clients/requests without perturbing any model stream.
-    t += t * robust_->jitter * retry_rng_.NextDouble();
-  }
-  armed_timeout_ = t;
-  ScheduleWakeup(t);
+  // Shared backoff engine (fault/backoff.h): scale by attempt, clamp to the
+  // cap, stretch by deterministic jitter from the dedicated stream. The
+  // same policy arithmetic paces datagram-transport reconnects.
+  const fault::BackoffPolicy policy{robust_->timeout, robust_->backoff,
+                                    robust_->backoff_cap, robust_->jitter};
+  armed_timeout_ = fault::JitteredBackoffDelay(policy, attempt_, &retry_rng_);
+  ScheduleWakeup(armed_timeout_);
 }
 
 void MeasuredClient::OnRobustTimeout() {
@@ -209,7 +215,7 @@ void MeasuredClient::OnRobustTimeout() {
       sink_->Record(Now(), obs::SpanEvent::kRetry, obs::kMeasuredClientId,
                     waiting_page_);
     }
-    server_->SubmitRequest(waiting_page_, obs::kMeasuredClientId);
+    SubmitPull(waiting_page_);
     ++retries_sent_;
     if (backchannel_dead_) {
       ++probes_sent_;

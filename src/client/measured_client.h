@@ -9,6 +9,7 @@
 
 #include "cache/cache.h"
 #include "client/threshold_filter.h"
+#include "fault/backoff.h"
 #include "client/warmup_tracker.h"
 #include "obs/metrics.h"
 #include "obs/trace_sink.h"
@@ -21,6 +22,10 @@
 #include "workload/access_generator.h"
 #include "workload/access_pattern.h"
 #include "workload/think_time.h"
+
+namespace bdisk::transport {
+class Transport;
+}  // namespace bdisk::transport
 
 namespace bdisk::client {
 
@@ -174,6 +179,16 @@ class MeasuredClient : public sim::Process,
   }
   bool BackchannelDead() const { return backchannel_dead_; }
 
+  /// Routes every pull submission (initial, retry, probe, legacy resend)
+  /// through `transport` (not owned; null restores the direct server
+  /// call). The sim backend forwards to the very SubmitRequest call the
+  /// client made before the seam existed, so simulated trajectories are
+  /// bit-identical with or without it; the datagram backend carries the
+  /// same submissions over a real socket.
+  void SetTransport(transport::Transport* transport) {
+    transport_ = transport;
+  }
+
   /// Attaches a metrics registry (not owned): wires the cache's
   /// eviction-value stream into "client.mc.cache.evict_value". Lifetime
   /// counters and the response histogram are snapshotted at collect time
@@ -226,6 +241,9 @@ class MeasuredClient : public sim::Process,
   enum class State { kIdle, kThinking, kWaiting };
 
   void MakeRequest();
+  /// Single choke point for backchannel submissions: the transport seam
+  /// when one is set, the direct server call otherwise.
+  void SubmitPull(PageId page);
   void CompleteAccess(double response_time);
   void InsertIntoCache(PageId page, sim::SimTime now);
   void ConsiderPrefetch(PageId page, sim::SimTime now);
@@ -240,6 +258,7 @@ class MeasuredClient : public sim::Process,
   void SendRobustPull(PageId page);
 
   server::BroadcastServer* server_;
+  transport::Transport* transport_ = nullptr;  // Not owned; null = direct.
   workload::AccessGenerator generator_;
   MeasuredClientOptions options_;
   ThresholdFilter filter_;

@@ -1,6 +1,7 @@
 #include "core/config.h"
 
 #include "obs/flight_recorder.h"
+#include "obs/frame_sink.h"
 
 namespace bdisk::core {
 
@@ -97,6 +98,14 @@ std::string SystemConfig::Validate() const {
   }
   if (fault.DegradedModeEnabled() && mode == DeliveryMode::kPurePush) {
     return "fault.shed_hi governs the pull queue; Pure-Push has none";
+  }
+  if (frames.rfind("unix:", 0) == 0) {
+    // Catch over-long socket paths at config time: the kernel would
+    // silently truncate them at bind/connect and the sink would dial a
+    // different name than the receiver bound.
+    const std::string path_error =
+        obs::ValidateUnixSocketPath(frames.substr(5));
+    if (!path_error.empty()) return "frames: " + path_error;
   }
   if (!flight_recorder.empty()) {
     obs::FlightTriggers triggers;

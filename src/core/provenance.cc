@@ -1,0 +1,59 @@
+#include "core/provenance.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace bdisk::core {
+
+const char* BuildType() {
+#ifdef BDISK_BUILD_TYPE
+  return BDISK_BUILD_TYPE[0] != '\0' ? BDISK_BUILD_TYPE : "unspecified";
+#else
+  return "unknown";
+#endif
+}
+
+const char* GitRev() {
+#ifdef BDISK_GIT_REV
+  return BDISK_GIT_REV;
+#else
+  return "unknown";
+#endif
+}
+
+bool OptimizedBuild() {
+#ifdef NDEBUG
+  // NDEBUG alone is not enough: an empty CMAKE_BUILD_TYPE also defines
+  // nothing but compiles at -O0. Require an explicit Release-family config.
+  const char* type = BuildType();
+  return std::strncmp(type, "Rel", 3) == 0 ||
+         std::strcmp(type, "MinSizeRel") == 0;
+#else
+  return false;
+#endif
+}
+
+void RequireOptimizedBuild(const char* binary_name) {
+  if (OptimizedBuild()) return;
+  const char* allow = std::getenv("BDISK_BENCH_ALLOW_DEBUG");
+  if (allow != nullptr && allow[0] != '\0') {
+    std::fprintf(stderr,
+                 "[%s] WARNING: %s build (rev %s) — numbers are NOT "
+                 "comparable to recorded baselines "
+                 "(BDISK_BENCH_ALLOW_DEBUG set)\n",
+                 binary_name, BuildType(), GitRev());
+    return;
+  }
+  std::fprintf(stderr,
+               "[%s] refusing to run: built as '%s', not Release (rev %s).\n"
+               "Recorded performance numbers must come from optimized "
+               "builds; rebuild with\n"
+               "  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release\n"
+               "or set BDISK_BENCH_ALLOW_DEBUG=1 to run anyway (results "
+               "tagged, never record them).\n",
+               binary_name, BuildType(), GitRev());
+  std::exit(2);
+}
+
+}  // namespace bdisk::core

@@ -1,0 +1,33 @@
+#ifndef BDISK_CORE_PROVENANCE_H_
+#define BDISK_CORE_PROVENANCE_H_
+
+namespace bdisk::core {
+
+/// Build provenance, stamped at configure/compile time: every recorded
+/// number must say what was measured. Shared by the bench harness and the
+/// live-serve tools (`bdisk_serve` / `bdisk_load`), so the provenance gate
+/// is one implementation everywhere.
+
+/// The CMake configuration this binary was built under ("Release",
+/// "Debug", ...; "unspecified" for an empty build type, "unknown" when the
+/// stamp is missing entirely).
+const char* BuildType();
+
+/// Short git revision captured at configure time ("unknown" outside a
+/// checkout). Re-run cmake after committing to refresh it.
+const char* GitRev();
+
+/// True when this binary was compiled optimized: a Release-family CMake
+/// configuration with NDEBUG, so BDISK_CHECK bounds checks are the only
+/// assertions left.
+bool OptimizedBuild();
+
+/// Provenance gate: refuses to run (exits 2 with a loud message) when the
+/// binary was built non-optimized, so debug numbers can't silently end up
+/// in recorded performance artifacts. Setting BDISK_BENCH_ALLOW_DEBUG=1
+/// downgrades the refusal to a tagged warning for local smoke tests.
+void RequireOptimizedBuild(const char* binary_name);
+
+}  // namespace bdisk::core
+
+#endif  // BDISK_CORE_PROVENANCE_H_

@@ -25,6 +25,7 @@
 #include "obs/windowed_collector.h"
 #include "server/broadcast_server.h"
 #include "sim/simulator.h"
+#include "transport/transport.h"
 #include "workload/access_pattern.h"
 
 namespace bdisk::core {
@@ -210,6 +211,12 @@ class System {
   /// Fault injector; null unless the config's FaultPlan is Enabled().
   fault::FaultInjector* fault_injector() { return injector_.get(); }
 
+  /// The transport seam the measured client submits pulls through. Always
+  /// the in-process sim backend here (bit-identical to the direct call by
+  /// construction); the datagram backend lives in bdisk_serve, which
+  /// builds its server standalone.
+  transport::Transport& transport() { return *sim_transport_; }
+
  private:
   RunResult CollectResult(bool converged) const;
   void TimedRun(sim::SimTime max_sim_time);
@@ -219,6 +226,7 @@ class System {
   std::shared_ptr<const SystemArtifacts> artifacts_;
   workload::AccessPattern mc_pattern_;
   std::unique_ptr<server::BroadcastServer> server_;
+  std::unique_ptr<transport::SimTransport> sim_transport_;
   std::unique_ptr<client::MeasuredClient> mc_;
   std::unique_ptr<client::VirtualClient> vc_;
   std::unique_ptr<adaptive::ServerController> server_controller_;

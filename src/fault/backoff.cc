@@ -1,0 +1,36 @@
+#include "fault/backoff.h"
+
+#include <algorithm>
+
+namespace bdisk::fault {
+
+std::string BackoffPolicy::Validate() const {
+  if (base <= 0.0) return "backoff base delay must be positive";
+  if (multiplier < 1.0) return "backoff multiplier must be >= 1";
+  if (cap < base) return "backoff cap below the base delay";
+  if (jitter < 0.0 || jitter > 1.0) {
+    return "backoff jitter must be a fraction in [0,1]";
+  }
+  return "";
+}
+
+double RawBackoffDelay(const BackoffPolicy& policy, std::uint32_t attempt) {
+  // Repeated multiplication, not pow(): this is bit-for-bit the loop the
+  // measured client has always run, and golden pins hold it in place.
+  double t = policy.base;
+  for (std::uint32_t i = 0; i < attempt; ++i) t *= policy.multiplier;
+  return std::min(t, policy.cap);
+}
+
+double JitteredBackoffDelay(const BackoffPolicy& policy, std::uint32_t attempt,
+                            sim::Rng* rng) {
+  double t = RawBackoffDelay(policy, attempt);
+  if (policy.jitter > 0.0) {
+    // Deterministic jitter from the caller's dedicated stream: decorrelates
+    // retry storms across clients/requests without perturbing model streams.
+    t += t * policy.jitter * rng->NextDouble();
+  }
+  return t;
+}
+
+}  // namespace bdisk::fault

@@ -1,0 +1,53 @@
+#ifndef BDISK_FAULT_BACKOFF_H_
+#define BDISK_FAULT_BACKOFF_H_
+
+#include <cstdint>
+#include <string>
+
+#include "sim/rng.h"
+
+namespace bdisk::fault {
+
+/// One bounded-exponential-backoff schedule: base delay, per-attempt
+/// multiplier, an absolute pre-jitter cap, and a deterministic jitter
+/// fraction. This is the retry arithmetic the measured client's robust
+/// pull engine has used since the fault tier landed, extracted so every
+/// retry loop in the system (MC pull retries, transport reconnects)
+/// backs off the same way.
+///
+/// Delay units are whatever the caller's clock uses — broadcast units for
+/// the measured client, wall-clock seconds for the datagram transport.
+struct BackoffPolicy {
+  /// Delay before the first retry (attempt 0). Must be > 0.
+  double base = 0.0;
+  /// Multiplier applied per subsequent attempt. Must be >= 1.
+  double multiplier = 2.0;
+  /// Absolute cap on the backed-off delay, applied before jitter.
+  /// Must be >= base.
+  double cap = 0.0;
+  /// Each delay is stretched by a uniform draw in [0, jitter * delay).
+  /// Must be in [0,1]; 0 disables jitter (and consumes no randomness).
+  double jitter = 0.1;
+
+  /// Returns an error description, or empty when self-consistent.
+  std::string Validate() const;
+};
+
+/// The raw (pre-jitter) delay for `attempt` (0-based): base scaled by
+/// multiplier^attempt, clamped to cap. Pure arithmetic, no RNG.
+double RawBackoffDelay(const BackoffPolicy& policy, std::uint32_t attempt);
+
+/// The jittered delay for `attempt`. Draws from `rng` exactly once when
+/// policy.jitter > 0 and never otherwise — the zero-jitter short-circuit
+/// is part of the determinism contract (a jitter-free policy perturbs no
+/// stream, so trajectories match a build without jitter entirely).
+///
+/// The arithmetic order (scale, clamp, then stretch) is pinned: the
+/// measured client's golden trajectories depend on these exact operations
+/// in this exact sequence.
+double JitteredBackoffDelay(const BackoffPolicy& policy, std::uint32_t attempt,
+                            sim::Rng* rng);
+
+}  // namespace bdisk::fault
+
+#endif  // BDISK_FAULT_BACKOFF_H_

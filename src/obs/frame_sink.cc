@@ -55,12 +55,26 @@ bool FileFrameSink::WriteFinal(const std::string& frame) {
 // ---------------------------------------------------------------------------
 // DatagramFrameSink
 
+std::string ValidateUnixSocketPath(const std::string& path) {
+  if (path.empty()) return "empty unix socket path";
+  constexpr std::size_t kMax = sizeof(sockaddr_un{}.sun_path);
+  if (path.size() >= kMax) {
+    return "unix socket path too long (" + std::to_string(path.size()) +
+           " bytes; the kernel limit is " + std::to_string(kMax - 1) +
+           "): " + path;
+  }
+  return "";
+}
+
 std::unique_ptr<DatagramFrameSink> DatagramFrameSink::Open(
     const std::string& path, std::string* error) {
   sockaddr_un addr{};
-  if (path.size() >= sizeof(addr.sun_path)) {
-    if (error != nullptr) *error = "socket path too long: " + path;
-    return nullptr;
+  {
+    const std::string invalid = ValidateUnixSocketPath(path);
+    if (!invalid.empty()) {
+      if (error != nullptr) *error = invalid;
+      return nullptr;
+    }
   }
   const int fd = ::socket(AF_UNIX, SOCK_DGRAM | SOCK_NONBLOCK, 0);
   if (fd < 0) {

@@ -123,6 +123,15 @@ class CaptureFrameSink : public FrameSink {
   std::uint64_t dropped_ = 0;
 };
 
+/// Validates `path` as a bindable/connectable AF_UNIX socket path:
+/// non-empty and strictly shorter than sizeof(sockaddr_un::sun_path)
+/// (the kernel would otherwise silently truncate it, and sender and
+/// receiver could end up on *different* truncated names). Returns an
+/// error message naming the limit, or empty when the path is usable.
+/// Shared by every socket user: the datagram frame sink, `bdisk_top`'s
+/// receiver, and the bdisk::transport datagram backends.
+std::string ValidateUnixSocketPath(const std::string& path);
+
 /// Builds a sink from the `--frames` / `frames` destination grammar:
 /// "-" = stdout, "unix:PATH" = nonblocking datagram socket, anything else
 /// = file path (JSONL, truncated). Returns null and sets `error` on

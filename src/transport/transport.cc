@@ -1,0 +1,17 @@
+#include "transport/transport.h"
+
+#include "sim/check.h"
+
+namespace bdisk::transport {
+
+SimTransport::SimTransport(server::BroadcastServer* server)
+    : server_(server) {
+  BDISK_CHECK_MSG(server != nullptr, "SimTransport needs a server");
+}
+
+server::SubmitResult SimTransport::SubmitPull(PageId page,
+                                              std::uint32_t client) {
+  return server_->SubmitRequest(page, client);
+}
+
+}  // namespace bdisk::transport

@@ -1,0 +1,274 @@
+#include "transport/wire.h"
+
+#include <cctype>
+#include <charconv>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace bdisk::transport::wire {
+
+namespace {
+
+char SlotKindChar(server::SlotKind kind) {
+  switch (kind) {
+    case server::SlotKind::kPush:
+      return 'P';
+    case server::SlotKind::kPull:
+      return 'Q';
+    case server::SlotKind::kIdle:
+      return 'I';
+  }
+  return 'I';
+}
+
+void AppendU64(std::uint64_t v, std::string* out) {
+  char buf[24];
+  const int n = std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out->append(buf, static_cast<std::size_t>(n));
+}
+
+void AppendDouble(double v, std::string* out) {
+  // %.17g round-trips; slot times are integers in practice so this stays
+  // short on the wire.
+  char buf[32];
+  const int n = std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out->append(buf, static_cast<std::size_t>(n));
+}
+
+/// Splits on single spaces into at most `max_fields` views. Returns the
+/// field count, or -1 when the input has empty fields (double spaces,
+/// leading/trailing space) or too many fields.
+int SplitFields(std::string_view text, std::string_view* fields,
+                int max_fields) {
+  int count = 0;
+  while (!text.empty()) {
+    if (count == max_fields) return -1;
+    const std::size_t space = text.find(' ');
+    const std::string_view field =
+        space == std::string_view::npos ? text : text.substr(0, space);
+    if (field.empty()) return -1;
+    fields[count++] = field;
+    if (space == std::string_view::npos) break;
+    text.remove_prefix(space + 1);
+    if (text.empty()) return -1;  // Trailing space.
+  }
+  return count;
+}
+
+bool ParseU64(std::string_view field, std::uint64_t* out) {
+  const auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), *out);
+  return ec == std::errc() && ptr == field.data() + field.size();
+}
+
+bool ParseU32(std::string_view field, std::uint32_t* out) {
+  std::uint64_t wide = 0;
+  if (!ParseU64(field, &wide) || wide > 0xFFFFFFFFull) return false;
+  *out = static_cast<std::uint32_t>(wide);
+  return true;
+}
+
+bool ParseDouble(std::string_view field, double* out) {
+  // std::from_chars<double> is missing on some libstdc++ versions the CI
+  // matrix still builds with; strtod on a bounded copy is fine here.
+  char buf[64];
+  if (field.size() >= sizeof(buf)) return false;
+  std::memcpy(buf, field.data(), field.size());
+  buf[field.size()] = '\0';
+  char* end = nullptr;
+  *out = std::strtod(buf, &end);
+  return end == buf + field.size();
+}
+
+bool ParsePage(std::string_view field, PageId* out) {
+  if (field == "-") {
+    *out = broadcast::kNoPage;
+    return true;
+  }
+  return ParseU32(field, out);
+}
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+}  // namespace
+
+bool ValidClientId(std::string_view id) {
+  if (id.empty() || id.size() > 64) return false;
+  for (const char c : id) {
+    if (std::isspace(static_cast<unsigned char>(c)) ||
+        std::iscntrl(static_cast<unsigned char>(c))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void FormatHello(const std::string& client_id, std::string* out) {
+  out->assign(kMagic);
+  out->append(" HELLO ");
+  out->append(client_id);
+}
+
+void FormatWelcome(std::uint32_t db_size, std::uint32_t cycle_len,
+                   std::uint32_t slot_us, std::string* out) {
+  out->assign(kMagic);
+  out->append(" WELCOME ");
+  AppendU64(db_size, out);
+  out->push_back(' ');
+  AppendU64(cycle_len, out);
+  out->push_back(' ');
+  AppendU64(slot_us, out);
+}
+
+void FormatPull(const std::string& client_id, PageId page, std::string* out) {
+  out->assign(kMagic);
+  out->append(" PULL ");
+  out->append(client_id);
+  out->push_back(' ');
+  AppendU64(page, out);
+}
+
+void FormatPing(const std::string& client_id, std::string* out) {
+  out->assign(kMagic);
+  out->append(" PING ");
+  out->append(client_id);
+}
+
+void FormatBye(const std::string& client_id, std::string* out) {
+  out->assign(kMagic);
+  out->append(" BYE ");
+  out->append(client_id);
+}
+
+void FormatSlot(std::uint64_t seq, PageId page, server::SlotKind kind,
+                double sim_time, std::string* out) {
+  out->assign(kMagic);
+  out->append(" SLOT ");
+  AppendU64(seq, out);
+  out->push_back(' ');
+  if (page == broadcast::kNoPage) {
+    out->push_back('-');
+  } else {
+    AppendU64(page, out);
+  }
+  out->push_back(' ');
+  out->push_back(SlotKindChar(kind));
+  out->push_back(' ');
+  AppendDouble(sim_time, out);
+}
+
+void FormatStats(const PeerStats& stats, std::string* out) {
+  out->assign(kMagic);
+  out->append(" STATS ");
+  AppendU64(stats.pulls_rx, out);
+  out->push_back(' ');
+  AppendU64(stats.slots_tx_epoch, out);
+  out->push_back(' ');
+  AppendU64(stats.drop_backpressure, out);
+  out->push_back(' ');
+  AppendU64(stats.drop_dead_peer, out);
+  out->push_back(' ');
+  AppendU64(stats.drop_fault, out);
+  out->push_back(' ');
+  AppendU64(stats.pulls_fault_dropped, out);
+  out->push_back(' ');
+  AppendU64(stats.reconnects, out);
+}
+
+void FormatFin(const std::string& reason, std::string* out) {
+  out->assign(kMagic);
+  out->append(" FIN ");
+  out->append(reason.empty() ? "shutdown" : reason);
+}
+
+bool ParseMessage(std::string_view datagram, Message* out,
+                  std::string* error) {
+  std::string_view fields[10];
+  const int count = SplitFields(datagram, fields, 10);
+  if (count < 2) return Fail(error, "short or ill-delimited datagram");
+  if (fields[0] != kMagic) return Fail(error, "bad magic (want bdw1)");
+  const std::string_view verb = fields[1];
+
+  const auto want = [&](int n) { return count == n; };
+  if (verb == "HELLO" || verb == "PING" || verb == "BYE") {
+    if (!want(3)) return Fail(error, "HELLO/PING/BYE want one field");
+    if (!ValidClientId(fields[2])) return Fail(error, "bad client id");
+    out->type = verb == "HELLO" ? MsgType::kHello
+                : verb == "PING" ? MsgType::kPing
+                                 : MsgType::kBye;
+    out->client_id.assign(fields[2]);
+    return true;
+  }
+  if (verb == "PULL") {
+    if (!want(4)) return Fail(error, "PULL wants id and page");
+    if (!ValidClientId(fields[2])) return Fail(error, "bad client id");
+    if (!ParseU32(fields[3], &out->page)) return Fail(error, "bad page");
+    out->type = MsgType::kPull;
+    out->client_id.assign(fields[2]);
+    return true;
+  }
+  if (verb == "WELCOME") {
+    if (!want(5)) return Fail(error, "WELCOME wants three fields");
+    if (!ParseU32(fields[2], &out->db_size) ||
+        !ParseU32(fields[3], &out->cycle_len) ||
+        !ParseU32(fields[4], &out->slot_us)) {
+      return Fail(error, "bad WELCOME fields");
+    }
+    out->type = MsgType::kWelcome;
+    return true;
+  }
+  if (verb == "SLOT") {
+    if (!want(6)) return Fail(error, "SLOT wants four fields");
+    if (!ParseU64(fields[2], &out->seq)) return Fail(error, "bad slot seq");
+    if (!ParsePage(fields[3], &out->page)) return Fail(error, "bad page");
+    if (fields[4].size() != 1) return Fail(error, "bad slot kind");
+    switch (fields[4][0]) {
+      case 'P':
+        out->kind = server::SlotKind::kPush;
+        break;
+      case 'Q':
+        out->kind = server::SlotKind::kPull;
+        break;
+      case 'I':
+        out->kind = server::SlotKind::kIdle;
+        break;
+      default:
+        return Fail(error, "bad slot kind");
+    }
+    if (!ParseDouble(fields[5], &out->sim_time)) {
+      return Fail(error, "bad slot time");
+    }
+    out->type = MsgType::kSlot;
+    return true;
+  }
+  if (verb == "STATS") {
+    if (!want(9)) return Fail(error, "STATS wants seven fields");
+    PeerStats s;
+    if (!ParseU64(fields[2], &s.pulls_rx) ||
+        !ParseU64(fields[3], &s.slots_tx_epoch) ||
+        !ParseU64(fields[4], &s.drop_backpressure) ||
+        !ParseU64(fields[5], &s.drop_dead_peer) ||
+        !ParseU64(fields[6], &s.drop_fault) ||
+        !ParseU64(fields[7], &s.pulls_fault_dropped) ||
+        !ParseU64(fields[8], &s.reconnects)) {
+      return Fail(error, "bad STATS fields");
+    }
+    out->type = MsgType::kStats;
+    out->stats = s;
+    return true;
+  }
+  if (verb == "FIN") {
+    if (!want(3)) return Fail(error, "FIN wants a reason");
+    out->type = MsgType::kFin;
+    out->reason.assign(fields[2]);
+    return true;
+  }
+  return Fail(error, "unknown verb");
+}
+
+}  // namespace bdisk::transport::wire

@@ -1,0 +1,118 @@
+// The shared bounded-exponential-backoff engine (fault/backoff.h): raw
+// delay arithmetic, the exact-cap boundary attempt, policy validation, the
+// zero-jitter no-draw determinism contract, and the pinned scale->clamp->
+// stretch operation order the measured client's golden trajectories
+// depend on.
+
+#include <gtest/gtest.h>
+
+#include "fault/backoff.h"
+#include "sim/rng.h"
+
+namespace bdisk::fault {
+namespace {
+
+TEST(BackoffPolicyTest, ValidateCatchesEveryBadKnob) {
+  BackoffPolicy good{1.0, 2.0, 8.0, 0.1};
+  EXPECT_TRUE(good.Validate().empty());
+
+  BackoffPolicy policy = good;
+  policy.base = 0.0;
+  EXPECT_FALSE(policy.Validate().empty());
+  policy = good;
+  policy.multiplier = 0.5;
+  EXPECT_FALSE(policy.Validate().empty());
+  policy = good;
+  policy.cap = 0.5;  // Below base.
+  EXPECT_FALSE(policy.Validate().empty());
+  policy = good;
+  policy.jitter = 1.5;
+  EXPECT_FALSE(policy.Validate().empty());
+  policy = good;
+  policy.jitter = -0.1;
+  EXPECT_FALSE(policy.Validate().empty());
+  policy = good;
+  policy.jitter = 0.0;  // Jitter-free is a valid policy.
+  EXPECT_TRUE(policy.Validate().empty());
+  policy = good;
+  policy.cap = good.base;  // Cap == base pins every attempt to base.
+  EXPECT_TRUE(policy.Validate().empty());
+}
+
+TEST(BackoffDelayTest, ScalesByMultiplierThenClampsToCap) {
+  const BackoffPolicy policy{10.0, 2.0, 100.0, 0.0};
+  EXPECT_EQ(RawBackoffDelay(policy, 0), 10.0);
+  EXPECT_EQ(RawBackoffDelay(policy, 1), 20.0);
+  EXPECT_EQ(RawBackoffDelay(policy, 2), 40.0);
+  EXPECT_EQ(RawBackoffDelay(policy, 3), 80.0);
+  EXPECT_EQ(RawBackoffDelay(policy, 4), 100.0);  // 160 clamped.
+  EXPECT_EQ(RawBackoffDelay(policy, 30), 100.0);
+}
+
+TEST(BackoffDelayTest, CapHitExactlyAtTheBoundaryAttempt) {
+  // base * multiplier^2 == cap exactly: attempt 2 reaches the cap by
+  // arithmetic, not by clamping, and attempt 3 is the first clamped one.
+  // The boundary matters because doubling 10.0 is exact in binary floating
+  // point — no epsilon, the comparison is ==.
+  const BackoffPolicy policy{10.0, 2.0, 40.0, 0.0};
+  EXPECT_EQ(RawBackoffDelay(policy, 1), 20.0);
+  EXPECT_EQ(RawBackoffDelay(policy, 2), 40.0);
+  EXPECT_EQ(RawBackoffDelay(policy, 3), 40.0);
+}
+
+TEST(BackoffDelayTest, MultiplierOneHoldsEveryAttemptAtBase) {
+  const BackoffPolicy policy{3.0, 1.0, 100.0, 0.0};
+  EXPECT_EQ(RawBackoffDelay(policy, 0), 3.0);
+  EXPECT_EQ(RawBackoffDelay(policy, 7), 3.0);
+}
+
+TEST(BackoffJitterTest, ZeroJitterConsumesNoRandomness) {
+  // The determinism contract: a jitter-free policy must not perturb the
+  // caller's stream. Two identically seeded streams stay aligned after one
+  // is threaded through a jitter=0 delay.
+  const BackoffPolicy policy{10.0, 2.0, 100.0, 0.0};
+  sim::Rng used(99);
+  sim::Rng untouched(99);
+  EXPECT_EQ(JitteredBackoffDelay(policy, 2, &used), 40.0);
+  EXPECT_EQ(used.NextDouble(), untouched.NextDouble());
+}
+
+TEST(BackoffJitterTest, JitterDrawsExactlyOncePerDelay) {
+  const BackoffPolicy policy{10.0, 2.0, 100.0, 0.25};
+  sim::Rng used(7);
+  sim::Rng mirror(7);
+  const double delay = JitteredBackoffDelay(policy, 1, &used);
+  // Pinned operation order: scale (20), clamp (no-op), stretch by
+  // jitter * u with exactly one draw from the stream.
+  const double u = mirror.NextDouble();
+  EXPECT_EQ(delay, 20.0 + 20.0 * 0.25 * u);
+  EXPECT_GE(delay, 20.0);
+  EXPECT_LT(delay, 25.0);
+  // Both streams have now consumed one draw each and stay aligned.
+  EXPECT_EQ(used.NextDouble(), mirror.NextDouble());
+}
+
+TEST(BackoffJitterTest, JitterStretchesTheClampedDelayNotTheRawOne) {
+  // Clamp before stretch: a capped attempt jitters around the cap, so the
+  // armed delay can exceed the cap by at most jitter * cap. Stretch-then-
+  // clamp would instead flatten every capped attempt to exactly the cap.
+  const BackoffPolicy policy{10.0, 2.0, 40.0, 1.0};
+  sim::Rng rng(11);
+  sim::Rng mirror(11);
+  const double delay = JitteredBackoffDelay(policy, 5, &rng);
+  const double u = mirror.NextDouble();
+  EXPECT_EQ(delay, 40.0 + 40.0 * u);
+}
+
+TEST(BackoffJitterTest, IdenticalSeedsGiveIdenticalSchedules) {
+  const BackoffPolicy policy{0.05, 2.0, 1.0, 0.1};
+  sim::Rng a(1234);
+  sim::Rng b(1234);
+  for (std::uint32_t attempt = 0; attempt < 10; ++attempt) {
+    EXPECT_EQ(JitteredBackoffDelay(policy, attempt, &a),
+              JitteredBackoffDelay(policy, attempt, &b));
+  }
+}
+
+}  // namespace
+}  // namespace bdisk::fault

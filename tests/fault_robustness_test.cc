@@ -241,6 +241,78 @@ TEST(RobustClientTest, DeadBackchannelIsDeclaredAndRevivedBySnoop) {
   EXPECT_EQ(mc.BackchannelRecoveries(), 1U);
 }
 
+TEST(RobustClientTest, BackoffCapHitExactlyAtTheBoundaryAttempt) {
+  sim::Simulator sim;
+  BroadcastServer server(&sim, BroadcastProgram({}, 4), 1.0, 10,
+                         sim::Rng(1));
+  FaultInjector injector = LossyBackchannel();
+  server.SetFaultInjector(&injector);
+
+  MeasuredClient mc(&sim, &server, AlwaysPage(4, 2), PullOptions(),
+                    sim::Rng(2));
+  RobustPullOptions robust;
+  robust.timeout = 10.0;
+  robust.max_retries = 3;
+  robust.backoff = 2.0;
+  robust.backoff_cap = 40.0;  // == timeout * backoff^2: attempt 2 reaches
+                              // the cap by arithmetic, attempt 3 by clamp.
+  robust.jitter = 0.0;
+  robust.dead_threshold = 0;
+  robust.probe_interval = 100.0;
+  mc.EnableRobustness(robust, sim::Rng(5));
+  mc.SetRecording(true);
+  mc.Start();
+
+  // Armed delays 10, 20, 40, 40: the boundary attempt and the clamped one
+  // are identical (exact doubling in binary floating point, no epsilon).
+  // Timeouts fire at 10, 30, 70, 110; the unscheduled request abandons at
+  // 110 with the elapsed time as its explicit-timeout response.
+  sim.RunUntil(114.0);
+  EXPECT_EQ(mc.TimeoutsFired(), 4U);
+  EXPECT_EQ(mc.RetriesSent(), 3U);
+  EXPECT_EQ(mc.Abandoned(), 1U);
+  ASSERT_EQ(mc.response_times().Count(), 1U);
+  EXPECT_EQ(mc.response_times().Mean(), 110.0);
+}
+
+TEST(RobustClientTest, SnoopedPushDeliveryCancelsAnArmedRetransmit) {
+  sim::Simulator sim;
+  // Page 2 rides the push schedule (delivered at t=3) while the
+  // backchannel eats every pull. The race under test: a retransmit has
+  // already been sent and its follow-up timer is armed for t=5 when the
+  // snooped push delivery lands at t=3 — the delivery must win, cancel
+  // the timer, and no later timeout may fire for the completed request.
+  BroadcastServer server(&sim, BroadcastProgram({0, 1, 2, 3}, 4), 0.5, 10,
+                         sim::Rng(1));
+  FaultInjector injector = LossyBackchannel();
+  server.SetFaultInjector(&injector);
+
+  MeasuredClientOptions options = PullOptions();
+  options.policy = cache::PolicyKind::kPix;
+  MeasuredClient mc(&sim, &server, AlwaysPage(4, 2), options, sim::Rng(2));
+  RobustPullOptions robust;
+  robust.timeout = 2.5;
+  robust.max_retries = 5;
+  robust.backoff = 1.0;
+  robust.backoff_cap = 2.5;
+  robust.jitter = 0.0;
+  robust.dead_threshold = 0;
+  robust.probe_interval = 100.0;
+  mc.EnableRobustness(robust, sim::Rng(5));
+  mc.SetRecording(true);
+  mc.Start();
+
+  // t=0 pull (lost); t=2.5 timeout, retransmit (lost), timer re-armed for
+  // t=5; t=3 the push slot delivers page 2 first.
+  sim.RunUntil(20.0);
+  EXPECT_EQ(mc.TimeoutsFired(), 1U);
+  EXPECT_EQ(mc.RetriesSent(), 1U);
+  EXPECT_EQ(mc.Abandoned(), 0U);
+  EXPECT_EQ(mc.Fallbacks(), 0U);
+  EXPECT_GE(mc.response_times().Count(), 1U);
+  EXPECT_EQ(mc.response_times().Max(), 3.0);
+}
+
 }  // namespace
 }  // namespace bdisk::client
 

@@ -1,0 +1,389 @@
+// The transport seam (transport/transport.h) and the live UNIX-datagram
+// backend: SimTransport's submit-forwarding identity, the loopback
+// HELLO/WELCOME/PULL/SLOT protocol, heartbeat eviction, crash/reconnect
+// epoch accounting, dead-peer drop counting, the BYE -> STATS
+// reconciliation handshake, the max_peers admission cap, and socket-path
+// validation. Wall-clock deadlines are driven with explicit timestamps —
+// no sleeping for eviction tests.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "broadcast/broadcast_program.h"
+#include "server/broadcast_server.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+#include "transport/datagram_client.h"
+#include "transport/datagram_transport.h"
+#include "transport/transport.h"
+
+namespace bdisk::transport {
+namespace {
+
+using broadcast::BroadcastProgram;
+using server::BroadcastServer;
+using server::SubmitResult;
+
+TEST(SimTransportTest, ForwardsExactlyLikeADirectSubmit) {
+  // Two identical kernels: one submits through the seam, one calls
+  // SubmitRequest directly. Every queue verdict — accept, coalesce,
+  // capacity drop — must match, submission for submission.
+  sim::Simulator sim_a;
+  BroadcastServer server_a(&sim_a, BroadcastProgram({}, 8), 1.0, 2,
+                           sim::Rng(1));
+  SimTransport seam(&server_a);
+
+  sim::Simulator sim_b;
+  BroadcastServer server_b(&sim_b, BroadcastProgram({}, 8), 1.0, 2,
+                           sim::Rng(1));
+
+  const PageId pages[] = {3, 3, 4, 5, 6};  // Dup then overflow.
+  for (const PageId page : pages) {
+    EXPECT_EQ(seam.SubmitPull(page, 0), server_b.SubmitRequest(page, 0));
+  }
+  EXPECT_EQ(server_a.queue().SubmittedCount(), server_b.queue().SubmittedCount());
+  EXPECT_EQ(server_a.queue().AcceptedCount(), server_b.queue().AcceptedCount());
+  EXPECT_EQ(server_a.queue().CoalescedCount(), server_b.queue().CoalescedCount());
+  EXPECT_EQ(server_a.queue().DroppedCount(), server_b.queue().DroppedCount());
+  EXPECT_EQ(seam.Describe(), "sim");
+}
+
+/// Drives the server transport's Poll loop from a second thread while a
+/// client call (Connect / Goodbye) blocks in its bounded waits. Joined
+/// before any assertion touches the transport, so there is no concurrent
+/// access from the test body.
+class ServerPump {
+ public:
+  explicit ServerPump(DatagramServerTransport* transport, double wall = 0.0)
+      : transport_(transport), wall_(wall), thread_([this] {
+          while (!done_.load(std::memory_order_relaxed)) {
+            transport_->WaitReadable(5);
+            transport_->Poll(wall_);
+          }
+        }) {}
+  ~ServerPump() { Stop(); }
+
+  void Stop() {
+    if (thread_.joinable()) {
+      done_.store(true, std::memory_order_relaxed);
+      thread_.join();
+    }
+  }
+
+ private:
+  DatagramServerTransport* transport_;
+  double wall_;
+  std::atomic<bool> done_{false};
+  std::thread thread_;
+};
+
+class DatagramTransportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/bdisk_transport_XXXXXX";
+    char* made = ::mkdtemp(tmpl);
+    ASSERT_NE(made, nullptr);
+    dir_ = made;
+    server_options_.socket_path = dir_ + "/serve.sock";
+    server_options_.db_size = 8;
+    server_options_.cycle_len = 16;
+    server_options_.slot_us = 1000;
+  }
+
+  void TearDown() override {
+    std::error_code ignored;
+    std::filesystem::remove_all(dir_, ignored);
+  }
+
+  DatagramClientOptions ClientOptions(const std::string& id) const {
+    DatagramClientOptions options;
+    options.server_path = server_options_.socket_path;
+    options.client_id = id;
+    options.socket_dir = dir_;
+    options.backoff = fault::BackoffPolicy{0.05, 2.0, 0.5, 0.0};
+    return options;
+  }
+
+  /// Connect with the server pumped at wall time `wall`.
+  bool PumpedConnect(DatagramServerTransport* transport,
+                     DatagramClientChannel* client,
+                     const DatagramClientOptions& options, sim::Rng* rng,
+                     double wall = 0.0) {
+    ServerPump pump(transport, wall);
+    std::string error;
+    const bool ok = client->Connect(options, rng, &error);
+    pump.Stop();
+    EXPECT_TRUE(ok || !error.empty());
+    return ok;
+  }
+
+  std::string dir_;
+  DatagramServerOptions server_options_;
+};
+
+TEST_F(DatagramTransportTest, BindRejectsOversizedSocketPath) {
+  sim::Simulator sim;
+  BroadcastServer server(&sim, BroadcastProgram({}, 8), 1.0, 16,
+                         sim::Rng(1));
+  DatagramServerTransport transport;
+  DatagramServerOptions options = server_options_;
+  options.socket_path = dir_ + "/" + std::string(200, 'x') + ".sock";
+  std::string error;
+  EXPECT_FALSE(transport.Bind(options, &server, &error));
+  EXPECT_NE(error.find("too long"), std::string::npos) << error;
+}
+
+TEST_F(DatagramTransportTest, ConnectRejectsBadClientIdUpFront) {
+  DatagramClientChannel client;
+  sim::Rng rng(3);
+  std::string error;
+  EXPECT_FALSE(client.Connect(ClientOptions("has space"), &rng, &error));
+  EXPECT_NE(error.find("client id"), std::string::npos) << error;
+}
+
+TEST_F(DatagramTransportTest, LoopbackHandshakePullAndSlotFanOut) {
+  sim::Simulator sim;
+  BroadcastServer server(&sim, BroadcastProgram({}, 8), 1.0, 16,
+                         sim::Rng(1));
+  DatagramServerTransport transport;
+  std::string error;
+  ASSERT_TRUE(transport.Bind(server_options_, &server, &error)) << error;
+  EXPECT_EQ(transport.Describe(), "unix:" + server_options_.socket_path);
+
+  DatagramClientChannel client;
+  sim::Rng rng(3);
+  ASSERT_TRUE(PumpedConnect(&transport, &client, ClientOptions("mc"), &rng));
+  EXPECT_EQ(transport.PeerCount(), 1U);
+  EXPECT_EQ(transport.counters().hellos, 1U);
+  EXPECT_EQ(client.welcome().db_size, 8U);
+  EXPECT_EQ(client.welcome().cycle_len, 16U);
+  EXPECT_EQ(client.welcome().slot_us, 1000U);
+
+  // A PULL enters the very queue the MUX serves, under the peer's own
+  // trace identity (>= kFirstPeerTraceClient, clear of the MC/VC ids).
+  ASSERT_TRUE(client.SendPull(5));
+  EXPECT_GE(transport.Poll(1.0), 1);
+  EXPECT_EQ(transport.counters().pulls_rx, 1U);
+  EXPECT_EQ(server.queue().SubmittedCount(), 1U);
+  EXPECT_EQ(server.queue().AcceptedCount(), 1U);
+
+  // One delivered slot fans out as one datagram to the peer.
+  transport.OnBroadcast(5, server::SlotKind::kPull, 7.0);
+  EXPECT_EQ(transport.counters().slots_tx, 1U);
+  std::vector<wire::Message> messages;
+  EXPECT_GE(client.PollMessages(500, &messages), 1);
+  ASSERT_EQ(messages.size(), 1U);
+  EXPECT_EQ(messages[0].type, wire::MsgType::kSlot);
+  EXPECT_EQ(messages[0].page, 5U);
+  EXPECT_EQ(messages[0].kind, server::SlotKind::kPull);
+  EXPECT_EQ(messages[0].sim_time, 7.0);
+  EXPECT_EQ(client.counters().slots_rx_epoch, 1U);
+
+  transport.Shutdown("test");
+}
+
+TEST_F(DatagramTransportTest, HeartbeatDeadlineEvictsSilentPeers) {
+  sim::Simulator sim;
+  BroadcastServer server(&sim, BroadcastProgram({}, 8), 1.0, 16,
+                         sim::Rng(1));
+  DatagramServerTransport transport;
+  server_options_.heartbeat_deadline = 5.0;
+  std::string error;
+  ASSERT_TRUE(transport.Bind(server_options_, &server, &error)) << error;
+
+  DatagramClientChannel client;
+  sim::Rng rng(3);
+  // The pump stamps the HELLO at wall 0.0.
+  ASSERT_TRUE(PumpedConnect(&transport, &client, ClientOptions("mc"), &rng));
+
+  // Within the deadline: nothing to evict.
+  EXPECT_EQ(transport.EvictDeadPeers(4.0), 0);
+  // A PING refreshes the peer's deadline...
+  client.SendPing();
+  EXPECT_GE(transport.Poll(3.0), 1);
+  EXPECT_EQ(transport.counters().pings_rx, 1U);
+  EXPECT_EQ(transport.EvictDeadPeers(7.0), 0);
+  // ...but silence past the deadline forgets it, with a farewell FIN.
+  EXPECT_EQ(transport.EvictDeadPeers(8.5), 1);
+  EXPECT_EQ(transport.PeerCount(), 0U);
+  EXPECT_EQ(transport.counters().evictions, 1U);
+  std::vector<wire::Message> messages;
+  client.PollMessages(500, &messages);
+  ASSERT_FALSE(messages.empty());
+  EXPECT_EQ(messages.back().type, wire::MsgType::kFin);
+  EXPECT_EQ(messages.back().reason, "evicted");
+  EXPECT_FALSE(client.Connected());  // FIN closes the channel.
+
+  transport.Shutdown("test");
+}
+
+TEST_F(DatagramTransportTest, CrashReconnectKeepsCountersAndResetsEpoch) {
+  sim::Simulator sim;
+  BroadcastServer server(&sim, BroadcastProgram({}, 8), 1.0, 16,
+                         sim::Rng(1));
+  DatagramServerTransport transport;
+  std::string error;
+  ASSERT_TRUE(transport.Bind(server_options_, &server, &error)) << error;
+
+  DatagramClientChannel client;
+  sim::Rng rng(3);
+  ASSERT_TRUE(PumpedConnect(&transport, &client, ClientOptions("mc"), &rng));
+  const std::string first_epoch_path = client.epoch_path();
+
+  transport.OnBroadcast(1, server::SlotKind::kPush, 1.0);
+  EXPECT_EQ(transport.FindPeerStats("mc")->slots_tx_epoch, 1U);
+
+  // Crash: the epoch socket dies with the process. Slot sends now fail
+  // fast and are counted as dead-peer drops — but the peer is NOT
+  // evicted, so its identity and cumulative counters survive the restart.
+  client.Crash();
+  transport.OnBroadcast(2, server::SlotKind::kPush, 2.0);
+  transport.OnBroadcast(3, server::SlotKind::kPush, 3.0);
+  EXPECT_EQ(transport.counters().drop_dead_peer, 2U);
+  EXPECT_EQ(transport.PeerCount(), 1U);
+
+  // Reconnect: a fresh epoch path, a duplicate HELLO, and both sides
+  // zero their epoch slot tallies (the dead epoch's count died with the
+  // crashed client, so the server forgets it too).
+  ASSERT_TRUE(PumpedConnect(&transport, &client, ClientOptions("mc"), &rng));
+  EXPECT_NE(client.epoch_path(), first_epoch_path);
+  EXPECT_EQ(client.counters().reconnects, 1U);
+  EXPECT_EQ(transport.counters().hellos, 2U);
+  EXPECT_EQ(transport.counters().reconnects, 1U);
+  EXPECT_EQ(transport.PeerCount(), 1U);
+  EXPECT_EQ(transport.FindPeerStats("mc")->slots_tx_epoch, 0U);
+
+  transport.OnBroadcast(4, server::SlotKind::kPush, 4.0);
+  std::vector<wire::Message> messages;
+  EXPECT_GE(client.PollMessages(500, &messages), 1);
+  EXPECT_EQ(client.counters().slots_rx_epoch, 1U);
+  EXPECT_EQ(transport.FindPeerStats("mc")->slots_tx_epoch, 1U);
+
+  transport.Shutdown("test");
+}
+
+TEST_F(DatagramTransportTest, ByeReturnsStatsThatReconcileExactly) {
+  sim::Simulator sim;
+  BroadcastServer server(&sim, BroadcastProgram({}, 8), 1.0, 16,
+                         sim::Rng(1));
+  DatagramServerTransport transport;
+  std::string error;
+  ASSERT_TRUE(transport.Bind(server_options_, &server, &error)) << error;
+
+  DatagramClientChannel client;
+  sim::Rng rng(3);
+  ASSERT_TRUE(PumpedConnect(&transport, &client, ClientOptions("mc"), &rng));
+
+  ASSERT_TRUE(client.SendPull(1));
+  ASSERT_TRUE(client.SendPull(2));
+  EXPECT_GE(transport.Poll(1.0), 2);
+  transport.OnBroadcast(1, server::SlotKind::kPull, 1.0);
+  transport.OnBroadcast(2, server::SlotKind::kPull, 2.0);
+  transport.OnBroadcast(3, server::SlotKind::kPush, 3.0);
+  EXPECT_GE(client.PollMessages(500, nullptr), 3);
+
+  // The goodbye handshake: BYE after every prior PULL, STATS after every
+  // prior slot (per-pair FIFO), so both tallies reconcile with ==.
+  wire::PeerStats stats;
+  ServerPump pump(&transport, 4.0);
+  const bool got_stats = client.Goodbye(&stats, 2000);
+  pump.Stop();
+  ASSERT_TRUE(got_stats);
+  EXPECT_EQ(stats.pulls_rx, client.counters().pulls_sent);
+  EXPECT_EQ(stats.slots_tx_epoch, client.counters().slots_rx_epoch);
+  EXPECT_EQ(stats.pulls_rx, 2U);
+  EXPECT_EQ(stats.slots_tx_epoch, 3U);
+  EXPECT_EQ(stats.drop_backpressure, 0U);
+  EXPECT_EQ(stats.drop_dead_peer, 0U);
+  EXPECT_EQ(transport.PeerCount(), 0U);
+  EXPECT_EQ(transport.counters().byes_rx, 1U);
+
+  transport.Shutdown("test");
+}
+
+TEST_F(DatagramTransportTest, MaxPeersCapRefusesExtraHellosWithFinFull) {
+  sim::Simulator sim;
+  BroadcastServer server(&sim, BroadcastProgram({}, 8), 1.0, 16,
+                         sim::Rng(1));
+  DatagramServerTransport transport;
+  server_options_.max_peers = 1;
+  std::string error;
+  ASSERT_TRUE(transport.Bind(server_options_, &server, &error)) << error;
+
+  DatagramClientChannel first;
+  sim::Rng rng(3);
+  ASSERT_TRUE(PumpedConnect(&transport, &first, ClientOptions("a"), &rng));
+
+  // The second peer is refused: FIN "full" aborts its handshake early
+  // (Connect notices the closed channel, no retry storm).
+  DatagramClientChannel second;
+  EXPECT_FALSE(PumpedConnect(&transport, &second, ClientOptions("b"), &rng));
+  EXPECT_EQ(transport.PeerCount(), 1U);
+  EXPECT_GE(transport.counters().peers_rejected, 1U);
+  EXPECT_GE(second.counters().fins_rx, 1U);
+
+  // A known peer's duplicate HELLO is a reconnect, never a rejection —
+  // the cap counts identities, not datagrams.
+  DatagramClientChannel again;
+  EXPECT_TRUE(PumpedConnect(&transport, &again, ClientOptions("a"), &rng));
+  EXPECT_EQ(transport.PeerCount(), 1U);
+
+  transport.Shutdown("test");
+}
+
+TEST_F(DatagramTransportTest, ShutdownSendsFinAndUnlinksTheSocket) {
+  sim::Simulator sim;
+  BroadcastServer server(&sim, BroadcastProgram({}, 8), 1.0, 16,
+                         sim::Rng(1));
+  DatagramServerTransport transport;
+  std::string error;
+  ASSERT_TRUE(transport.Bind(server_options_, &server, &error)) << error;
+
+  DatagramClientChannel client;
+  sim::Rng rng(3);
+  ASSERT_TRUE(PumpedConnect(&transport, &client, ClientOptions("mc"), &rng));
+
+  transport.Shutdown("drain");
+  transport.Shutdown("drain");  // Idempotent.
+  EXPECT_EQ(transport.PeerCount(), 0U);
+  EXPECT_FALSE(std::filesystem::exists(server_options_.socket_path));
+
+  std::vector<wire::Message> messages;
+  client.PollMessages(500, &messages);
+  ASSERT_FALSE(messages.empty());
+  EXPECT_EQ(messages.back().type, wire::MsgType::kFin);
+  EXPECT_EQ(messages.back().reason, "drain");
+  EXPECT_FALSE(client.Connected());
+}
+
+TEST_F(DatagramTransportTest, CounterSamplesMirrorSnapshotKeys) {
+  sim::Simulator sim;
+  BroadcastServer server(&sim, BroadcastProgram({}, 8), 1.0, 16,
+                         sim::Rng(1));
+  DatagramServerTransport transport;
+  std::string error;
+  ASSERT_TRUE(transport.Bind(server_options_, &server, &error)) << error;
+
+  std::vector<obs::CounterSample> samples;
+  transport.AppendCounterSamples(&samples);
+  ASSERT_FALSE(samples.empty());
+
+  obs::MetricsRegistry registry;
+  transport.SnapshotMetrics(&registry);
+  // Every probe sample name is a registry counter key — the contract that
+  // lets bdisk_top --check --snapshot reconcile serve-mode streams.
+  for (const obs::CounterSample& sample : samples) {
+    EXPECT_EQ(registry.counters().count(sample.name), 1U) << sample.name;
+  }
+
+  transport.Shutdown("test");
+}
+
+}  // namespace
+}  // namespace bdisk::transport

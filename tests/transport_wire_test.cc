@@ -1,0 +1,184 @@
+// bdisk-wire-v1 codec: exact datagram text for every verb, format/parse
+// round-trips, and the malformed-input taxonomy (bad magic, wrong field
+// counts, ill-delimited text, unparsable numbers, bad client ids). The
+// reconciliation handshake depends on both ends agreeing byte-for-byte,
+// so the on-wire text itself is pinned, not just the round-trip.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "transport/wire.h"
+
+namespace bdisk::transport::wire {
+namespace {
+
+TEST(WireFormatTest, ClientVerbsPinTheirWireText) {
+  std::string out;
+  FormatHello("mc1", &out);
+  EXPECT_EQ(out, "bdw1 HELLO mc1");
+  FormatPull("mc1", 42, &out);
+  EXPECT_EQ(out, "bdw1 PULL mc1 42");
+  FormatPing("mc1", &out);
+  EXPECT_EQ(out, "bdw1 PING mc1");
+  FormatBye("mc1", &out);
+  EXPECT_EQ(out, "bdw1 BYE mc1");
+}
+
+TEST(WireFormatTest, ServerVerbsPinTheirWireText) {
+  std::string out;
+  FormatWelcome(1000, 1600, 200, &out);
+  EXPECT_EQ(out, "bdw1 WELCOME 1000 1600 200");
+  FormatSlot(7, 13, server::SlotKind::kPush, 8.0, &out);
+  EXPECT_EQ(out, "bdw1 SLOT 7 13 P 8");
+  FormatSlot(8, broadcast::kNoPage, server::SlotKind::kIdle, 9.0, &out);
+  EXPECT_EQ(out, "bdw1 SLOT 8 - I 9");
+  FormatFin("", &out);
+  EXPECT_EQ(out, "bdw1 FIN shutdown");
+  FormatFin("evicted", &out);
+  EXPECT_EQ(out, "bdw1 FIN evicted");
+}
+
+TEST(WireFormatTest, StatsCarriesEveryCounterInOrder) {
+  PeerStats stats;
+  stats.pulls_rx = 1;
+  stats.slots_tx_epoch = 2;
+  stats.drop_backpressure = 3;
+  stats.drop_dead_peer = 4;
+  stats.drop_fault = 5;
+  stats.pulls_fault_dropped = 6;
+  stats.reconnects = 7;
+  std::string out;
+  FormatStats(stats, &out);
+  EXPECT_EQ(out, "bdw1 STATS 1 2 3 4 5 6 7");
+}
+
+TEST(WireRoundTripTest, EveryVerbSurvivesFormatThenParse) {
+  std::string out;
+  Message msg;
+  std::string error;
+
+  FormatHello("client-a", &out);
+  ASSERT_TRUE(ParseMessage(out, &msg, &error)) << error;
+  EXPECT_EQ(msg.type, MsgType::kHello);
+  EXPECT_EQ(msg.client_id, "client-a");
+
+  FormatPull("client-a", 99, &out);
+  ASSERT_TRUE(ParseMessage(out, &msg, &error)) << error;
+  EXPECT_EQ(msg.type, MsgType::kPull);
+  EXPECT_EQ(msg.page, 99U);
+
+  FormatPing("client-a", &out);
+  ASSERT_TRUE(ParseMessage(out, &msg, &error)) << error;
+  EXPECT_EQ(msg.type, MsgType::kPing);
+
+  FormatBye("client-a", &out);
+  ASSERT_TRUE(ParseMessage(out, &msg, &error)) << error;
+  EXPECT_EQ(msg.type, MsgType::kBye);
+
+  FormatWelcome(500, 800, 1000, &out);
+  ASSERT_TRUE(ParseMessage(out, &msg, &error)) << error;
+  EXPECT_EQ(msg.type, MsgType::kWelcome);
+  EXPECT_EQ(msg.db_size, 500U);
+  EXPECT_EQ(msg.cycle_len, 800U);
+  EXPECT_EQ(msg.slot_us, 1000U);
+
+  FormatSlot(123456789ULL, 42, server::SlotKind::kPull, 123456.5, &out);
+  ASSERT_TRUE(ParseMessage(out, &msg, &error)) << error;
+  EXPECT_EQ(msg.type, MsgType::kSlot);
+  EXPECT_EQ(msg.seq, 123456789ULL);
+  EXPECT_EQ(msg.page, 42U);
+  EXPECT_EQ(msg.kind, server::SlotKind::kPull);
+  EXPECT_EQ(msg.sim_time, 123456.5);
+
+  FormatSlot(1, broadcast::kNoPage, server::SlotKind::kIdle, 2.0, &out);
+  ASSERT_TRUE(ParseMessage(out, &msg, &error)) << error;
+  EXPECT_EQ(msg.page, broadcast::kNoPage);
+  EXPECT_EQ(msg.kind, server::SlotKind::kIdle);
+
+  PeerStats stats;
+  stats.pulls_rx = 11;
+  stats.slots_tx_epoch = 22;
+  stats.drop_backpressure = 33;
+  stats.drop_dead_peer = 44;
+  stats.drop_fault = 55;
+  stats.pulls_fault_dropped = 66;
+  stats.reconnects = 77;
+  FormatStats(stats, &out);
+  ASSERT_TRUE(ParseMessage(out, &msg, &error)) << error;
+  EXPECT_EQ(msg.type, MsgType::kStats);
+  EXPECT_EQ(msg.stats.pulls_rx, 11U);
+  EXPECT_EQ(msg.stats.slots_tx_epoch, 22U);
+  EXPECT_EQ(msg.stats.drop_backpressure, 33U);
+  EXPECT_EQ(msg.stats.drop_dead_peer, 44U);
+  EXPECT_EQ(msg.stats.drop_fault, 55U);
+  EXPECT_EQ(msg.stats.pulls_fault_dropped, 66U);
+  EXPECT_EQ(msg.stats.reconnects, 77U);
+
+  FormatFin("drain", &out);
+  ASSERT_TRUE(ParseMessage(out, &msg, &error)) << error;
+  EXPECT_EQ(msg.type, MsgType::kFin);
+  EXPECT_EQ(msg.reason, "drain");
+}
+
+TEST(WireParseTest, RejectsBadMagicAndUnknownVerbs) {
+  Message msg;
+  EXPECT_FALSE(ParseMessage("", &msg, nullptr));
+  EXPECT_FALSE(ParseMessage("bdw1", &msg, nullptr));
+  EXPECT_FALSE(ParseMessage("bdw2 HELLO mc", &msg, nullptr));
+  EXPECT_FALSE(ParseMessage("BDW1 HELLO mc", &msg, nullptr));
+  EXPECT_FALSE(ParseMessage("bdw1 SHOUT mc", &msg, nullptr));
+}
+
+TEST(WireParseTest, RejectsIllDelimitedText) {
+  Message msg;
+  // Double space, leading space, trailing space: SplitFields sees an
+  // empty field and refuses the whole datagram.
+  EXPECT_FALSE(ParseMessage("bdw1  HELLO mc", &msg, nullptr));
+  EXPECT_FALSE(ParseMessage(" bdw1 HELLO mc", &msg, nullptr));
+  EXPECT_FALSE(ParseMessage("bdw1 HELLO mc ", &msg, nullptr));
+}
+
+TEST(WireParseTest, RejectsWrongFieldCounts) {
+  Message msg;
+  EXPECT_FALSE(ParseMessage("bdw1 HELLO", &msg, nullptr));
+  EXPECT_FALSE(ParseMessage("bdw1 HELLO mc extra", &msg, nullptr));
+  EXPECT_FALSE(ParseMessage("bdw1 PULL mc", &msg, nullptr));
+  EXPECT_FALSE(ParseMessage("bdw1 WELCOME 1 2", &msg, nullptr));
+  EXPECT_FALSE(ParseMessage("bdw1 SLOT 1 2 P", &msg, nullptr));
+  EXPECT_FALSE(ParseMessage("bdw1 STATS 1 2 3 4 5 6", &msg, nullptr));
+  EXPECT_FALSE(ParseMessage("bdw1 FIN", &msg, nullptr));
+}
+
+TEST(WireParseTest, RejectsBadNumbersAndKinds) {
+  Message msg;
+  std::string error;
+  EXPECT_FALSE(ParseMessage("bdw1 PULL mc twelve", &msg, &error));
+  EXPECT_EQ(error, "bad page");
+  // "-" is only valid in a SLOT page field, never in a PULL.
+  EXPECT_FALSE(ParseMessage("bdw1 PULL mc -", &msg, nullptr));
+  EXPECT_FALSE(ParseMessage("bdw1 PULL mc 4294967296", &msg, nullptr));
+  EXPECT_FALSE(ParseMessage("bdw1 WELCOME 1 2 x", &msg, nullptr));
+  EXPECT_FALSE(ParseMessage("bdw1 SLOT x 2 P 3", &msg, nullptr));
+  EXPECT_FALSE(ParseMessage("bdw1 SLOT 1 2 Z 3", &msg, nullptr));
+  EXPECT_FALSE(ParseMessage("bdw1 SLOT 1 2 PQ 3", &msg, nullptr));
+  EXPECT_FALSE(ParseMessage("bdw1 SLOT 1 2 P 3x", &msg, nullptr));
+  EXPECT_FALSE(ParseMessage("bdw1 STATS 1 2 3 4 5 6 x", &msg, nullptr));
+}
+
+TEST(WireParseTest, RejectsBadClientIds) {
+  Message msg;
+  EXPECT_FALSE(ValidClientId(""));
+  EXPECT_FALSE(ValidClientId(std::string(65, 'a')));
+  EXPECT_TRUE(ValidClientId(std::string(64, 'a')));
+  EXPECT_FALSE(ValidClientId("has space"));
+  EXPECT_FALSE(ValidClientId("has\ttab"));
+  EXPECT_FALSE(ValidClientId(std::string("nul\0id", 6)));
+  EXPECT_TRUE(ValidClientId("load-1.restarted"));
+  // A 65-byte id is structurally one field but semantically invalid.
+  EXPECT_FALSE(
+      ParseMessage("bdw1 HELLO " + std::string(65, 'a'), &msg, nullptr));
+}
+
+}  // namespace
+}  // namespace bdisk::transport::wire

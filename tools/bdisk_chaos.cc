@@ -49,6 +49,14 @@ void PrintUsage() {
       "                     fault.slot_loss and fault.request_loss\n"
       "  --slot-only        apply loss to broadcast slots only\n"
       "  --request-only     apply loss to backchannel requests only\n"
+      "  --outage-sweep     sweep timed server outage windows instead of\n"
+      "                     loss: blackout and brownout crossed with every\n"
+      "                     --outage-durations x --outage-periods point\n"
+      "  --outage-durations D1,D2,...  window widths in broadcast units\n"
+      "                     (default 50,200)\n"
+      "  --outage-periods P1,P2,...    window spacings; 0 is a one-shot\n"
+      "                     window (default 0,500)\n"
+      "  --outage-start T   first window opens at sim time T (default 100)\n"
       "  --set KEY=VALUE    override one config key (repeatable)\n"
       "  --config FILE      load key=value config file\n"
       "  --seed N           root RNG seed\n"
@@ -80,6 +88,14 @@ struct PointOutcome {
   std::vector<std::string> violations;
 };
 
+struct OutagePoint {
+  bool brownout = false;
+  double duration = 0.0;
+  double period = 0.0;
+  bdisk::core::RunResult result;
+  std::vector<std::string> violations;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -89,6 +105,10 @@ int main(int argc, char** argv) {
   std::vector<double> losses;
   bool slot_loss = true;
   bool request_loss = true;
+  bool outage_sweep = false;
+  std::vector<double> outage_durations;
+  std::vector<double> outage_periods;
+  double outage_start = 100.0;
   bool quick = false;
   bool csv = false;
 
@@ -110,6 +130,29 @@ int main(int argc, char** argv) {
       request_loss = false;
     } else if (arg == "--request-only") {
       slot_loss = false;
+    } else if (arg == "--outage-sweep") {
+      outage_sweep = true;
+    } else if (arg == "--outage-durations") {
+      if (!ParseDoubleList(next_value("--outage-durations"),
+                           &outage_durations)) {
+        std::fprintf(stderr,
+                     "--outage-durations wants a comma list of widths\n");
+        return 2;
+      }
+    } else if (arg == "--outage-periods") {
+      if (!ParseDoubleList(next_value("--outage-periods"),
+                           &outage_periods)) {
+        std::fprintf(stderr,
+                     "--outage-periods wants a comma list of spacings\n");
+        return 2;
+      }
+    } else if (arg == "--outage-start") {
+      char* end = nullptr;
+      outage_start = std::strtod(next_value("--outage-start"), &end);
+      if (end == nullptr || *end != '\0' || outage_start < 0.0) {
+        std::fprintf(stderr, "--outage-start wants a sim time >= 0\n");
+        return 2;
+      }
     } else if (arg == "--set") {
       const std::string kv = next_value("--set");
       const std::size_t eq = kv.find('=');
@@ -163,6 +206,35 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--slot-only and --request-only conflict\n");
     return 2;
   }
+  if (outage_sweep) {
+    if (!losses.empty()) {
+      std::fprintf(stderr, "--outage-sweep and --loss conflict\n");
+      return 2;
+    }
+    if (!base.frames.empty()) {
+      std::fprintf(stderr, "--frames is not supported with --outage-sweep "
+                           "(the grid is never a single run)\n");
+      return 2;
+    }
+    if (outage_durations.empty()) outage_durations = {50.0, 200.0};
+    if (outage_periods.empty()) outage_periods = {0.0, 500.0};
+    for (const double d : outage_durations) {
+      if (d <= 0.0) {
+        std::fprintf(stderr, "outage duration %g must be > 0\n", d);
+        return 2;
+      }
+    }
+    for (const double p : outage_periods) {
+      if (p < 0.0) {
+        std::fprintf(stderr, "outage period %g must be >= 0\n", p);
+        return 2;
+      }
+    }
+  } else if (!outage_durations.empty() || !outage_periods.empty()) {
+    std::fprintf(stderr,
+                 "--outage-durations/--outage-periods need --outage-sweep\n");
+    return 2;
+  }
   if (losses.empty()) losses = {0.0, 0.02, 0.05, 0.1, 0.2};
   if (!base.frames.empty() && losses.size() != 1) {
     std::fprintf(stderr,
@@ -184,6 +256,107 @@ int main(int argc, char** argv) {
     protocol.max_measured_accesses = 3000;
     protocol.batch_size = 500;
     protocol.tolerance = 0.1;
+  }
+
+  if (outage_sweep) {
+    // Blackout/brownout crossed with every duration x period point, each
+    // run through the same violation gates as the loss sweep: no hung
+    // requests, balanced queue accounting, and proof the fault layer
+    // actually opened windows.
+    std::vector<OutagePoint> points;
+    for (const bool brownout : {false, true}) {
+      for (const double duration : outage_durations) {
+        for (const double period : outage_periods) {
+          OutagePoint point;
+          point.brownout = brownout;
+          point.duration = duration;
+          point.period = period;
+          core::SystemConfig config = base;
+          config.fault.outage_start = outage_start;
+          config.fault.outage_duration = duration;
+          config.fault.outage_period = period;
+          config.fault.brownout = brownout;
+          const std::string error = config.Validate();
+          if (!error.empty()) {
+            std::fprintf(stderr,
+                         "%s dur=%g period=%g: invalid config: %s\n",
+                         brownout ? "brownout" : "blackout", duration,
+                         period, error.c_str());
+            return 2;
+          }
+          core::System system(config);
+          const core::RunResult r = system.RunSteadyState(protocol);
+          point.result = r;
+          if (r.sim_time_end >= protocol.max_sim_time) {
+            point.violations.push_back(
+                "hung: run hit the simulation-time cap");
+          }
+          const std::uint64_t accounted =
+              r.requests_accepted + r.requests_coalesced +
+              r.requests_dropped + r.requests_shed +
+              r.requests_dropped_outage;
+          if (accounted != r.requests_submitted) {
+            point.violations.push_back(
+                "queue accounting: submitted != accepted + coalesced + "
+                "dropped + shed + outage");
+          }
+          if (r.outages_started == 0) {
+            point.violations.push_back("no outage windows started");
+          }
+          if (r.mc_accesses == 0) {
+            point.violations.push_back(
+                "measured client completed no accesses");
+          }
+          points.push_back(std::move(point));
+        }
+      }
+    }
+
+    using core::TablePrinter;
+    bool failed = false;
+    if (csv) {
+      std::printf(
+          "mode,duration,period,mean_response,p99,outages,outage_slots,"
+          "outage_dropped,timeouts,retries,abandoned,fallbacks,ok\n");
+    }
+    TablePrinter table({"Mode", "Dur", "Period", "Mean", "P99", "Outages",
+                        "IdleSlots", "OutDrop", "Timeouts", "Retries",
+                        "Abandoned", "OK"});
+    for (const OutagePoint& p : points) {
+      const core::RunResult& r = p.result;
+      const bool ok = p.violations.empty();
+      failed = failed || !ok;
+      const char* mode = p.brownout ? "brownout" : "blackout";
+      if (csv) {
+        std::printf(
+            "%s,%g,%g,%.2f,%.2f,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%d\n",
+            mode, p.duration, p.period, r.mean_response, r.response_p99,
+            static_cast<unsigned long long>(r.outages_started),
+            static_cast<unsigned long long>(r.outage_slots),
+            static_cast<unsigned long long>(r.requests_dropped_outage),
+            static_cast<unsigned long long>(r.mc_timeouts_fired),
+            static_cast<unsigned long long>(r.mc_retries_sent),
+            static_cast<unsigned long long>(r.mc_abandoned),
+            static_cast<unsigned long long>(r.mc_fallbacks), ok ? 1 : 0);
+      } else {
+        table.AddRow({mode, TablePrinter::Fmt(p.duration),
+                      TablePrinter::Fmt(p.period),
+                      TablePrinter::Fmt(r.mean_response),
+                      TablePrinter::Fmt(r.response_p99),
+                      std::to_string(r.outages_started),
+                      std::to_string(r.outage_slots),
+                      std::to_string(r.requests_dropped_outage),
+                      std::to_string(r.mc_timeouts_fired),
+                      std::to_string(r.mc_retries_sent),
+                      std::to_string(r.mc_abandoned), ok ? "yes" : "NO"});
+      }
+      for (const std::string& v : p.violations) {
+        std::fprintf(stderr, "%s dur=%g period=%g: VIOLATION: %s\n", mode,
+                     p.duration, p.period, v.c_str());
+      }
+    }
+    if (!csv) std::fputs(table.ToString().c_str(), stdout);
+    return failed ? 1 : 0;
   }
 
   std::vector<PointOutcome> outcomes;

@@ -38,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/frame_sink.h"
 #include "obs/json.h"
 
 namespace {
@@ -127,8 +128,9 @@ class SocketSource : public FrameSource {
                                             double timeout_seconds,
                                             std::string* error) {
     sockaddr_un addr{};
-    if (path.size() >= sizeof(addr.sun_path)) {
-      *error = "socket path too long: " + path;
+    const std::string invalid = bdisk::obs::ValidateUnixSocketPath(path);
+    if (!invalid.empty()) {
+      *error = invalid;
       return nullptr;
     }
     const int fd = ::socket(AF_UNIX, SOCK_DGRAM, 0);
